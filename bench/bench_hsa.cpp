@@ -1,0 +1,135 @@
+// E4: cost of the logical-verification substrate — wildcard algebra
+// micro-benchmarks and network reachability vs rule count / topology size
+// (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "hsa/reachability.hpp"
+#include "workload/scenario.hpp"
+
+using namespace rvaas;
+
+namespace {
+
+hsa::Wildcard random_cube(util::Rng& rng, double fix_prob) {
+  hsa::Wildcard w;
+  for (std::size_t i = 0; i < hsa::Wildcard::kBits; ++i) {
+    if (rng.bernoulli(fix_prob)) {
+      w.set_bit(i, rng.next_bit() ? hsa::Trit::One : hsa::Trit::Zero);
+    }
+  }
+  return w;
+}
+
+void BM_WildcardIntersect(benchmark::State& state) {
+  util::Rng rng(1);
+  const hsa::Wildcard a = random_cube(rng, 0.3);
+  const hsa::Wildcard b = random_cube(rng, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_WildcardIntersect);
+
+void BM_WildcardSubset(benchmark::State& state) {
+  util::Rng rng(2);
+  const hsa::Wildcard a = random_cube(rng, 0.3);
+  const hsa::Wildcard b = random_cube(rng, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.subset_of(b));
+  }
+}
+BENCHMARK(BM_WildcardSubset);
+
+void BM_CubeSubtract(benchmark::State& state) {
+  util::Rng rng(3);
+  const hsa::Wildcard a = random_cube(rng, 0.05);
+  const hsa::Wildcard b = random_cube(rng, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsa::cube_subtract(a, b));
+  }
+}
+BENCHMARK(BM_CubeSubtract);
+
+void BM_HeaderSpaceEmptiness(benchmark::State& state) {
+  // Cube with a diff list of the given length.
+  util::Rng rng(4);
+  hsa::HeaderSpace hs = hsa::HeaderSpace::all();
+  for (long i = 0; i < state.range(0); ++i) {
+    hsa::Wildcard d;
+    d.set_field(sdn::Field::Vlan, static_cast<std::uint64_t>(i) & 0xfff);
+    hs = hs.subtract(d);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hs.is_empty());
+  }
+}
+BENCHMARK(BM_HeaderSpaceEmptiness)->Arg(2)->Arg(8)->Arg(32);
+
+/// Reachability over a provider-routed fat-tree: cost vs k (rule count grows
+/// as tenants x hosts x switches).
+void BM_FatTreeReach(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  workload::ScenarioConfig config;
+  config.generated = workload::fat_tree(k);
+  config.seed = 5;
+  workload::ScenarioRuntime runtime(std::move(config));
+
+  const auto tables = runtime.rvaas().snapshot().table_dump();
+  std::size_t total_rules = 0;
+  for (const auto& [_, entries] : tables) total_rules += entries.size();
+
+  const hsa::NetworkModel model =
+      hsa::NetworkModel::from_tables(runtime.network().topology(), tables);
+  const auto ap = runtime.network()
+                      .topology()
+                      .host_ports(runtime.hosts().front())
+                      .front();
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const auto result = model.reach(ap, hsa::HeaderSpace::all());
+    steps = result.steps;
+    benchmark::DoNotOptimize(result.endpoints.size());
+  }
+  state.counters["switches"] =
+      static_cast<double>(runtime.network().topology().switch_count());
+  state.counters["rules"] = static_cast<double>(total_rules);
+  state.counters["tf-steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_FatTreeReach)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+/// Inverse reachability (sources_reaching) — the expensive direction.
+void BM_SourcesReaching(benchmark::State& state) {
+  workload::ScenarioConfig config;
+  config.generated = workload::fat_tree(4);
+  config.seed = 6;
+  workload::ScenarioRuntime runtime(std::move(config));
+  const hsa::NetworkModel model = hsa::NetworkModel::from_tables(
+      runtime.network().topology(), runtime.rvaas().snapshot().table_dump());
+  const auto target = runtime.network()
+                          .topology()
+                          .host_ports(runtime.hosts().front())
+                          .front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.sources_reaching(target, hsa::HeaderSpace::all()));
+  }
+}
+BENCHMARK(BM_SourcesReaching)->Unit(benchmark::kMillisecond);
+
+/// Transfer-function compilation cost vs table size.
+void BM_CompileTables(benchmark::State& state) {
+  workload::ScenarioConfig config;
+  config.generated = workload::fat_tree(4);
+  config.seed = 7;
+  workload::ScenarioRuntime runtime(std::move(config));
+  const auto tables = runtime.rvaas().snapshot().table_dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsa::compile_network(tables));
+  }
+}
+BENCHMARK(BM_CompileTables)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// E8 (§IV.C.a): recursive queries across a chain of providers — endpoint
+// discovery, signed subquery count, and logical-step cost vs chain length.
+
+#include <chrono>
+#include <cstdio>
+
+#include "rvaas/multiprovider.hpp"
+#include "util/stats.hpp"
+#include "workload/scenario.hpp"
+
+using namespace rvaas;
+
+namespace {
+
+/// Builds a chain of N single-line domains, peered tail-to-head, with a
+/// through-route installed in each.
+struct Chain {
+  std::vector<std::unique_ptr<workload::ScenarioRuntime>> domains;
+  core::Federation fed;
+
+  explicit Chain(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      workload::ScenarioConfig config;
+      config.generated = workload::linear(3);
+      config.seed = 200 + i;
+      domains.push_back(
+          std::make_unique<workload::ScenarioRuntime>(std::move(config)));
+      fed.add_domain(core::ProviderId(static_cast<std::uint32_t>(i + 1)),
+                     domains.back()->rvaas(),
+                     domains.back()->network().topology());
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      fed.add_peering(core::ProviderId(static_cast<std::uint32_t>(i + 1)),
+                      {sdn::SwitchId(3), sdn::PortNo(3)},
+                      core::ProviderId(static_cast<std::uint32_t>(i + 2)),
+                      {sdn::SwitchId(1), sdn::PortNo(3)});
+    }
+    // Through-routing inside every domain.
+    const sdn::ControllerId prov(1);
+    auto fwd = [](std::uint16_t prio, sdn::PortNo in, sdn::PortNo out) {
+      sdn::FlowMod m;
+      m.priority = prio;
+      m.match = sdn::Match().in_port(in);
+      m.actions = {sdn::output(out)};
+      return m;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& net = domains[i]->network();
+      const sdn::PortNo entry = i == 0 ? sdn::PortNo(2) : sdn::PortNo(3);
+      net.switch_sim(sdn::SwitchId(1)).apply_flow_mod(prov, fwd(40, entry, sdn::PortNo(1)));
+      net.switch_sim(sdn::SwitchId(2)).apply_flow_mod(prov, fwd(40, sdn::PortNo(0), sdn::PortNo(1)));
+      const sdn::PortNo exit =
+          i + 1 < n ? sdn::PortNo(3) : sdn::PortNo(2);  // last: to its host
+      net.switch_sim(sdn::SwitchId(3)).apply_flow_mod(prov, fwd(40, sdn::PortNo(0), exit));
+      domains[i]->settle();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::puts("E8: federated (multi-provider) recursive queries over a chain");
+  std::puts("of domains; each hop is a signed RVaaS-to-RVaaS subquery.\n");
+
+  util::Table table({"providers", "domains-visited", "subqueries",
+                     "endpoints", "remote-endpoint", "cpu-ms"});
+  for (const std::size_t n : {1u, 2u, 4u, 6u, 8u}) {
+    Chain chain(n);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result =
+        chain.fed.reachable(core::ProviderId(1),
+                            {sdn::SwitchId(1), sdn::PortNo(2)}, sdn::Match(),
+                            /*max_domains=*/16);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    bool remote = false;
+    for (const auto& e : result.endpoints) {
+      remote |= (e.provider == core::ProviderId(static_cast<std::uint32_t>(n)) &&
+                 !e.info.dark);
+    }
+    table.add_row({std::to_string(n), std::to_string(result.domains_visited),
+                   std::to_string(result.subqueries),
+                   std::to_string(result.endpoints.size()),
+                   remote ? "found" : "MISSING", util::Table::fmt(ms, 2)});
+  }
+  table.print();
+
+  std::puts("\nShape check: one signed subquery per domain crossed; the");
+  std::puts("endpoint in the last domain is found regardless of chain");
+  std::puts("length; cost grows linearly with the number of providers.");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Exfiltration hunt: a compromised control plane clones a client's traffic
+// to a hidden port. Traceroute (even with honest replies) cannot see the
+// copy; RVaaS's reachability query exposes the dark endpoint immediately.
+//
+// Run:  ./build/examples/exfiltration_hunt
+
+#include <cstdio>
+
+#include "baselines/traceroute.hpp"
+#include "workload/scenario.hpp"
+
+using namespace rvaas;
+
+int main() {
+  std::puts("== Exfiltration hunt: RVaaS vs traceroute ==");
+  workload::ScenarioConfig config;
+  config.generated = workload::linear(5);
+  config.seed = 13;
+  workload::ScenarioRuntime runtime(std::move(config));
+  const auto& hosts = runtime.hosts();
+  runtime.provider().enable_traceroute_responder(/*spoof=*/false);
+
+  std::puts("Attacker clones host-0 -> host-2 traffic to a hidden port...");
+  attacks::ExfiltrationAttack attack(hosts[0], hosts[2]);
+  const auto record = attack.launch(runtime.provider(), runtime.network());
+  runtime.settle();
+  std::printf("(ground truth: copy leaves at s%u:p%u)\n",
+              record->rogue_ports[0].sw.value,
+              record->rogue_ports[0].port.value);
+
+  // --- Baseline: traceroute with an HONEST responder ---
+  std::puts("\n-- Baseline: traceroute (honest replies!) --");
+  baselines::TracerouteVerifier traceroute(runtime.network(),
+                                           runtime.addressing());
+  const auto tr = traceroute.run(hosts[0], hosts[2], 10);
+  const auto src_ap = runtime.network().topology().host_ports(hosts[0]).front();
+  const auto dst_ap = runtime.network().topology().host_ports(hosts[2]).front();
+  const auto expected = *control::shortest_switch_path(
+      runtime.network().topology(), src_ap.sw, dst_ap.sw);
+  std::printf("discovered %zu hops:", tr.discovered.size());
+  for (const auto sw : tr.discovered) std::printf(" s%u", sw.value);
+  const bool tr_detected = baselines::TracerouteVerifier::deviates(tr, expected);
+  std::printf("\ntraceroute verdict: %s (the probe follows the normal path; "
+              "the clone is invisible)\n",
+              tr_detected ? "deviation" : "no deviation");
+
+  // --- RVaaS reachability query ---
+  std::puts("\n-- RVaaS: ReachableEndpoints query --");
+  core::Query query;
+  query.kind = core::QueryKind::ReachableEndpoints;
+  const auto outcome = runtime.query_and_wait(hosts[0], query);
+  core::Expectation expect;
+  expect.allowed_endpoints = {hosts[1], hosts[2], hosts[3], hosts[4]};
+  const core::Verdict verdict = core::evaluate_reply(*outcome.reply, expect);
+  std::printf("RVaaS verdict: %s\n", verdict.ok ? "clean" : "VIOLATION");
+  for (const auto& v : verdict.violations) std::printf("  - %s\n", v.c_str());
+
+  const bool success = !tr_detected && !verdict.ok;
+  std::printf("\nResult: %s\n",
+              success ? "RVaaS detected what traceroute missed"
+                      : "unexpected outcome");
+  return success ? 0 : 1;
+}

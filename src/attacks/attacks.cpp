@@ -1,0 +1,327 @@
+#include "attacks/attacks.hpp"
+
+#include "util/ensure.hpp"
+
+namespace rvaas::attacks {
+
+using control::ProviderController;
+using sdn::Field;
+using sdn::FlowMod;
+using sdn::HostId;
+using sdn::Match;
+using sdn::PortRef;
+using sdn::SwitchId;
+
+namespace {
+
+constexpr std::uint16_t kAttackPriority = 30;  // above provider routing
+
+/// Synthetic address for an attacker endpoint behind a rogue port.
+control::HostAddress rogue_address(PortRef port) {
+  return control::HostAddressing::derive(
+      HostId(0x00900000u | (port.sw.value << 8) | port.port.value));
+}
+
+}  // namespace
+
+std::optional<AttackRecord> ExfiltrationAttack::launch(
+    ProviderController& provider, sdn::Network& net) {
+  const auto victim_ports = net.topology().host_ports(victim_);
+  if (victim_ports.empty()) return std::nullopt;
+  const PortRef victim_ap = victim_ports.front();
+
+  const auto dark = net.topology().dark_ports(victim_ap.sw);
+  if (dark.empty()) return std::nullopt;
+  const PortRef hidden = dark.front();
+
+  // Clone the victim's installed ingress rule toward `peer_`, adding a copy
+  // to the hidden port.
+  for (const control::InstalledRoute& route : provider.routes()) {
+    if (route.src != victim_ || route.dst != peer_) continue;
+    const std::uint32_t dst_ip = provider.addressing().of(peer_).ip;
+
+    FlowMod mod;
+    mod.priority = kAttackPriority;
+    mod.cookie = 0xe4f1;
+    mod.match = Match().in_port(victim_ap.port).exact(Field::IpDst, dst_ip);
+    // Copy first (pre-rewrite header), then forward normally.
+    mod.actions = {sdn::output(hidden.port)};
+    const auto tenant = provider.tenant_of(victim_);
+    if (route.path.hops.empty()) {
+      mod.actions.push_back(sdn::DecTtlAction{});
+      mod.actions.push_back(sdn::output(route.path.egress.port));
+    } else {
+      if (tenant) mod.actions.push_back(sdn::PushVlanAction{tenant->vlan});
+      mod.actions.push_back(sdn::DecTtlAction{});
+      mod.actions.push_back(sdn::output(route.path.hops.front().out.port));
+    }
+    provider.handle().flow_mod(victim_ap.sw, mod);
+
+    AttackRecord record;
+    record.name = "exfiltration";
+    record.victim = victim_;
+    record.rogue_ports = {hidden};
+    return record;
+  }
+  return std::nullopt;
+}
+
+std::optional<AttackRecord> JoinAttack::launch(ProviderController& provider,
+                                               sdn::Network& net) {
+  const auto tenant = provider.tenant_of(victim_);
+  if (!tenant) return std::nullopt;
+  const auto victim_ports = net.topology().host_ports(victim_);
+  if (victim_ports.empty()) return std::nullopt;
+  const PortRef victim_ap = victim_ports.front();
+
+  const control::HostAddress attacker_addr = rogue_address(attacker_port_);
+  const std::uint32_t victim_ip = provider.addressing().of(victim_).ip;
+
+  // Forward direction: make the attacker port reachable from the victim.
+  const auto route =
+      control::compute_route(net.topology(), victim_ap, attacker_port_);
+  if (!route) return std::nullopt;
+
+  // Ingress at the victim's switch.
+  {
+    FlowMod mod;
+    mod.priority = kAttackPriority;
+    mod.cookie = 0x301e;
+    mod.match =
+        Match().in_port(victim_ap.port).exact(Field::IpDst, attacker_addr.ip);
+    if (route->hops.empty()) {
+      mod.actions = {sdn::DecTtlAction{}, sdn::output(attacker_port_.port)};
+    } else {
+      mod.actions = {sdn::PushVlanAction{tenant->vlan}, sdn::DecTtlAction{},
+                     sdn::output(route->hops.front().out.port)};
+    }
+    provider.handle().flow_mod(victim_ap.sw, mod);
+  }
+  // Core + egress along the route.
+  for (std::size_t i = 0; i < route->hops.size(); ++i) {
+    const SwitchId sw = route->hops[i].in.sw;
+    FlowMod mod;
+    mod.priority = kAttackPriority;
+    mod.cookie = 0x301e;
+    mod.match = Match()
+                    .exact(Field::Vlan, tenant->vlan)
+                    .exact(Field::IpDst, attacker_addr.ip);
+    if (i + 1 < route->hops.size()) {
+      mod.actions = {sdn::DecTtlAction{},
+                     sdn::output(route->hops[i + 1].out.port)};
+    } else {
+      mod.actions = {sdn::DecTtlAction{}, sdn::PopVlanAction{},
+                     sdn::output(attacker_port_.port)};
+    }
+    provider.handle().flow_mod(sw, mod);
+  }
+
+  // Reverse direction: let the attacker inject into the tenant. The
+  // provider's per-destination tree rules (vlan, ip_dst=victim) already
+  // cover the core; one ingress tagging rule at the attacker port suffices.
+  {
+    FlowMod mod;
+    mod.priority = kAttackPriority;
+    mod.cookie = 0x301e;
+    mod.match =
+        Match().in_port(attacker_port_.port).exact(Field::IpDst, victim_ip);
+    mod.actions = {sdn::PushVlanAction{tenant->vlan}, sdn::DecTtlAction{}};
+    // Kick the packet toward the victim using the reverse of `route`'s first
+    // hop if the attacker sits on a different switch.
+    if (attacker_port_.sw == victim_ap.sw) {
+      mod.actions.pop_back();  // no tag needed on-switch
+      mod.actions = {sdn::DecTtlAction{}, sdn::output(victim_ap.port)};
+    } else {
+      mod.actions.push_back(sdn::output(route->hops.back().in.port));
+    }
+    provider.handle().flow_mod(attacker_port_.sw, mod);
+  }
+
+  AttackRecord record;
+  record.name = "join-attack";
+  record.victim = victim_;
+  record.rogue_ports = {attacker_port_};
+  return record;
+}
+
+std::optional<AttackRecord> GeoDiversionAttack::launch(
+    ProviderController& provider, sdn::Network& net) {
+  const auto tenant = provider.tenant_of(src_);
+  if (!tenant) return std::nullopt;
+  const auto src_ports = net.topology().host_ports(src_);
+  const auto dst_ports = net.topology().host_ports(dst_);
+  if (src_ports.empty() || dst_ports.empty()) return std::nullopt;
+
+  const auto route = control::compute_route_via(
+      net.topology(), src_ports.front(), dst_ports.front(), waypoint_);
+  if (!route) return std::nullopt;
+
+  const std::uint32_t src_ip = provider.addressing().of(src_).ip;
+  const std::uint32_t dst_ip = provider.addressing().of(dst_).ip;
+
+  // Flow-scoped (ip_src, ip_dst) rules along the detour. Every hop rule is
+  // additionally in-port-scoped: a detour that doubles back visits switches
+  // twice, entering through different ports each time.
+  {
+    FlowMod mod;
+    mod.priority = kAttackPriority;
+    mod.cookie = 0x6e0d;
+    mod.match = Match()
+                    .in_port(src_ports.front().port)
+                    .exact(Field::IpSrc, src_ip)
+                    .exact(Field::IpDst, dst_ip);
+    if (route->hops.empty()) {
+      mod.actions = {sdn::DecTtlAction{}, sdn::output(route->egress.port)};
+    } else {
+      mod.actions = {sdn::PushVlanAction{tenant->vlan}, sdn::DecTtlAction{},
+                     sdn::output(route->hops.front().out.port)};
+    }
+    provider.handle().flow_mod(route->ingress.sw, mod);
+  }
+  for (std::size_t i = 0; i < route->hops.size(); ++i) {
+    const SwitchId sw = route->hops[i].in.sw;
+    FlowMod mod;
+    mod.priority = kAttackPriority;
+    mod.cookie = 0x6e0d;
+    mod.match = Match()
+                    .in_port(route->hops[i].in.port)
+                    .exact(Field::Vlan, tenant->vlan)
+                    .exact(Field::IpSrc, src_ip)
+                    .exact(Field::IpDst, dst_ip);
+    if (i + 1 < route->hops.size()) {
+      mod.actions = {sdn::DecTtlAction{},
+                     sdn::output(route->hops[i + 1].out.port)};
+    } else {
+      mod.actions = {sdn::DecTtlAction{}, sdn::PopVlanAction{},
+                     sdn::output(route->egress.port)};
+    }
+    provider.handle().flow_mod(sw, mod);
+  }
+
+  AttackRecord record;
+  record.name = "geo-diversion";
+  record.victim = src_;
+  record.detour = route->switches();
+  return record;
+}
+
+std::optional<AttackRecord> IsolationBreachAttack::launch(
+    ProviderController& provider, sdn::Network& net) {
+  const auto from_tenant = provider.tenant_of(from_);
+  const auto to_tenant = provider.tenant_of(to_);
+  if (!from_tenant || !to_tenant || from_tenant->id == to_tenant->id) {
+    return std::nullopt;
+  }
+  const auto from_ports = net.topology().host_ports(from_);
+  if (from_ports.empty()) return std::nullopt;
+  const PortRef from_ap = from_ports.front();
+  const std::uint32_t to_ip = provider.addressing().of(to_).ip;
+
+  // One ingress rule tags the foreign tenant's VLAN; the victim tenant's
+  // per-destination tree rules carry the packet the rest of the way.
+  FlowMod mod;
+  mod.priority = kAttackPriority;
+  mod.cookie = 0x150b;
+  mod.match = Match().in_port(from_ap.port).exact(Field::IpDst, to_ip);
+  mod.actions = {sdn::PushVlanAction{to_tenant->vlan}, sdn::DecTtlAction{}};
+  // If the target is on the same switch, forward directly.
+  const auto to_ports = net.topology().host_ports(to_);
+  if (!to_ports.empty() && to_ports.front().sw == from_ap.sw) {
+    mod.actions = {sdn::DecTtlAction{}, sdn::output(to_ports.front().port)};
+  } else {
+    const auto route =
+        control::compute_route(net.topology(), from_ap, to_ports.front());
+    if (!route || route->hops.empty()) return std::nullopt;
+    mod.actions.push_back(sdn::output(route->hops.front().out.port));
+  }
+  provider.handle().flow_mod(from_ap.sw, mod);
+
+  AttackRecord record;
+  record.name = "isolation-breach";
+  record.victim = to_;
+  record.rogue_ports = {from_ap};
+  return record;
+}
+
+void ReconfigFlappingAttack::schedule_cycle(ProviderController& provider,
+                                            sdn::Network& net, SwitchId sw,
+                                            FlowMod rule, sim::Time stop_after) {
+  sim::EventLoop& loop = net.loop();
+  if (loop.now() + dwell_ > stop_after) return;
+
+  const sim::Time installed_at = loop.now();
+  provider.handle().flow_mod(
+      sw, rule,
+      [this, &provider, &net, sw, rule, stop_after, installed_at](
+          SwitchId, const sdn::FlowModResult& result) {
+        if (!result.ok()) return;
+        ++cycles_;
+        windows_.emplace_back(installed_at, installed_at + dwell_);
+        const sdn::FlowEntryId id = *result.id;
+        net.loop().schedule_after(dwell_, [this, &provider, &net, sw, rule,
+                                           stop_after, id] {
+          FlowMod del;
+          del.command = sdn::FlowModCommand::Delete;
+          del.target = id;
+          provider.handle().flow_mod(sw, del);
+          const sim::Time next =
+              windows_.back().first + period_;
+          if (next > net.loop().now()) {
+            net.loop().schedule_at(next, [this, &provider, &net, sw, rule,
+                                          stop_after] {
+              schedule_cycle(provider, net, sw, rule, stop_after);
+            });
+          }
+        });
+      });
+}
+
+std::optional<AttackRecord> ReconfigFlappingAttack::launch(
+    ProviderController& provider, sdn::Network& net, sim::Time stop_after) {
+  util::ensure(dwell_ < period_, "dwell must be shorter than the period");
+  const auto victim_ports = net.topology().host_ports(victim_);
+  if (victim_ports.empty()) return std::nullopt;
+  const PortRef victim_ap = victim_ports.front();
+  const auto dark = net.topology().dark_ports(victim_ap.sw);
+
+  // The transient malicious rule: clone victim ingress traffic to a dark
+  // port (or blackhole it when no dark port exists).
+  FlowMod rule;
+  rule.priority = kAttackPriority;
+  rule.cookie = 0xf1a9;
+  rule.match = Match().in_port(victim_ap.port);
+  if (!dark.empty()) {
+    rule.actions = {sdn::output(dark.front().port)};
+  } else {
+    rule.actions = {sdn::drop()};
+  }
+
+  schedule_cycle(provider, net, victim_ap.sw, rule, stop_after);
+
+  AttackRecord record;
+  record.name = "reconfig-flapping";
+  record.victim = victim_;
+  if (!dark.empty()) record.rogue_ports = {dark.front()};
+  return record;
+}
+
+std::optional<AttackRecord> QuerySuppressionAttack::launch(
+    ProviderController& provider, sdn::Network& /*net*/) {
+  // Hijack the magic request port with a max-priority drop. The switch
+  // accepts it (it is a new provider-owned rule, not a modification of the
+  // RVaaS rule); newest-wins tie-breaking puts it in front.
+  FlowMod mod;
+  mod.priority = 0xffff;
+  mod.cookie = 0x5bbe;
+  mod.match = Match()
+                  .exact(Field::IpProto, sdn::kIpProtoUdp)
+                  .exact(Field::L4Dst, sdn::kPortRvaasRequest);
+  mod.actions = {sdn::drop()};
+  provider.handle().flow_mod(at_, mod);
+
+  AttackRecord record;
+  record.name = "query-suppression";
+  return record;
+}
+
+}  // namespace rvaas::attacks

@@ -1,0 +1,135 @@
+#pragma once
+// Attack injectors modeling the paper's threat (§III): an external attacker
+// who compromised the provider's management system / control plane. Every
+// attack acts THROUGH the provider controller's authenticated channels —
+// the attacker has exactly the provider's capabilities, nothing more (it
+// cannot touch switches directly, remove RVaaS-owned rules, or forge RVaaS
+// keys).
+//
+// Each injector returns a ground-truth record so experiments can score
+// detection without peeking at detector internals.
+
+#include <string>
+
+#include "controlplane/provider.hpp"
+
+namespace rvaas::attacks {
+
+/// Ground truth about an injected attack.
+struct AttackRecord {
+  std::string name;
+  sdn::HostId victim{};                     ///< whose traffic is affected
+  std::vector<sdn::PortRef> rogue_ports;    ///< illegitimate endpoints created
+  std::vector<sdn::SwitchId> detour;        ///< switches traffic now crosses
+  std::vector<std::pair<sdn::SwitchId, sdn::FlowEntryId>> injected_entries;
+};
+
+/// Clones a victim's flow to a hidden port: the classic exfiltration attack.
+/// Adds a higher-priority copy of the victim's ingress rule whose action list
+/// additionally outputs to a dark port on the same switch.
+class ExfiltrationAttack {
+ public:
+  ExfiltrationAttack(sdn::HostId victim, sdn::HostId peer)
+      : victim_(victim), peer_(peer) {}
+
+  /// Returns nullopt if no dark port exists on the victim's ingress switch.
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net);
+
+ private:
+  sdn::HostId victim_;
+  sdn::HostId peer_;
+};
+
+/// Join attack (§IV.B.1): secretly connect an attacker-controlled access
+/// point into a tenant's isolation domain by installing routes from the
+/// victim's header space toward the attacker's port.
+class JoinAttack {
+ public:
+  JoinAttack(sdn::HostId victim, sdn::PortRef attacker_port)
+      : victim_(victim), attacker_port_(attacker_port) {}
+
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net);
+
+ private:
+  sdn::HostId victim_;
+  sdn::PortRef attacker_port_;
+};
+
+/// Geo-diversion (§IV.B.2): reroute a victim flow through a waypoint switch
+/// in a different jurisdiction, leaving endpoints untouched.
+class GeoDiversionAttack {
+ public:
+  GeoDiversionAttack(sdn::HostId src, sdn::HostId dst, sdn::SwitchId waypoint)
+      : src_(src), dst_(dst), waypoint_(waypoint) {}
+
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net);
+
+ private:
+  sdn::HostId src_;
+  sdn::HostId dst_;
+  sdn::SwitchId waypoint_;
+};
+
+/// Isolation breach: route traffic from a host in tenant A to a host in
+/// tenant B (crossing isolation domains).
+class IsolationBreachAttack {
+ public:
+  IsolationBreachAttack(sdn::HostId from, sdn::HostId to)
+      : from_(from), to_(to) {}
+
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net);
+
+ private:
+  sdn::HostId from_;
+  sdn::HostId to_;
+};
+
+/// Short-term reconfiguration ("flapping") attack (§IV.A): install a
+/// malicious rule, keep it for `dwell`, remove it, repeat every `period`.
+/// Tests the polling-discipline claim (experiment E3).
+class ReconfigFlappingAttack {
+ public:
+  ReconfigFlappingAttack(sdn::HostId victim, sim::Time period, sim::Time dwell)
+      : victim_(victim), period_(period), dwell_(dwell) {}
+
+  /// Starts the install/remove cycle on the event loop; runs until
+  /// `stop_after` (simulated time). Returns the static description.
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net, sim::Time stop_after);
+
+  std::uint64_t cycles_run() const { return cycles_; }
+  /// Time windows [install, remove) during which the rule was present.
+  const std::vector<std::pair<sim::Time, sim::Time>>& windows() const {
+    return windows_;
+  }
+
+ private:
+  void schedule_cycle(control::ProviderController& provider, sdn::Network& net,
+                      sdn::SwitchId sw, sdn::FlowMod rule, sim::Time stop_after);
+
+  sdn::HostId victim_;
+  sim::Time period_;
+  sim::Time dwell_;
+  std::uint64_t cycles_ = 0;
+  std::vector<std::pair<sim::Time, sim::Time>> windows_;
+};
+
+/// Query-suppression: hijack the RVaaS in-band request traffic (magic UDP
+/// port) with a higher-priority provider drop rule. RVaaS cannot prevent
+/// this; the client detects it by reply timeout.
+class QuerySuppressionAttack {
+ public:
+  explicit QuerySuppressionAttack(sdn::SwitchId at) : at_(at) {}
+
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net);
+
+ private:
+  sdn::SwitchId at_;
+};
+
+}  // namespace rvaas::attacks

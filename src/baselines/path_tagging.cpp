@@ -1,0 +1,57 @@
+#include "baselines/path_tagging.hpp"
+
+#include "util/ensure.hpp"
+
+namespace rvaas::baselines {
+
+using sdn::HostId;
+using sdn::SwitchId;
+
+std::uint64_t path_tag(const std::vector<SwitchId>& path) {
+  // FNV-1a over the switch id sequence: order-sensitive, cheap to model as
+  // a per-hop header update.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const SwitchId sw : path) {
+    h ^= sw.value;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+TaggingResult PathTagging::send_tagged(HostId src, HostId dst,
+                                       const std::vector<SwitchId>& expected,
+                                       bool adversarial_rewrite) {
+  const auto src_ports = net_->topology().host_ports(src);
+  util::ensure(!src_ports.empty(), "source host has no access point");
+
+  sdn::Packet packet;
+  packet.hdr.eth_type = sdn::kEthTypeIpv4;
+  packet.hdr.ip_proto = sdn::kIpProtoUdp;
+  packet.hdr.ip_src = addressing_->of(src).ip;
+  packet.hdr.ip_dst = addressing_->of(dst).ip;
+
+  const sdn::Trajectory trajectory = net_->trace(src_ports.front(), packet);
+
+  TaggingResult result;
+  const auto dst_ports = net_->topology().host_ports(dst);
+  for (const auto& delivery : trajectory.deliveries) {
+    if (delivery.host != dst) continue;
+    result.delivered = true;
+    std::vector<SwitchId> walked;
+    for (const auto& hop : delivery.path) walked.push_back(hop.in.sw);
+    result.actual_tag = path_tag(walked);
+    result.observed_tag =
+        adversarial_rewrite ? path_tag(expected) : result.actual_tag;
+    break;
+  }
+  (void)dst_ports;
+  return result;
+}
+
+bool PathTagging::deviates(const TaggingResult& result,
+                           const std::vector<SwitchId>& expected) {
+  if (!result.delivered) return true;  // flow blackholed
+  return result.observed_tag != path_tag(expected);
+}
+
+}  // namespace rvaas::baselines

@@ -1,0 +1,44 @@
+#pragma once
+// Path-tagging baseline (packet-labeling / path-query style, cf. Narayana et
+// al.): every switch folds its identity into a tag carried by the packet;
+// the receiver compares the accumulated tag against the expected path's tag.
+//
+// Adversarial counter-strategy (why the paper rules such schemes out, §I):
+// the compromised control plane installs an egress rule that REWRITES the
+// tag to the expected value, erasing any trace of a diversion. We model the
+// tag accumulation from the true data-plane walk and expose both modes.
+
+#include "controlplane/provider.hpp"
+#include "sdn/network.hpp"
+
+namespace rvaas::baselines {
+
+/// Order-sensitive fold of a switch path into a 64-bit tag.
+std::uint64_t path_tag(const std::vector<sdn::SwitchId>& path);
+
+struct TaggingResult {
+  std::uint64_t observed_tag = 0;  ///< what the receiver saw
+  std::uint64_t actual_tag = 0;    ///< tag of the true path
+  bool delivered = false;
+};
+
+class PathTagging {
+ public:
+  PathTagging(sdn::Network& net, const control::HostAddressing& addressing)
+      : net_(&net), addressing_(&addressing) {}
+
+  /// Sends a tagged flow src->dst. With `adversarial_rewrite`, the egress
+  /// normalizes the tag to `path_tag(expected)`.
+  TaggingResult send_tagged(sdn::HostId src, sdn::HostId dst,
+                            const std::vector<sdn::SwitchId>& expected,
+                            bool adversarial_rewrite);
+
+  static bool deviates(const TaggingResult& result,
+                       const std::vector<sdn::SwitchId>& expected);
+
+ private:
+  sdn::Network* net_;
+  const control::HostAddressing* addressing_;
+};
+
+}  // namespace rvaas::baselines

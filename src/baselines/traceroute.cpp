@@ -1,0 +1,77 @@
+#include "baselines/traceroute.hpp"
+
+#include "util/ensure.hpp"
+
+namespace rvaas::baselines {
+
+using sdn::HostId;
+using sdn::SwitchId;
+
+TracerouteVerifier::TracerouteVerifier(
+    sdn::Network& net, const control::HostAddressing& addressing)
+    : net_(&net), addressing_(&addressing) {}
+
+TracerouteResult TracerouteVerifier::run(HostId src, HostId dst,
+                                         std::uint32_t max_ttl,
+                                         sim::Time wait) {
+  const auto src_ports = net_->topology().host_ports(src);
+  util::ensure(!src_ports.empty(), "source host has no access point");
+  const sdn::PortRef src_ap = src_ports.front();
+
+  replies_.clear();
+  reply_count_ = 0;
+  net_->register_host_receiver(src, [this](sdn::PortRef, const sdn::Packet& p) {
+    if (p.hdr.l4_dst != sdn::kPortTracerouteReply) return;
+    try {
+      util::ByteReader r(p.payload);
+      if (r.get_string() != "TRRT") return;
+      const SwitchId sw(r.get_u32());
+      const std::uint32_t hop = r.get_u32();
+      if (hop >= 1 && !replies_.contains(hop)) {
+        replies_[hop] = sw;
+        ++reply_count_;
+      }
+    } catch (const util::DecodeError&) {
+    }
+  });
+
+  TracerouteResult result;
+  const control::HostAddress& src_addr = addressing_->of(src);
+  const control::HostAddress& dst_addr = addressing_->of(dst);
+  for (std::uint32_t ttl = 1; ttl <= max_ttl; ++ttl) {
+    sdn::Packet probe;
+    probe.hdr.eth_type = sdn::kEthTypeIpv4;
+    probe.hdr.ip_proto = sdn::kIpProtoUdp;
+    probe.hdr.eth_src = src_addr.eth;
+    probe.hdr.ip_src = src_addr.ip;
+    probe.hdr.ip_dst = dst_addr.ip;
+    probe.hdr.l4_dst = sdn::kPortTraceroute;
+    probe.hdr.l4_src = ttl;  // hop correlation
+    probe.ttl = static_cast<std::uint8_t>(ttl);
+    net_->host_send(src, src_ap, probe);
+    ++result.probes_sent;
+  }
+
+  net_->loop().run_until(net_->loop().now() + wait);
+
+  std::uint32_t last = 0;
+  for (const auto& [hop, _] : replies_) last = std::max(last, hop);
+  result.discovered.assign(last, SwitchId(0));
+  for (const auto& [hop, sw] : replies_) result.discovered[hop - 1] = sw;
+  result.replies = reply_count_;
+  return result;
+}
+
+bool TracerouteVerifier::deviates(const TracerouteResult& result,
+                                  const std::vector<SwitchId>& expected) {
+  for (std::size_t i = 0; i < result.discovered.size(); ++i) {
+    if (i >= expected.size()) return true;  // longer than expected
+    if (result.discovered[i] != SwitchId(0) &&
+        result.discovered[i] != expected[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rvaas::baselines

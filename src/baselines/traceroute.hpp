@@ -1,0 +1,46 @@
+#pragma once
+// Traceroute baseline: TTL-expiry path discovery, fully in-band and
+// event-driven. The paper argues (§I) such tools are "insufficient in
+// non-cooperative and adversarial environments: an unreliable network
+// operator may simply not reply with the correct information" — the
+// provider's spoofing mode (ProviderController::enable_traceroute_responder)
+// realizes exactly that counter-strategy, and experiment E2 scores it.
+
+#include "controlplane/provider.hpp"
+#include "sdn/network.hpp"
+
+namespace rvaas::baselines {
+
+struct TracerouteResult {
+  /// Discovered switch per hop (index 0 = first hop); 0 = no reply.
+  std::vector<sdn::SwitchId> discovered;
+  std::uint32_t probes_sent = 0;
+  std::uint32_t replies = 0;
+};
+
+class TracerouteVerifier {
+ public:
+  TracerouteVerifier(sdn::Network& net,
+                     const control::HostAddressing& addressing);
+
+  /// Probes the route src -> dst with TTLs 1..max_ttl, then waits for the
+  /// replies (drives the event loop).
+  TracerouteResult run(sdn::HostId src, sdn::HostId dst,
+                       std::uint32_t max_ttl = 16,
+                       sim::Time wait = 20 * sim::kMillisecond);
+
+  /// Verification verdict: does the discovered path differ from the
+  /// client-expected (shortest) path? Missing replies beyond the expected
+  /// length are not counted as deviations (probes that reached the
+  /// destination get no expiry reply).
+  static bool deviates(const TracerouteResult& result,
+                       const std::vector<sdn::SwitchId>& expected);
+
+ private:
+  sdn::Network* net_;
+  const control::HostAddressing* addressing_;
+  std::map<std::uint32_t, sdn::SwitchId> replies_;  // hop -> switch
+  std::uint32_t reply_count_ = 0;
+};
+
+}  // namespace rvaas::baselines

@@ -1,0 +1,61 @@
+#include "baselines/trajectory_sampling.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::baselines {
+
+using sdn::HostId;
+using sdn::SwitchId;
+
+SamplingResult TrajectorySampling::sample_flow(
+    HostId src, HostId dst, const std::vector<SwitchId>& expected,
+    bool adversarial_collector) {
+  const auto src_ports = net_->topology().host_ports(src);
+  util::ensure(!src_ports.empty(), "source host has no access point");
+
+  sdn::Packet packet;
+  packet.hdr.eth_type = sdn::kEthTypeIpv4;
+  packet.hdr.ip_proto = sdn::kIpProtoUdp;
+  packet.hdr.eth_src = addressing_->of(src).eth;
+  packet.hdr.ip_src = addressing_->of(src).ip;
+  packet.hdr.ip_dst = addressing_->of(dst).ip;
+  packet.hdr.l4_dst = 4739;  // IPFIX-ish
+
+  // Honest sampling reports every switch the packet actually traverses.
+  const sdn::Trajectory trajectory =
+      net_->trace(src_ports.front(), packet);
+
+  SamplingResult result;
+  result.actual = trajectory.traversed_switches();
+  if (!adversarial_collector) {
+    result.reported = result.actual;
+  } else {
+    // Censoring collector: only switches on the expected path survive.
+    for (const SwitchId sw : result.actual) {
+      if (std::find(expected.begin(), expected.end(), sw) != expected.end()) {
+        result.reported.push_back(sw);
+      }
+    }
+  }
+  return result;
+}
+
+bool TrajectorySampling::deviates(const SamplingResult& result,
+                                  const std::vector<SwitchId>& expected) {
+  for (const SwitchId sw : result.reported) {
+    if (std::find(expected.begin(), expected.end(), sw) == expected.end()) {
+      return true;  // observed off-path
+    }
+  }
+  for (const SwitchId sw : expected) {
+    if (std::find(result.reported.begin(), result.reported.end(), sw) ==
+        result.reported.end()) {
+      return true;  // expected hop silent
+    }
+  }
+  return false;
+}
+
+}  // namespace rvaas::baselines

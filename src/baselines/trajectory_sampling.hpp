@@ -1,0 +1,48 @@
+#pragma once
+// Trajectory-sampling baseline (Duffield & Grossglauser style): switches
+// sample packets of a flow and report their labels to a collector, from
+// which the flow's trajectory is reconstructed.
+//
+// Crucial trust property (and why the paper dismisses it in adversarial
+// settings): the COLLECTOR belongs to the provider. A compromised provider
+// censors reports from switches that are not on the path the client expects,
+// so the reconstructed trajectory always looks clean. We model the sampling
+// plane faithfully at switch granularity (reports derive from the true data
+// plane walk) and expose both an honest and an adversarial collector.
+
+#include "controlplane/provider.hpp"
+#include "sdn/network.hpp"
+
+namespace rvaas::baselines {
+
+struct SamplingResult {
+  /// Switches that (claim to have) observed the flow.
+  std::vector<sdn::SwitchId> reported;
+  /// Ground truth (what honest sampling would have reported).
+  std::vector<sdn::SwitchId> actual;
+};
+
+class TrajectorySampling {
+ public:
+  TrajectorySampling(sdn::Network& net,
+                     const control::HostAddressing& addressing)
+      : net_(&net), addressing_(&addressing) {}
+
+  /// Samples the flow src->dst. With `adversarial_collector`, reports are
+  /// censored down to the switches on `expected` (the provider's cover
+  /// story); otherwise the true traversal is reported.
+  SamplingResult sample_flow(sdn::HostId src, sdn::HostId dst,
+                             const std::vector<sdn::SwitchId>& expected,
+                             bool adversarial_collector);
+
+  /// Deviation verdict for the verifier: a reported switch off the expected
+  /// path, or an expected switch missing from the reports.
+  static bool deviates(const SamplingResult& result,
+                       const std::vector<sdn::SwitchId>& expected);
+
+ private:
+  sdn::Network* net_;
+  const control::HostAddressing* addressing_;
+};
+
+}  // namespace rvaas::baselines

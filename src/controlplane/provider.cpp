@@ -1,0 +1,262 @@
+#include "controlplane/provider.hpp"
+
+#include <deque>
+#include <set>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::control {
+
+using sdn::Field;
+using sdn::FlowMod;
+using sdn::HostId;
+using sdn::Match;
+using sdn::PortRef;
+using sdn::SwitchId;
+
+namespace {
+
+constexpr std::uint16_t kIngressPriority = 10;
+constexpr std::uint16_t kCorePriority = 8;
+
+/// Per-destination shortest-path tree: for each switch, the hop taking
+/// traffic one step closer to the root.
+std::map<SwitchId, PathHop> bfs_tree(const sdn::Topology& topo, SwitchId root) {
+  std::map<SwitchId, PathHop> next_hop;
+  std::deque<SwitchId> queue{root};
+  std::set<SwitchId> seen{root};
+  while (!queue.empty()) {
+    const SwitchId cur = queue.front();
+    queue.pop_front();
+    for (const PortRef port : topo.internal_ports(cur)) {
+      const auto peer = topo.link_peer(port);
+      if (!peer || seen.contains(peer->sw)) continue;
+      seen.insert(peer->sw);
+      // From peer->sw, going out of peer->port reaches cur (toward root).
+      next_hop[peer->sw] = PathHop{*peer, port};
+      queue.push_back(peer->sw);
+    }
+  }
+  return next_hop;
+}
+
+}  // namespace
+
+ProviderController::ProviderController(sdn::ControllerId id,
+                                       ProviderConfig config, util::Rng rng)
+    : id_(id), config_(std::move(config)), rng_(std::move(rng)) {}
+
+void ProviderController::connect(sdn::Network& net,
+                                 const crypto::SigningKey& key) {
+  net_ = &net;
+  handle_ = &net.attach_controller(*this, key);
+}
+
+sdn::Network::ControllerHandle& ProviderController::handle() {
+  util::ensure(handle_ != nullptr, "provider not connected");
+  return *handle_;
+}
+
+std::optional<TenantSpec> ProviderController::tenant_of(HostId host) const {
+  for (const TenantSpec& t : config_.tenants) {
+    for (const HostId member : t.members) {
+      if (member == host) return t;
+    }
+  }
+  return std::nullopt;
+}
+
+void ProviderController::install_routing() {
+  util::ensure(net_ != nullptr && handle_ != nullptr, "provider not connected");
+  const sdn::Topology& topo = net_->topology();
+
+  // Access-port guard rules: traffic entering at a host port that matches no
+  // ingress rule is dropped (priority between ingress and core). Without
+  // this, hosts could inject pre-tagged packets straight into other tenants'
+  // VLANs (and RVaaS would rightly report the resulting reachability).
+  for (const SwitchId sw : topo.switches()) {
+    for (const PortRef ap : topo.access_ports(sw)) {
+      FlowMod guard;
+      guard.priority = 9;
+      guard.cookie = 0x9a4d;
+      guard.match = Match().in_port(ap.port);
+      guard.actions = {sdn::drop()};
+      handle_->flow_mod(sw, guard);
+    }
+  }
+
+  for (const TenantSpec& tenant : config_.tenants) {
+    // Per-tenant meters.
+    const auto meter_it = config_.tenant_meters.find(tenant.id);
+    const std::optional<sdn::MeterId> meter =
+        meter_it != config_.tenant_meters.end()
+            ? std::optional<sdn::MeterId>(sdn::MeterId(tenant.vlan))
+            : std::nullopt;
+    if (meter) {
+      for (const SwitchId sw : topo.switches()) {
+        sdn::MeterMod mm;
+        mm.id = *meter;
+        mm.config = meter_it->second;
+        handle_->meter_mod(sw, mm);
+      }
+    }
+
+    for (const HostId dst : tenant.members) {
+      const auto dst_ports = topo.host_ports(dst);
+      if (dst_ports.empty()) continue;
+      const PortRef dst_ap = dst_ports.front();
+      const std::uint32_t dst_ip = config_.addressing.of(dst).ip;
+      const auto tree = bfs_tree(topo, dst_ap.sw);
+
+      // Egress rule at the destination switch: strip the tenant tag and
+      // hand the packet to the host port.
+      {
+        FlowMod mod;
+        mod.priority = kCorePriority;
+        mod.cookie = dst.value;
+        mod.match = Match()
+                        .exact(Field::Vlan, tenant.vlan)
+                        .exact(Field::IpDst, dst_ip);
+        mod.actions = {sdn::DecTtlAction{}, sdn::PopVlanAction{},
+                       sdn::output(dst_ap.port)};
+        mod.meter = meter;
+        handle_->flow_mod(dst_ap.sw, mod);
+      }
+
+      // Core rules along the whole tree toward dst.
+      for (const auto& [sw, hop] : tree) {
+        FlowMod mod;
+        mod.priority = kCorePriority;
+        mod.cookie = dst.value;
+        mod.match = Match()
+                        .exact(Field::Vlan, tenant.vlan)
+                        .exact(Field::IpDst, dst_ip);
+        mod.actions = {sdn::DecTtlAction{}, sdn::output(hop.out.port)};
+        mod.meter = meter;
+        handle_->flow_mod(sw, mod);
+      }
+
+      // Ingress tagging rules at every other member's access point, plus a
+      // route record for bookkeeping.
+      for (const HostId src : tenant.members) {
+        if (src == dst) continue;
+        const auto src_ports = topo.host_ports(src);
+        if (src_ports.empty()) continue;
+        const PortRef src_ap = src_ports.front();
+
+        FlowMod mod;
+        mod.priority = kIngressPriority;
+        mod.cookie = dst.value;
+        mod.match =
+            Match().in_port(src_ap.port).exact(Field::IpDst, dst_ip);
+        mod.meter = meter;
+
+        InstalledRoute route;
+        route.src = src;
+        route.dst = dst;
+        route.path.ingress = src_ap;
+        route.path.egress = dst_ap;
+
+        if (src_ap.sw == dst_ap.sw) {
+          mod.actions = {sdn::DecTtlAction{}, sdn::output(dst_ap.port)};
+        } else {
+          const auto hop_it = tree.find(src_ap.sw);
+          util::ensure(hop_it != tree.end(), "tenant spans disconnected switches");
+          mod.actions = {sdn::PushVlanAction{tenant.vlan}, sdn::DecTtlAction{},
+                         sdn::output(hop_it->second.out.port)};
+          // Record the tree walk as the route path.
+          SwitchId walk = src_ap.sw;
+          while (walk != dst_ap.sw) {
+            const PathHop& hop = tree.at(walk);
+            route.path.hops.push_back(hop);
+            walk = hop.in.sw;
+          }
+        }
+        const SwitchId ingress_sw = src_ap.sw;
+        auto* routes = &routes_;
+        InstalledRoute record = route;
+        handle_->flow_mod(ingress_sw, mod,
+                          [routes, record](SwitchId sw,
+                                           const sdn::FlowModResult& result) mutable {
+                            if (result.ok()) {
+                              record.entries.emplace_back(sw, *result.id);
+                              routes->push_back(std::move(record));
+                            }
+                          });
+      }
+    }
+  }
+}
+
+std::optional<std::vector<SwitchId>> ProviderController::route_switches(
+    HostId src, HostId dst) const {
+  for (const InstalledRoute& r : routes_) {
+    if (r.src == src && r.dst == dst) return r.path.switches();
+  }
+  return std::nullopt;
+}
+
+void ProviderController::enable_traceroute_responder(bool spoof_expected_path) {
+  traceroute_responder_ = true;
+  traceroute_spoof_ = spoof_expected_path;
+}
+
+std::vector<SwitchId> expected_traceroute_path(const sdn::Topology& topo,
+                                               PortRef from_ap, PortRef to_ap) {
+  const auto path = shortest_switch_path(topo, from_ap.sw, to_ap.sw);
+  return path.value_or(std::vector<SwitchId>{});
+}
+
+void ProviderController::on_packet_in(const sdn::PacketIn& msg) {
+  if (!traceroute_responder_ ||
+      msg.reason != sdn::PacketInReason::TtlExpired) {
+    return;
+  }
+  // Identify the probing host by source IP; reply at its access point.
+  const auto src_host = config_.addressing.host_by_ip(
+      static_cast<std::uint32_t>(msg.packet.hdr.ip_src));
+  if (!src_host) return;
+  const auto src_ports = net_->topology().host_ports(*src_host);
+  if (src_ports.empty()) return;
+
+  // The probe encodes its original TTL in l4_src (hop correlation).
+  const auto hop = static_cast<std::uint32_t>(msg.packet.hdr.l4_src);
+
+  SwitchId reported = msg.sw;
+  if (traceroute_spoof_) {
+    // Report the switch an *honest* shortest path would traverse at this
+    // hop, hiding any diversion. Probes whose TTL exceeds the cover story's
+    // path length get NO reply — on the pretended path they would have
+    // reached the destination without expiring.
+    const auto dst_host = config_.addressing.host_by_ip(
+        static_cast<std::uint32_t>(msg.packet.hdr.ip_dst));
+    if (dst_host) {
+      const auto dst_ports = net_->topology().host_ports(*dst_host);
+      if (!dst_ports.empty()) {
+        const auto expected = expected_traceroute_path(
+            net_->topology(), src_ports.front(), dst_ports.front());
+        if (hop >= 1 && hop <= expected.size()) {
+          reported = expected[hop - 1];
+        } else {
+          return;
+        }
+      }
+    }
+  }
+
+  sdn::PacketOut reply;
+  reply.sw = src_ports.front().sw;
+  reply.actions = {sdn::output(src_ports.front().port)};
+  reply.packet.hdr.eth_type = sdn::kEthTypeIpv4;
+  reply.packet.hdr.ip_proto = sdn::kIpProtoUdp;
+  reply.packet.hdr.ip_dst = msg.packet.hdr.ip_src;
+  reply.packet.hdr.l4_dst = 33435;  // traceroute reply port
+  util::ByteWriter w;
+  w.put_string("TRRT");
+  w.put_u32(reported.value);
+  w.put_u32(hop);
+  reply.packet.payload = w.take();
+  handle_->packet_out(reply);
+}
+
+}  // namespace rvaas::control

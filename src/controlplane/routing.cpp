@@ -1,0 +1,125 @@
+#include "controlplane/routing.hpp"
+
+#include <deque>
+#include <set>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::control {
+
+using sdn::PortRef;
+using sdn::SwitchId;
+
+void HostAddressing::assign(sdn::HostId host) { table_[host] = derive(host); }
+
+HostAddress HostAddressing::derive(sdn::HostId host) {
+  HostAddress a;
+  a.eth = 0x020000000000ULL | host.value;
+  // 10.x.y.1 with a distinct /24 per host (so prefix-granular geo-IP
+  // databases can distinguish hosts); unique for host ids < 2^16.
+  a.ip = 0x0a000000u | ((host.value & 0xffffu) << 8) | 1u;
+  return a;
+}
+
+const HostAddress& HostAddressing::of(sdn::HostId host) const {
+  const auto it = table_.find(host);
+  util::ensure(it != table_.end(), "host has no address assigned");
+  return it->second;
+}
+
+std::optional<sdn::HostId> HostAddressing::host_by_ip(std::uint32_t ip) const {
+  for (const auto& [host, addr] : table_) {
+    if (addr.ip == ip) return host;
+  }
+  return std::nullopt;
+}
+
+std::vector<SwitchId> RoutePath::switches() const {
+  std::vector<SwitchId> out;
+  out.push_back(ingress.sw);
+  for (const PathHop& hop : hops) out.push_back(hop.in.sw);
+  return out;
+}
+
+std::optional<std::vector<SwitchId>> shortest_switch_path(
+    const sdn::Topology& topo, SwitchId from, SwitchId to) {
+  util::ensure(topo.has_switch(from) && topo.has_switch(to),
+               "unknown switch in path query");
+  if (from == to) return std::vector<SwitchId>{from};
+
+  std::map<SwitchId, SwitchId> parent;
+  std::deque<SwitchId> queue{from};
+  std::set<SwitchId> seen{from};
+  while (!queue.empty()) {
+    const SwitchId cur = queue.front();
+    queue.pop_front();
+    for (const PortRef port : topo.internal_ports(cur)) {
+      const auto peer = topo.link_peer(port);
+      if (!peer || seen.contains(peer->sw)) continue;
+      seen.insert(peer->sw);
+      parent[peer->sw] = cur;
+      if (peer->sw == to) {
+        std::vector<SwitchId> path{to};
+        SwitchId walk = to;
+        while (walk != from) {
+          walk = parent.at(walk);
+          path.push_back(walk);
+        }
+        return std::vector<SwitchId>(path.rbegin(), path.rend());
+      }
+      queue.push_back(peer->sw);
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Finds a link (out-port on `from`, in-port on `to`) between two switches.
+std::optional<PathHop> link_between(const sdn::Topology& topo, SwitchId from,
+                                    SwitchId to) {
+  for (const PortRef port : topo.internal_ports(from)) {
+    const auto peer = topo.link_peer(port);
+    if (peer && peer->sw == to) return PathHop{port, *peer};
+  }
+  return std::nullopt;
+}
+
+std::optional<RoutePath> route_along(const sdn::Topology& topo,
+                                     PortRef from_ap, PortRef to_ap,
+                                     const std::vector<SwitchId>& switches) {
+  RoutePath route;
+  route.ingress = from_ap;
+  route.egress = to_ap;
+  for (std::size_t i = 0; i + 1 < switches.size(); ++i) {
+    const auto hop = link_between(topo, switches[i], switches[i + 1]);
+    if (!hop) return std::nullopt;
+    route.hops.push_back(*hop);
+  }
+  return route;
+}
+
+}  // namespace
+
+std::optional<RoutePath> compute_route(const sdn::Topology& topo,
+                                       PortRef from_ap, PortRef to_ap) {
+  const auto switches = shortest_switch_path(topo, from_ap.sw, to_ap.sw);
+  if (!switches) return std::nullopt;
+  return route_along(topo, from_ap, to_ap, *switches);
+}
+
+std::optional<RoutePath> compute_route_via(const sdn::Topology& topo,
+                                           PortRef from_ap, PortRef to_ap,
+                                           SwitchId waypoint) {
+  const auto first = shortest_switch_path(topo, from_ap.sw, waypoint);
+  const auto second = shortest_switch_path(topo, waypoint, to_ap.sw);
+  if (!first || !second) return std::nullopt;
+  std::vector<SwitchId> combined = *first;
+  combined.insert(combined.end(), second->begin() + 1, second->end());
+  // Via-routes may revisit switches (e.g. a dead-end detour that doubles
+  // back); each visit enters through a different port, so in-port-scoped
+  // rules can still express the route.
+  return route_along(topo, from_ap, to_ap, combined);
+}
+
+}  // namespace rvaas::control

@@ -1,0 +1,68 @@
+#pragma once
+// Routing primitives shared by the provider controller, attack injectors and
+// baselines: host addressing, switch-graph shortest paths, and port-level
+// route computation (optionally via a waypoint).
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sdn/topology.hpp"
+
+namespace rvaas::control {
+
+/// L2/L3 addresses assigned to a host NIC.
+struct HostAddress {
+  std::uint64_t eth = 0;  ///< 48-bit MAC
+  std::uint32_t ip = 0;   ///< IPv4
+};
+
+/// Deterministic address plan: host h gets MAC 02:00:00:00:hh:hh and IP
+/// 10.x.y.z derived from its id.
+class HostAddressing {
+ public:
+  void assign(sdn::HostId host);
+  const HostAddress& of(sdn::HostId host) const;
+  std::optional<sdn::HostId> host_by_ip(std::uint32_t ip) const;
+  const std::map<sdn::HostId, HostAddress>& all() const { return table_; }
+
+  static HostAddress derive(sdn::HostId host);
+
+ private:
+  std::map<sdn::HostId, HostAddress> table_;
+};
+
+/// One inter-switch hop: leave through `out`, arrive at `in`.
+struct PathHop {
+  sdn::PortRef out;
+  sdn::PortRef in;
+};
+
+/// A port-level route between two access points.
+struct RoutePath {
+  sdn::PortRef ingress;  ///< source access point
+  sdn::PortRef egress;   ///< destination access point
+  std::vector<PathHop> hops;
+
+  /// Switches traversed, in order (ingress switch first).
+  std::vector<sdn::SwitchId> switches() const;
+  std::size_t length() const { return hops.size(); }
+};
+
+/// BFS shortest path over the switch graph. nullopt if disconnected.
+std::optional<std::vector<sdn::SwitchId>> shortest_switch_path(
+    const sdn::Topology& topo, sdn::SwitchId from, sdn::SwitchId to);
+
+/// Port-level shortest route between access points.
+std::optional<RoutePath> compute_route(const sdn::Topology& topo,
+                                       sdn::PortRef from_ap,
+                                       sdn::PortRef to_ap);
+
+/// Route forced through a waypoint switch (used by the geo-diversion
+/// attack): shortest(from, via) + shortest(via, to).
+std::optional<RoutePath> compute_route_via(const sdn::Topology& topo,
+                                           sdn::PortRef from_ap,
+                                           sdn::PortRef to_ap,
+                                           sdn::SwitchId waypoint);
+
+}  // namespace rvaas::control

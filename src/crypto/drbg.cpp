@@ -1,0 +1,31 @@
+#include "crypto/drbg.hpp"
+
+#include "util/bytes.hpp"
+
+namespace rvaas::crypto {
+
+util::Bytes keystream(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> info, std::size_t len) {
+  util::Bytes out;
+  out.reserve(len);
+  std::uint32_t counter = 0;
+  while (out.size() < len) {
+    util::ByteWriter w;
+    w.put_raw(info);
+    w.put_u32(counter++);
+    const Digest32 block = hmac_sha256(key, w.data());
+    const std::size_t take = std::min<std::size_t>(block.size(), len - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<long>(take));
+  }
+  return out;
+}
+
+util::Bytes xor_stream(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> info,
+                       std::span<const std::uint8_t> data) {
+  util::Bytes ks = keystream(key, info, data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) ks[i] ^= data[i];
+  return ks;
+}
+
+}  // namespace rvaas::crypto

@@ -1,0 +1,21 @@
+#pragma once
+// Deterministic byte-stream generator built on HMAC-SHA-256 (an HKDF-expand
+// style counter construction). Used as the stream cipher inside SealedBox and
+// for deterministic nonce derivation.
+
+#include "crypto/hmac.hpp"
+#include "util/bytes.hpp"
+
+namespace rvaas::crypto {
+
+/// Expands (key, info) into `len` pseudo-random bytes:
+///   block_i = HMAC(key, info || u32(i)),  output = block_0 || block_1 || ...
+util::Bytes keystream(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> info, std::size_t len);
+
+/// XORs `data` with keystream(key, info, data.size()). Involutive.
+util::Bytes xor_stream(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> info,
+                       std::span<const std::uint8_t> data);
+
+}  // namespace rvaas::crypto

@@ -1,0 +1,34 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace rvaas::crypto {
+
+Digest32 hmac_sha256(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Digest32 kh = sha256(key);
+    std::copy(kh.begin(), kh.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  const Digest32 inner = Sha256().update(ipad).update(message).finalize();
+  return Sha256().update(opad).update(inner).finalize();
+}
+
+bool digest_equal(const Digest32& a, const Digest32& b) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace rvaas::crypto

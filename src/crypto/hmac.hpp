@@ -1,0 +1,17 @@
+#pragma once
+// HMAC-SHA-256 (RFC 2104), verified against RFC 4231 vectors.
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace rvaas::crypto {
+
+Digest32 hmac_sha256(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> message);
+
+/// Constant-shape comparison (the simulation does not model timing channels,
+/// but we keep the discipline).
+bool digest_equal(const Digest32& a, const Digest32& b);
+
+}  // namespace rvaas::crypto

@@ -1,0 +1,87 @@
+#include "crypto/seal.hpp"
+
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "util/ensure.hpp"
+
+namespace rvaas::crypto {
+
+namespace {
+
+struct DerivedKeys {
+  util::Bytes stream_key;
+  util::Bytes mac_key;
+};
+
+DerivedKeys derive_keys(const BigUInt& shared) {
+  const Group& grp = default_group();
+  const util::Bytes sb = shared.to_bytes(grp.element_bytes());
+  DerivedKeys keys;
+  keys.stream_key = digest_bytes(Sha256().update("rvaas-seal-stream").update(sb).finalize());
+  keys.mac_key = digest_bytes(Sha256().update("rvaas-seal-mac").update(sb).finalize());
+  return keys;
+}
+
+Digest32 compute_tag(const DerivedKeys& keys, const SealedBox& box) {
+  util::ByteWriter w;
+  w.put_bytes(box.ephemeral.to_bytes());
+  w.put_bytes(box.nonce);
+  w.put_bytes(box.cipher);
+  return hmac_sha256(keys.mac_key, w.data());
+}
+
+}  // namespace
+
+util::Bytes SealedBox::serialize() const {
+  util::ByteWriter w;
+  w.put_bytes(ephemeral.to_bytes());
+  w.put_bytes(nonce);
+  w.put_bytes(cipher);
+  w.put_raw(tag);
+  return w.take();
+}
+
+SealedBox SealedBox::deserialize(util::ByteReader& r) {
+  SealedBox box;
+  box.ephemeral = BigUInt::from_bytes(r.get_bytes());
+  box.nonce = r.get_bytes();
+  box.cipher = r.get_bytes();
+  const util::Bytes tag = r.get_raw(box.tag.size());
+  std::copy(tag.begin(), tag.end(), box.tag.begin());
+  return box;
+}
+
+SealedBox BoxSealer::seal(util::Rng& rng,
+                          std::span<const std::uint8_t> plaintext) const {
+  const Group& grp = default_group();
+  const BigUInt y =
+      BigUInt::random_below(rng, grp.q.sub(BigUInt(1))).add(BigUInt(1));
+  const BigUInt shared = BigUInt::modpow(recipient_, y, grp.p);
+  const DerivedKeys keys = derive_keys(shared);
+
+  SealedBox box;
+  box.ephemeral = grp.exp(y);
+  box.nonce.resize(16);
+  for (auto& b : box.nonce) b = static_cast<std::uint8_t>(rng.next_u64());
+  box.cipher = xor_stream(keys.stream_key, box.nonce, plaintext);
+  box.tag = compute_tag(keys, box);
+  return box;
+}
+
+BoxOpener BoxOpener::generate(util::Rng& rng) {
+  const Group& grp = default_group();
+  BigUInt x = BigUInt::random_below(rng, grp.q.sub(BigUInt(1))).add(BigUInt(1));
+  BigUInt pub = grp.exp(x);
+  return BoxOpener(std::move(x), std::move(pub));
+}
+
+std::optional<util::Bytes> BoxOpener::open(const SealedBox& box) const {
+  const Group& grp = default_group();
+  if (!grp.is_element(box.ephemeral)) return std::nullopt;
+  const BigUInt shared = BigUInt::modpow(box.ephemeral, x_, grp.p);
+  const DerivedKeys keys = derive_keys(shared);
+  if (!digest_equal(compute_tag(keys, box), box.tag)) return std::nullopt;
+  return xor_stream(keys.stream_key, box.nonce, box.cipher);
+}
+
+}  // namespace rvaas::crypto

@@ -1,0 +1,61 @@
+#pragma once
+// Public-key authenticated encryption ("sealed box") via DH key encapsulation
+// over the default group + HMAC-keyed stream cipher + HMAC tag.
+//
+// This is how clients hide query contents from the (possibly compromised)
+// provider: the paper requires "the provider should not learn about their
+// queries". Only the holder of the recipient secret can open a box.
+
+#include "crypto/group.hpp"
+#include "crypto/sign.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace rvaas::crypto {
+
+struct SealedBox {
+  BigUInt ephemeral;   ///< g^y, the DH encapsulation
+  util::Bytes nonce;   ///< 16-byte stream nonce
+  util::Bytes cipher;  ///< plaintext XOR keystream
+  Digest32 tag;        ///< HMAC over (ephemeral || nonce || cipher)
+
+  util::Bytes serialize() const;
+  static SealedBox deserialize(util::ByteReader& r);
+};
+
+class BoxOpener;  // forward
+
+/// Recipient handle: just the public element (g^x).
+class BoxSealer {
+ public:
+  explicit BoxSealer(BigUInt recipient_public)
+      : recipient_(std::move(recipient_public)) {}
+
+  /// Encrypt-and-authenticate `plaintext` to the recipient.
+  SealedBox seal(util::Rng& rng, std::span<const std::uint8_t> plaintext) const;
+
+  const BigUInt& recipient_public() const { return recipient_; }
+
+ private:
+  BigUInt recipient_;
+};
+
+/// Recipient-side key pair.
+class BoxOpener {
+ public:
+  static BoxOpener generate(util::Rng& rng);
+
+  const BigUInt& public_element() const { return pub_; }
+  BoxSealer sealer() const { return BoxSealer(pub_); }
+
+  /// Returns the plaintext, or nullopt if the tag check fails.
+  std::optional<util::Bytes> open(const SealedBox& box) const;
+
+ private:
+  BoxOpener(BigUInt x, BigUInt pub) : x_(std::move(x)), pub_(std::move(pub)) {}
+
+  BigUInt x_;
+  BigUInt pub_;
+};
+
+}  // namespace rvaas::crypto

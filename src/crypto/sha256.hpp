@@ -1,0 +1,42 @@
+#pragma once
+// From-scratch SHA-256 (FIPS 180-4). Used for key derivation, measurements,
+// signatures and sealing throughout the simulation. Verified against NIST
+// test vectors in tests/test_crypto.cpp.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace rvaas::crypto {
+
+using Digest32 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view s);
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Digest32 finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finalized_ = false;
+};
+
+Digest32 sha256(std::span<const std::uint8_t> data);
+Digest32 sha256(std::string_view s);
+
+util::Bytes digest_bytes(const Digest32& d);
+
+}  // namespace rvaas::crypto

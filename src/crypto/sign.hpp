@@ -1,0 +1,64 @@
+#pragma once
+// Schnorr signatures over the default group. Deterministic nonces (RFC
+// 6979-style derivation via HMAC) so signing needs no RNG plumbing.
+//
+// Used for: RVaaS-signed query replies, client authentication replies,
+// attestation quotes, and switch/controller channel authentication.
+
+#include <optional>
+
+#include "crypto/group.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace rvaas::crypto {
+
+/// Stable identifier for a public key (SHA-256 of its serialization).
+using KeyId = util::StrongId<struct KeyIdTag, std::uint64_t>;
+
+struct Signature {
+  BigUInt e;  ///< challenge = H(r || msg) mod q
+  BigUInt s;  ///< response = k + e*x mod q
+
+  util::Bytes serialize() const;
+  static Signature deserialize(util::ByteReader& r);
+};
+
+class VerifyKey {
+ public:
+  VerifyKey() = default;
+  explicit VerifyKey(BigUInt y);
+
+  const BigUInt& element() const { return y_; }
+  KeyId id() const { return id_; }
+
+  bool verify(std::span<const std::uint8_t> message, const Signature& sig) const;
+
+  util::Bytes serialize() const;
+  static VerifyKey deserialize(util::ByteReader& r);
+
+  bool operator==(const VerifyKey& other) const { return id_ == other.id_; }
+
+ private:
+  BigUInt y_;
+  KeyId id_{};
+};
+
+class SigningKey {
+ public:
+  /// Generates a fresh key pair from the given RNG.
+  static SigningKey generate(util::Rng& rng);
+
+  const VerifyKey& verify_key() const { return vk_; }
+  Signature sign(std::span<const std::uint8_t> message) const;
+
+ private:
+  SigningKey(BigUInt x, VerifyKey vk) : x_(std::move(x)), vk_(std::move(vk)) {}
+
+  BigUInt x_;
+  VerifyKey vk_;
+};
+
+}  // namespace rvaas::crypto

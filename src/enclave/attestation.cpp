@@ -1,0 +1,65 @@
+#include "enclave/attestation.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace rvaas::enclave {
+
+util::Bytes Report::serialize() const {
+  util::ByteWriter w;
+  w.put_raw(measurement);
+  w.put_raw(report_data);
+  return w.take();
+}
+
+util::Bytes Quote::serialize() const {
+  util::ByteWriter w;
+  w.put_bytes(report.serialize());
+  w.put_bytes(signature.serialize());
+  return w.take();
+}
+
+Quote Quote::deserialize(util::ByteReader& r) {
+  Quote q;
+  const util::Bytes report_bytes = r.get_bytes();
+  util::ByteReader rr(report_bytes);
+  const util::Bytes m = rr.get_raw(q.report.measurement.size());
+  std::copy(m.begin(), m.end(), q.report.measurement.begin());
+  const util::Bytes rd = rr.get_raw(q.report.report_data.size());
+  std::copy(rd.begin(), rd.end(), q.report.report_data.begin());
+  rr.expect_done();
+
+  const util::Bytes sig_bytes = r.get_bytes();
+  util::ByteReader sr(sig_bytes);
+  q.signature = crypto::Signature::deserialize(sr);
+  return q;
+}
+
+Quote AttestationService::quote(const Enclave& enclave,
+                                const crypto::Digest32& report_data) const {
+  Quote q;
+  q.report.measurement = enclave.measurement();
+  q.report.report_data = report_data;
+  q.signature = key_.sign(q.report.serialize());
+  return q;
+}
+
+bool AttestationService::verify(const Quote& quote,
+                                const crypto::VerifyKey& root,
+                                const std::optional<Measurement>& expected) {
+  if (!root.verify(quote.report.serialize(), quote.signature)) return false;
+  if (expected && !crypto::digest_equal(quote.report.measurement, *expected)) {
+    return false;
+  }
+  return true;
+}
+
+crypto::Digest32 bind_keys(const crypto::VerifyKey& vk,
+                           const crypto::BigUInt& box_public) {
+  return crypto::Sha256()
+      .update("rvaas-key-binding-v1")
+      .update(vk.serialize())
+      .update(box_public.to_bytes())
+      .finalize();
+}
+
+}  // namespace rvaas::enclave

@@ -1,0 +1,58 @@
+#pragma once
+// Remote attestation: a simulated attestation service (stands in for Intel's
+// IAS / DCAP infrastructure) signs quotes binding an enclave's measurement to
+// report data (here: the enclave's public keys). Relying parties verify the
+// quote chain and compare the measurement against the one they expect.
+
+#include <optional>
+
+#include "enclave/enclave.hpp"
+
+namespace rvaas::enclave {
+
+/// What an enclave asserts about itself: its measurement plus 32 bytes of
+/// caller-chosen report data (conventionally a hash of its public keys).
+struct Report {
+  Measurement measurement{};
+  crypto::Digest32 report_data{};
+
+  util::Bytes serialize() const;
+};
+
+/// A report countersigned by the attestation service.
+struct Quote {
+  Report report;
+  crypto::Signature signature;
+
+  util::Bytes serialize() const;
+  static Quote deserialize(util::ByteReader& r);
+};
+
+class AttestationService {
+ public:
+  explicit AttestationService(util::Rng& rng)
+      : key_(crypto::SigningKey::generate(rng)) {}
+
+  /// Public root of trust that relying parties pin.
+  const crypto::VerifyKey& root_key() const { return key_.verify_key(); }
+
+  /// Issues a quote for an enclave running on this platform. The service
+  /// computes the report itself (the enclave cannot lie about its own
+  /// measurement, as in SGX where the CPU produces the report).
+  Quote quote(const Enclave& enclave, const crypto::Digest32& report_data) const;
+
+  /// Verifies quote authenticity against `root` and, if given, that the
+  /// measurement matches `expected`.
+  static bool verify(const Quote& quote, const crypto::VerifyKey& root,
+                     const std::optional<Measurement>& expected);
+
+ private:
+  crypto::SigningKey key_;
+};
+
+/// Convenience: the canonical report data for an enclave — a hash binding its
+/// signing and sealing public keys, so a verified quote authenticates both.
+crypto::Digest32 bind_keys(const crypto::VerifyKey& vk,
+                           const crypto::BigUInt& box_public);
+
+}  // namespace rvaas::enclave

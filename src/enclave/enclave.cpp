@@ -1,0 +1,63 @@
+#include "enclave/enclave.hpp"
+
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+
+namespace rvaas::enclave {
+
+Measurement measure_code(std::string_view name, std::string_view version) {
+  return crypto::Sha256()
+      .update("rvaas-enclave-measurement-v1|")
+      .update(name)
+      .update("|")
+      .update(version)
+      .finalize();
+}
+
+Enclave::Enclave(std::string name, std::string version, util::Rng& rng)
+    : name_(std::move(name)),
+      version_(std::move(version)),
+      measurement_(measure_code(name_, version_)),
+      key_(crypto::SigningKey::generate(rng)),
+      box_(crypto::BoxOpener::generate(rng)) {}
+
+util::Bytes SealedStorage::sealing_key(const Measurement& m) const {
+  return crypto::digest_bytes(crypto::hmac_sha256(platform_secret_, m));
+}
+
+util::Bytes SealedStorage::seal(const Measurement& m,
+                                std::span<const std::uint8_t> data) const {
+  const util::Bytes key = sealing_key(m);
+  const util::Bytes nonce = crypto::digest_bytes(crypto::sha256(data));
+  util::ByteWriter w;
+  w.put_bytes(nonce);
+  w.put_bytes(crypto::xor_stream(key, nonce, data));
+  const crypto::Digest32 tag = crypto::hmac_sha256(key, w.data());
+  w.put_raw(tag);
+  return w.take();
+}
+
+std::optional<util::Bytes> SealedStorage::unseal(
+    const Measurement& m, std::span<const std::uint8_t> blob) const {
+  const util::Bytes key = sealing_key(m);
+  try {
+    util::ByteReader r(blob);
+    const util::Bytes nonce = r.get_bytes();
+    const util::Bytes cipher = r.get_bytes();
+    const util::Bytes tag = r.get_raw(32);
+    r.expect_done();
+
+    util::ByteWriter w;
+    w.put_bytes(nonce);
+    w.put_bytes(cipher);
+    const crypto::Digest32 expect = crypto::hmac_sha256(key, w.data());
+    crypto::Digest32 got{};
+    std::copy(tag.begin(), tag.end(), got.begin());
+    if (!crypto::digest_equal(expect, got)) return std::nullopt;
+    return crypto::xor_stream(key, nonce, cipher);
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace rvaas::enclave

@@ -1,0 +1,180 @@
+#include "hsa/header_space.hpp"
+
+#include <sstream>
+
+namespace rvaas::hsa {
+
+namespace {
+
+/// Recursive emptiness of base \ (diffs[idx..]). Splits on the first diff.
+bool covered(const Wildcard& base, const std::vector<Wildcard>& diffs,
+             std::size_t idx) {
+  if (base.is_empty()) return true;
+  if (idx == diffs.size()) return false;
+  // base \ diffs = ⋃ pieces(base \ diffs[idx]) \ diffs[idx+1..]
+  for (const Wildcard& piece : cube_subtract(base, diffs[idx])) {
+    if (!covered(piece, diffs, idx + 1)) return false;
+  }
+  return true;
+}
+
+/// Flattens base \ diffs into plain cubes.
+void resolve_cube(const Wildcard& base, const std::vector<Wildcard>& diffs,
+                  std::size_t idx, std::vector<Wildcard>& out) {
+  if (base.is_empty()) return;
+  if (idx == diffs.size()) {
+    out.push_back(base);
+    return;
+  }
+  for (const Wildcard& piece : cube_subtract(base, diffs[idx])) {
+    resolve_cube(piece, diffs, idx + 1, out);
+  }
+}
+
+}  // namespace
+
+bool Cube::is_empty() const { return covered(base, diffs, 0); }
+
+HeaderSpace::HeaderSpace(Wildcard cube) {
+  if (!cube.is_empty()) cubes_.push_back(Cube{std::move(cube), {}});
+}
+
+bool HeaderSpace::is_empty() const {
+  for (const Cube& c : cubes_) {
+    if (!c.is_empty()) return false;
+  }
+  return true;
+}
+
+HeaderSpace HeaderSpace::intersect(const Wildcard& w) const {
+  HeaderSpace out;
+  for (const Cube& c : cubes_) {
+    Wildcard base = c.base.intersect(w);
+    if (base.is_empty()) continue;
+    Cube nc{std::move(base), {}};
+    for (const Wildcard& d : c.diffs) {
+      // Keep only diffs that still overlap the narrowed base.
+      if (nc.base.intersects(d)) nc.diffs.push_back(d);
+    }
+    out.cubes_.push_back(std::move(nc));
+  }
+  return out;
+}
+
+HeaderSpace HeaderSpace::intersect(const HeaderSpace& other) const {
+  HeaderSpace out;
+  for (const Cube& a : cubes_) {
+    for (const Cube& b : other.cubes_) {
+      Wildcard base = a.base.intersect(b.base);
+      if (base.is_empty()) continue;
+      Cube nc{std::move(base), {}};
+      for (const Wildcard& d : a.diffs) {
+        if (nc.base.intersects(d)) nc.diffs.push_back(d);
+      }
+      for (const Wildcard& d : b.diffs) {
+        if (nc.base.intersects(d)) nc.diffs.push_back(d);
+      }
+      out.cubes_.push_back(std::move(nc));
+    }
+  }
+  return out;
+}
+
+HeaderSpace HeaderSpace::subtract(const Wildcard& w) const {
+  HeaderSpace out;
+  for (const Cube& c : cubes_) {
+    Cube nc = c;
+    if (nc.base.intersects(w)) nc.diffs.push_back(w);
+    out.cubes_.push_back(std::move(nc));
+  }
+  return out;
+}
+
+HeaderSpace HeaderSpace::union_with(const HeaderSpace& other) const {
+  HeaderSpace out = *this;
+  out.cubes_.insert(out.cubes_.end(), other.cubes_.begin(),
+                    other.cubes_.end());
+  return out;
+}
+
+bool HeaderSpace::contains(const sdn::HeaderFields& h) const {
+  for (const Cube& c : cubes_) {
+    if (!c.base.contains(h)) continue;
+    bool excluded = false;
+    for (const Wildcard& d : c.diffs) {
+      if (d.contains(h)) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) return true;
+  }
+  return false;
+}
+
+HeaderSpace HeaderSpace::rewrite(const Rewrite& rw) const {
+  if (rw.identity()) return *this;
+  HeaderSpace out;
+  for (const Wildcard& plain : resolve()) {
+    Wildcard image = rw.apply(plain);
+    if (!image.is_empty()) out.cubes_.push_back(Cube{std::move(image), {}});
+  }
+  return out;
+}
+
+std::vector<Wildcard> HeaderSpace::resolve() const {
+  std::vector<Wildcard> out;
+  for (const Cube& c : cubes_) resolve_cube(c.base, c.diffs, 0, out);
+  return out;
+}
+
+std::optional<sdn::HeaderFields> HeaderSpace::sample(util::Rng& rng) const {
+  const std::vector<Wildcard> plain = resolve();
+  if (plain.empty()) return std::nullopt;
+  return rng.pick(plain).sample(rng);
+}
+
+void HeaderSpace::compact() {
+  // Pass 1: drop empty cubes.
+  std::vector<Cube> nonempty;
+  for (Cube& c : cubes_) {
+    if (!c.is_empty()) nonempty.push_back(std::move(c));
+  }
+  // Pass 2: drop cubes subsumed by a *diff-free* sibling. Ties (equal bases)
+  // keep the earlier cube.
+  std::vector<Cube> kept;
+  for (std::size_t i = 0; i < nonempty.size(); ++i) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < nonempty.size() && !subsumed; ++j) {
+      if (i == j || !nonempty[j].diffs.empty()) continue;
+      if (!nonempty[i].base.subset_of(nonempty[j].base)) continue;
+      const bool equal = nonempty[j].base.subset_of(nonempty[i].base) &&
+                         nonempty[i].diffs.empty();
+      subsumed = !equal || j < i;
+    }
+    if (!subsumed) kept.push_back(std::move(nonempty[i]));
+  }
+  cubes_ = std::move(kept);
+}
+
+std::size_t HeaderSpace::diff_count() const {
+  std::size_t n = 0;
+  for (const Cube& c : cubes_) n += c.diffs.size();
+  return n;
+}
+
+std::string HeaderSpace::to_string() const {
+  if (cubes_.empty()) return "(empty)";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (i > 0) os << " ∪ ";
+    os << "(" << cubes_[i].base.to_string();
+    for (const Wildcard& d : cubes_[i].diffs) {
+      os << " \\ " << d.to_string();
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace rvaas::hsa

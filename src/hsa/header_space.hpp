@@ -1,0 +1,64 @@
+#pragma once
+// A HeaderSpace is a union of cubes, each with a lazy difference list:
+//   HS = ⋃_k ( base_k \ ⋃_j diff_{k,j} )
+// Differences accumulate cheaply during rule shadowing and are resolved only
+// for emptiness checks, sampling and counting (standard HSA technique).
+
+#include <vector>
+
+#include "hsa/wildcard.hpp"
+
+namespace rvaas::hsa {
+
+struct Cube {
+  Wildcard base;
+  std::vector<Wildcard> diffs;
+
+  bool is_empty() const;
+};
+
+class HeaderSpace {
+ public:
+  /// Empty space.
+  HeaderSpace() = default;
+
+  static HeaderSpace all() { return HeaderSpace(Wildcard::all()); }
+  explicit HeaderSpace(Wildcard cube);
+
+  bool is_empty() const;
+
+  HeaderSpace intersect(const Wildcard& w) const;
+  HeaderSpace intersect(const HeaderSpace& other) const;
+
+  /// Removes a cube from this space (appends to diff lists).
+  HeaderSpace subtract(const Wildcard& w) const;
+
+  /// Union (cube lists concatenate; no canonicalization).
+  HeaderSpace union_with(const HeaderSpace& other) const;
+
+  bool contains(const sdn::HeaderFields& h) const;
+
+  /// Rewrites the space under a field overwrite. Internally resolves to
+  /// plain cubes first (diffs do not survive projection).
+  HeaderSpace rewrite(const Rewrite& rw) const;
+
+  /// Flattens to plain (diff-free, possibly overlapping) cubes.
+  std::vector<Wildcard> resolve() const;
+
+  /// A concrete header from the space, if non-empty.
+  std::optional<sdn::HeaderFields> sample(util::Rng& rng) const;
+
+  /// Drops empty cubes and cubes subsumed by diff-free siblings.
+  void compact();
+
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  std::size_t cube_count() const { return cubes_.size(); }
+  std::size_t diff_count() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace rvaas::hsa

@@ -1,0 +1,137 @@
+#include "hsa/reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::hsa {
+
+using sdn::PortRef;
+using sdn::SwitchId;
+
+std::vector<sdn::HostId> ReachabilityResult::reached_hosts() const {
+  std::set<sdn::HostId> seen;
+  for (const auto& e : endpoints) {
+    if (e.host) seen.insert(*e.host);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<PortRef> ReachabilityResult::reached_ports() const {
+  std::set<PortRef> seen;
+  for (const auto& e : endpoints) seen.insert(e.egress);
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<SwitchId> ReachabilityResult::traversed_switches() const {
+  std::set<SwitchId> seen;
+  for (const auto& e : endpoints) {
+    for (const SwitchId sw : e.path) seen.insert(sw);
+  }
+  for (const auto& c : controller_hits) {
+    for (const SwitchId sw : c.path) seen.insert(sw);
+  }
+  for (const auto& l : loops) {
+    for (const SwitchId sw : l.path) seen.insert(sw);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+ReachabilityResult NetworkModel::reach(PortRef ingress, const HeaderSpace& hs,
+                                       std::size_t max_depth) const {
+  util::ensure(topo_->valid_port(ingress), "bad ingress port");
+  ReachabilityResult result;
+
+  struct WorkItem {
+    PortRef in;
+    HeaderSpace space;
+    std::vector<SwitchId> path;
+    std::vector<std::pair<SwitchId, sdn::FlowEntryId>> rules;
+  };
+  std::deque<WorkItem> queue;
+  queue.push_back(WorkItem{ingress, hs, {}, {}});
+
+  // Dominance pruning: spaces already explored per (switch, in-port). A new
+  // space is narrowed by what was seen; only the new part continues. This
+  // bounds the walk even through loops (each visit strictly grows coverage).
+  std::map<PortRef, std::vector<Wildcard>> visited;
+
+  while (!queue.empty()) {
+    WorkItem item = std::move(queue.front());
+    queue.pop_front();
+
+    if (item.path.size() >= max_depth) continue;
+    if (item.space.is_empty()) continue;
+
+    // Loop check: re-entering a switch already on this walk's path.
+    if (std::find(item.path.begin(), item.path.end(), item.in.sw) !=
+        item.path.end()) {
+      auto loop_path = item.path;
+      loop_path.push_back(item.in.sw);
+      result.loops.push_back(LoopFinding{std::move(loop_path), item.space});
+      continue;
+    }
+
+    // Dominance pruning against previously explored spaces at this port.
+    HeaderSpace fresh = item.space;
+    for (const Wildcard& seen : visited[item.in]) {
+      fresh = fresh.subtract(seen);
+    }
+    fresh.compact();
+    if (fresh.is_empty()) continue;
+    for (const Wildcard& cube : fresh.resolve()) {
+      visited[item.in].push_back(cube);
+    }
+
+    const auto tf_it = transfer_.find(item.in.sw);
+    if (tf_it == transfer_.end()) continue;  // switch absent from snapshot
+
+    auto path = item.path;
+    path.push_back(item.in.sw);
+
+    for (TfResult& tr : tf_it->second.apply(item.in.port, fresh)) {
+      ++result.steps;
+      if (tr.kind == TfOutput::Kind::Controller) {
+        result.controller_hits.push_back(
+            ControllerHit{item.in.sw, tr.cookie, std::move(tr.space), path});
+        continue;
+      }
+      auto rules = item.rules;
+      rules.emplace_back(item.in.sw, tr.entry_id);
+      const PortRef out{item.in.sw, tr.port};
+      if (const auto peer = topo_->link_peer(out)) {
+        queue.push_back(
+            WorkItem{*peer, std::move(tr.space), path, std::move(rules)});
+      } else {
+        result.endpoints.push_back(
+            ReachedEndpoint{out, topo_->host_at(out), std::move(tr.space),
+                            path, std::move(rules)});
+      }
+    }
+  }
+  return result;
+}
+
+ReachabilityResult NetworkModel::reach_from_host(sdn::HostId host) const {
+  const auto ports = topo_->host_ports(host);
+  util::ensure(!ports.empty(), "host has no access point");
+  return reach(ports.front(), HeaderSpace::all());
+}
+
+std::vector<PortRef> NetworkModel::sources_reaching(
+    PortRef target, const HeaderSpace& hs) const {
+  std::vector<PortRef> sources;
+  for (const PortRef ap : topo_->all_access_points()) {
+    if (ap == target) continue;
+    const ReachabilityResult r = reach(ap, hs);
+    const auto ports = r.reached_ports();
+    if (std::binary_search(ports.begin(), ports.end(), target)) {
+      sources.push_back(ap);
+    }
+  }
+  return sources;
+}
+
+}  // namespace rvaas::hsa

@@ -1,0 +1,100 @@
+#include "hsa/transfer.hpp"
+
+#include "util/ensure.hpp"
+
+namespace rvaas::hsa {
+
+using sdn::Field;
+
+Wildcard match_to_cube(const sdn::Match& match) {
+  Wildcard w;
+  for (const sdn::FieldMatch& fm : match.field_matches()) {
+    w.set_field_masked(fm.field, fm.value, fm.mask);
+  }
+  return w;
+}
+
+SwitchTransfer SwitchTransfer::compile(
+    const std::vector<sdn::FlowEntry>& entries) {
+  SwitchTransfer tf;
+  tf.rules_.reserve(entries.size());
+  for (const sdn::FlowEntry& e : entries) {
+    CompiledRule rule;
+    rule.entry_id = e.id;
+    rule.priority = e.priority;
+    rule.cookie = e.cookie;
+    rule.in_port = e.match.in_port();
+    rule.match = match_to_cube(e.match);
+
+    // Walk the action list accumulating the rewrite; emit an output snapshot
+    // at each Output/Controller action (mirrors SwitchSim::run_actions).
+    Rewrite acc;
+    bool stopped = false;
+    for (const sdn::Action& action : e.actions) {
+      if (stopped) break;
+      std::visit(
+          [&](const auto& act) {
+            using T = std::decay_t<decltype(act)>;
+            if constexpr (std::is_same_v<T, sdn::OutputAction>) {
+              rule.outputs.push_back(
+                  TfOutput{TfOutput::Kind::Port, act.port, acc});
+            } else if constexpr (std::is_same_v<T, sdn::ControllerAction>) {
+              rule.outputs.push_back(
+                  TfOutput{TfOutput::Kind::Controller, sdn::PortNo(0), acc});
+            } else if constexpr (std::is_same_v<T, sdn::DropAction>) {
+              stopped = true;
+            } else if constexpr (std::is_same_v<T, sdn::SetFieldAction>) {
+              acc.set_field(act.field, act.value);
+            } else if constexpr (std::is_same_v<T, sdn::PushVlanAction>) {
+              acc.set_field(Field::Vlan, act.vid);
+            } else if constexpr (std::is_same_v<T, sdn::PopVlanAction>) {
+              acc.set_field(Field::Vlan, 0);
+            } else if constexpr (std::is_same_v<T, sdn::DecTtlAction>) {
+              // TTL is outside the modeled header space. A TTL of 0 only
+              // shortens concrete walks; HSA computes the TTL-unbounded
+              // reachable set (sound over-approximation for detection).
+            }
+          },
+          action);
+    }
+    tf.rules_.push_back(std::move(rule));
+  }
+  return tf;
+}
+
+std::vector<TfResult> SwitchTransfer::apply(sdn::PortNo in_port,
+                                            const HeaderSpace& hs) const {
+  std::vector<TfResult> results;
+  HeaderSpace remaining = hs;
+  for (const CompiledRule& rule : rules_) {
+    if (remaining.is_empty()) break;
+    if (rule.in_port && *rule.in_port != in_port) continue;
+
+    HeaderSpace hit = remaining.intersect(rule.match);
+    if (hit.is_empty()) continue;
+
+    for (const TfOutput& out : rule.outputs) {
+      TfResult r;
+      r.kind = out.kind;
+      r.port = out.port;
+      r.cookie = rule.cookie;
+      r.entry_id = rule.entry_id;
+      r.space = hit.rewrite(out.rewrite);
+      r.space.compact();
+      if (!r.space.is_empty()) results.push_back(std::move(r));
+    }
+    remaining = remaining.subtract(rule.match);
+  }
+  return results;
+}
+
+NetworkTransfer compile_network(
+    const std::map<sdn::SwitchId, std::vector<sdn::FlowEntry>>& tables) {
+  NetworkTransfer tf;
+  for (const auto& [sw, entries] : tables) {
+    tf[sw] = SwitchTransfer::compile(entries);
+  }
+  return tf;
+}
+
+}  // namespace rvaas::hsa

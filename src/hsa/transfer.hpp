@@ -1,0 +1,72 @@
+#pragma once
+// Compiles a switch flow table into an HSA transfer function: an ordered rule
+// list where each rule carries a match cube and, per Output/Controller action
+// reached, the accumulated header rewrite at that point in the action list
+// (matching the sequential pipeline semantics of SwitchSim exactly).
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hsa/header_space.hpp"
+#include "sdn/flow_table.hpp"
+#include "sdn/types.hpp"
+
+namespace rvaas::hsa {
+
+/// One effect of a rule: where a copy goes and the rewrite it undergoes.
+struct TfOutput {
+  enum class Kind { Port, Controller };
+  Kind kind = Kind::Port;
+  sdn::PortNo port{};  ///< valid when kind == Port
+  Rewrite rewrite;
+};
+
+struct CompiledRule {
+  sdn::FlowEntryId entry_id{};
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;
+  std::optional<sdn::PortNo> in_port;
+  Wildcard match;  ///< field constraints as a cube
+  std::vector<TfOutput> outputs;
+};
+
+/// Converts a Match's field constraints into a cube (ignores in_port,
+/// which the transfer function handles separately).
+Wildcard match_to_cube(const sdn::Match& match);
+
+/// Result of pushing a header space through one switch.
+struct TfResult {
+  TfOutput::Kind kind = TfOutput::Kind::Port;
+  sdn::PortNo port{};
+  std::uint64_t cookie = 0;
+  sdn::FlowEntryId entry_id{};  ///< the rule that carried this subspace
+  HeaderSpace space;
+};
+
+class SwitchTransfer {
+ public:
+  SwitchTransfer() = default;
+
+  /// Compiles the entries (must already be in match order: priority desc,
+  /// id asc, as produced by FlowTable::entries or StatsReply).
+  static SwitchTransfer compile(const std::vector<sdn::FlowEntry>& entries);
+
+  /// Applies the transfer function: the incoming space is matched against
+  /// rules in priority order with shadowing (each rule consumes its matched
+  /// subspace). Unmatched space is dropped (table-miss drop).
+  std::vector<TfResult> apply(sdn::PortNo in_port, const HeaderSpace& hs) const;
+
+  const std::vector<CompiledRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<CompiledRule> rules_;
+};
+
+/// Per-switch transfer functions for a whole network configuration.
+using NetworkTransfer = std::map<sdn::SwitchId, SwitchTransfer>;
+
+NetworkTransfer compile_network(
+    const std::map<sdn::SwitchId, std::vector<sdn::FlowEntry>>& tables);
+
+}  // namespace rvaas::hsa

@@ -1,0 +1,215 @@
+#include "hsa/wildcard.hpp"
+
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::hsa {
+
+using sdn::Field;
+using sdn::field_info;
+using sdn::field_mask;
+using sdn::kFieldCount;
+using sdn::kFields;
+
+namespace {
+
+// Unused high bits (beyond 2*kBits) are kept at 1 so they never look
+// contradictory and do not disturb equality/subset checks.
+constexpr std::size_t kUsedBitsInLastWord = (2 * Wildcard::kBits) % 64;
+
+/// Header-bit index of field bit j (j = 0 is the field's LSB; the field's
+/// MSB sits at the field's offset).
+constexpr std::size_t header_bit(const sdn::FieldInfo& info, unsigned j) {
+  return info.offset + info.width - 1 - j;
+}
+
+}  // namespace
+
+Wildcard::Wildcard() { words_.fill(~std::uint64_t{0}); }
+
+Wildcard Wildcard::encode(const sdn::HeaderFields& h) {
+  Wildcard w;
+  for (const auto& info : kFields) w.set_field(info.field, h.get(info.field));
+  return w;
+}
+
+bool Wildcard::is_empty() const {
+  for (std::size_t word = 0; word < kWords; ++word) {
+    // A 00 pair exists iff (~w) has both bits of some pair set:
+    const std::uint64_t inv = ~words_[word];
+    std::uint64_t pairs = inv & (inv >> 1) & 0x5555555555555555ULL;
+    if (word == kWords - 1 && kUsedBitsInLastWord != 0) {
+      pairs &= (std::uint64_t{1} << kUsedBitsInLastWord) - 1;
+    }
+    if (pairs != 0) return true;
+  }
+  return false;
+}
+
+Trit Wildcard::get_bit(std::size_t i) const {
+  util::ensure(i < kBits, "wildcard bit index out of range");
+  const std::size_t pos = 2 * i;
+  const auto pair =
+      static_cast<std::uint8_t>((words_[pos / 64] >> (pos % 64)) & 0b11);
+  util::ensure(pair != 0, "reading contradictory wildcard bit");
+  return static_cast<Trit>(pair);
+}
+
+void Wildcard::set_bit(std::size_t i, Trit t) {
+  util::ensure(i < kBits, "wildcard bit index out of range");
+  const std::size_t pos = 2 * i;
+  words_[pos / 64] &= ~(std::uint64_t{0b11} << (pos % 64));
+  words_[pos / 64] |= static_cast<std::uint64_t>(t) << (pos % 64);
+}
+
+void Wildcard::set_field(Field f, std::uint64_t value) {
+  set_field_masked(f, value, field_mask(f));
+}
+
+void Wildcard::set_field_masked(Field f, std::uint64_t value,
+                                std::uint64_t mask) {
+  util::ensure((mask & ~field_mask(f)) == 0, "mask exceeds field width");
+  util::ensure((value & ~mask) == 0, "value has bits outside mask");
+  const auto& info = field_info(f);
+  for (unsigned j = 0; j < info.width; ++j) {
+    if ((mask >> j) & 1) {
+      set_bit(header_bit(info, j),
+              ((value >> j) & 1) ? Trit::One : Trit::Zero);
+    }
+  }
+}
+
+Wildcard Wildcard::intersect(const Wildcard& other) const {
+  Wildcard out = *this;
+  for (std::size_t w = 0; w < kWords; ++w) out.words_[w] &= other.words_[w];
+  return out;
+}
+
+bool Wildcard::subset_of(const Wildcard& other) const {
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if ((words_[w] & other.words_[w]) != words_[w]) return false;
+  }
+  return true;
+}
+
+bool Wildcard::contains(const sdn::HeaderFields& h) const {
+  for (const auto& info : kFields) {
+    const std::uint64_t v = h.get(info.field);
+    for (unsigned j = 0; j < info.width; ++j) {
+      const Trit t = get_bit(header_bit(info, j));
+      if (t == Trit::Any) continue;
+      const bool bit = (v >> j) & 1;
+      if (bit != (t == Trit::One)) return false;
+    }
+  }
+  return true;
+}
+
+sdn::HeaderFields Wildcard::sample(util::Rng& rng) const {
+  util::ensure(!is_empty(), "cannot sample from empty cube");
+  sdn::HeaderFields h;
+  for (const auto& info : kFields) {
+    std::uint64_t v = 0;
+    for (unsigned j = 0; j < info.width; ++j) {
+      const Trit t = get_bit(header_bit(info, j));
+      const bool bit = (t == Trit::One) || (t == Trit::Any && rng.next_bit());
+      if (bit) v |= std::uint64_t{1} << j;
+    }
+    h.set(info.field, v);
+  }
+  return h;
+}
+
+std::size_t Wildcard::free_bits() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < kBits; ++i) {
+    if (get_bit(i) == Trit::Any) ++count;
+  }
+  return count;
+}
+
+std::string Wildcard::field_to_string(Field f) const {
+  const auto& info = field_info(f);
+  std::string out;
+  out.reserve(info.width);
+  for (unsigned j = info.width; j-- > 0;) {
+    switch (get_bit(header_bit(info, j))) {
+      case Trit::Zero:
+        out.push_back('0');
+        break;
+      case Trit::One:
+        out.push_back('1');
+        break;
+      case Trit::Any:
+        out.push_back('x');
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Wildcard::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& info : kFields) {
+    const std::string bits = field_to_string(info.field);
+    if (bits.find_first_not_of('x') == std::string::npos) continue;
+    if (!first) os << " ";
+    first = false;
+    os << info.name << "=" << bits;
+  }
+  if (first) return "*";
+  return os.str();
+}
+
+void Rewrite::set_field(Field f, std::uint64_t value) {
+  util::ensure((value & ~field_mask(f)) == 0, "rewrite value too wide");
+  fields_ |= 1u << static_cast<unsigned>(f);
+  values_[static_cast<std::size_t>(f)] = value;
+}
+
+bool Rewrite::touches(Field f) const {
+  return (fields_ >> static_cast<unsigned>(f)) & 1;
+}
+
+Wildcard Rewrite::apply(const Wildcard& w) const {
+  Wildcard out = w;
+  for (const auto& info : kFields) {
+    if (touches(info.field)) {
+      out.set_field(info.field, values_[static_cast<std::size_t>(info.field)]);
+    }
+  }
+  return out;
+}
+
+sdn::HeaderFields Rewrite::apply(const sdn::HeaderFields& h) const {
+  sdn::HeaderFields out = h;
+  for (const auto& info : kFields) {
+    if (touches(info.field)) {
+      out.set(info.field, values_[static_cast<std::size_t>(info.field)]);
+    }
+  }
+  return out;
+}
+
+std::vector<Wildcard> cube_subtract(const Wildcard& a, const Wildcard& b) {
+  if (a.is_empty()) return {};
+  if (!a.intersects(b)) return {a};
+  std::vector<Wildcard> out;
+  for (std::size_t i = 0; i < Wildcard::kBits; ++i) {
+    const Trit bi = b.get_bit(i);
+    if (bi == Trit::Any) continue;
+    if (a.get_bit(i) == Trit::Any) {
+      Wildcard piece = a;
+      piece.set_bit(i, bi == Trit::One ? Trit::Zero : Trit::One);
+      out.push_back(piece);
+    }
+    // If a's bit is fixed and equal to b's, the subtraction removes nothing
+    // at this position; if fixed and different, a ∩ b would be empty (handled
+    // above).
+  }
+  return out;
+}
+
+}  // namespace rvaas::hsa

@@ -1,0 +1,109 @@
+#pragma once
+// Header Space Analysis primitives (Kazemian, Varghese, McKeown — NSDI'12),
+// implemented from scratch for the 228-bit header layout of sdn/header.hpp.
+//
+// A Wildcard is a ternary vector over {0, 1, x}: a cube in {0,1}^228. Each
+// header bit is encoded in 2 bits — 01 = must-be-0, 10 = must-be-1,
+// 11 = either (x), 00 = contradiction — so intersection is a bitwise AND and
+// emptiness is "some pair decodes to 00".
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sdn/header.hpp"
+#include "util/rng.hpp"
+
+namespace rvaas::hsa {
+
+enum class Trit : std::uint8_t { Zero = 1, One = 2, Any = 3 };
+
+class Wildcard {
+ public:
+  static constexpr std::size_t kBits = sdn::kHeaderBits;
+  static constexpr std::size_t kWords = (2 * kBits + 63) / 64;
+
+  /// All-x cube (the full header space).
+  Wildcard();
+
+  static Wildcard all() { return Wildcard(); }
+
+  /// Exact cube for a concrete header.
+  static Wildcard encode(const sdn::HeaderFields& h);
+
+  /// true iff some bit position is contradictory (00).
+  bool is_empty() const;
+
+  Trit get_bit(std::size_t i) const;
+  void set_bit(std::size_t i, Trit t);
+
+  /// Constrains a whole field to an exact value.
+  void set_field(sdn::Field f, std::uint64_t value);
+  /// Constrains the bits of `f` selected by `mask` to the bits of `value`
+  /// (mask bit j refers to value bit j; j = 0 is the field's LSB).
+  void set_field_masked(sdn::Field f, std::uint64_t value, std::uint64_t mask);
+
+  /// Bitwise intersection; may be empty.
+  Wildcard intersect(const Wildcard& other) const;
+  bool intersects(const Wildcard& other) const {
+    return !intersect(other).is_empty();
+  }
+
+  /// true iff every header in *this is also in `other`.
+  bool subset_of(const Wildcard& other) const;
+
+  bool operator==(const Wildcard&) const = default;
+
+  /// true iff the concrete header lies in this cube.
+  bool contains(const sdn::HeaderFields& h) const;
+
+  /// A concrete header from this cube (random choice for x bits).
+  /// Precondition: !is_empty().
+  sdn::HeaderFields sample(util::Rng& rng) const;
+
+  /// Number of x (free) bits; the cube covers 2^free_bits() headers.
+  std::size_t free_bits() const;
+
+  /// Field-structured human-readable form, e.g. "vlan=005 ip_dst=0a00xxxx".
+  std::string to_string() const;
+
+  /// Raw ternary string of a single field (MSB first).
+  std::string field_to_string(sdn::Field f) const;
+
+ private:
+  // Header bit i lives at 2-bit offset 2i: word (2i)/64, shift (2i)%64.
+  std::array<std::uint64_t, kWords> words_;
+};
+
+/// A header rewrite: bits selected by the mask are forced to the value
+/// (models SetField / PushVlan / PopVlan action effects on header spaces).
+class Rewrite {
+ public:
+  Rewrite() = default;
+
+  /// Adds a whole-field overwrite.
+  void set_field(sdn::Field f, std::uint64_t value);
+
+  bool identity() const { return fields_ == 0; }
+
+  /// Applies to a plain cube: overwritten bits become exact.
+  Wildcard apply(const Wildcard& w) const;
+  /// Applies to a concrete header.
+  sdn::HeaderFields apply(const sdn::HeaderFields& h) const;
+
+  /// true iff the rewrite touches field f.
+  bool touches(sdn::Field f) const;
+
+  bool operator==(const Rewrite&) const = default;
+
+ private:
+  std::uint32_t fields_ = 0;  // bitmask over Field indices
+  std::array<std::uint64_t, sdn::kFieldCount> values_{};
+};
+
+/// Cube difference A \ B as a union of (possibly overlapping) cubes.
+/// Size is at most the number of constrained bits in B.
+std::vector<Wildcard> cube_subtract(const Wildcard& a, const Wildcard& b);
+
+}  // namespace rvaas::hsa

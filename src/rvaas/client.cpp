@@ -1,0 +1,124 @@
+#include "rvaas/client.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/ensure.hpp"
+
+namespace rvaas::core {
+
+ClientAgent::ClientAgent(sdn::HostId host, sdn::Network& net,
+                         const control::HostAddress& address, util::Rng rng)
+    : host_(host),
+      net_(&net),
+      address_(address),
+      rng_(std::move(rng)),
+      key_(crypto::SigningKey::generate(rng_)),
+      box_(crypto::BoxOpener::generate(rng_)),
+      next_request_id_((static_cast<std::uint64_t>(host.value) << 32) | 1) {
+  const auto ports = net.topology().host_ports(host);
+  util::ensure(!ports.empty(), "client host has no access point");
+  access_point_ = ports.front();
+  net.register_host_receiver(host, [this](sdn::PortRef at,
+                                          const sdn::Packet& packet) {
+    on_packet(at, packet);
+  });
+}
+
+void ClientAgent::trust_rvaas(crypto::VerifyKey rvaas_key,
+                              crypto::BigUInt rvaas_box_pub) {
+  rvaas_key_ = std::move(rvaas_key);
+  rvaas_box_pub_ = std::move(rvaas_box_pub);
+}
+
+bool ClientAgent::verify_attestation(const enclave::Quote& quote,
+                                     const crypto::VerifyKey& ias_root,
+                                     const enclave::Measurement& expected,
+                                     const crypto::VerifyKey& rvaas_key,
+                                     const crypto::BigUInt& rvaas_box_pub) {
+  ++stats_.crypto_ops;
+  if (!enclave::AttestationService::verify(quote, ias_root, expected)) {
+    return false;
+  }
+  // The quote's report data must bind exactly the keys we are about to pin.
+  const crypto::Digest32 binding =
+      enclave::bind_keys(rvaas_key, rvaas_box_pub);
+  if (!crypto::digest_equal(binding, quote.report.report_data)) return false;
+  trust_rvaas(rvaas_key, rvaas_box_pub);
+  return true;
+}
+
+std::uint64_t ClientAgent::send_query(const Query& query, Callback callback,
+                                      sim::Time timeout) {
+  util::ensure(rvaas_box_pub_.has_value(),
+               "client has not established trust in RVaaS");
+  QueryRequest request;
+  request.request_id = next_request_id_++;
+  request.client = host_;
+  request.query = query;
+
+  ++stats_.queries_sent;
+  ++stats_.crypto_ops;  // seal
+  const sdn::Packet packet =
+      inband::make_request_packet(address_, request, *rvaas_box_pub_, rng_);
+  net_->host_send(host_, access_point_, packet);
+
+  PendingQuery pending;
+  pending.callback = std::move(callback);
+  const std::uint64_t id = request.request_id;
+  pending.timeout = net_->loop().schedule_after(timeout, [this, id] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    ++stats_.timeouts;
+    Outcome outcome;
+    outcome.timed_out = true;  // suppression / loss indicator
+    auto callback = std::move(it->second.callback);
+    pending_.erase(it);
+    callback(outcome);
+  });
+  pending_.emplace(id, std::move(pending));
+  return id;
+}
+
+void ClientAgent::on_packet(sdn::PortRef at, const sdn::Packet& packet) {
+  const auto tag = inband::classify(packet);
+  if (!tag) return;
+
+  if (*tag == inband::Tag::AuthRequest) {
+    if (!rvaas_key_) return;
+    ++stats_.crypto_ops;  // verify
+    const auto req = inband::verify_auth_request(packet, *rvaas_key_);
+    if (!req) return;
+    // Answer with a signed publication of our identity.
+    inband::AuthReply reply;
+    reply.request_id = req->request_id;
+    reply.nonce = req->nonce;
+    reply.client = host_;
+    ++stats_.auth_requests_answered;
+    ++stats_.crypto_ops;  // sign
+    net_->host_send(host_, at, inband::make_auth_reply(address_, reply, key_));
+    return;
+  }
+
+  if (*tag == inband::Tag::Reply) {
+    if (!rvaas_key_) return;
+    ++stats_.crypto_ops;  // open + verify
+    const auto opened = inband::open_reply(packet, box_, *rvaas_key_);
+    if (!opened) {
+      ++stats_.bad_replies;
+      return;
+    }
+    const auto it = pending_.find(opened->reply.request_id);
+    if (it == pending_.end()) return;
+    net_->loop().cancel(it->second.timeout);
+    ++stats_.replies_received;
+    if (!opened->signature_ok) ++stats_.bad_replies;
+
+    Outcome outcome;
+    outcome.signature_ok = opened->signature_ok;
+    outcome.reply = opened->reply;
+    auto callback = std::move(it->second.callback);
+    pending_.erase(it);
+    callback(outcome);
+  }
+}
+
+}  // namespace rvaas::core

@@ -1,0 +1,88 @@
+#pragma once
+// The client-side agent: a user-space process behind an access point that
+// (a) sends sealed queries to RVaaS through the in-band magic channel,
+// (b) automatically answers RVaaS authentication requests with signed
+//     replies ("clients run a software which responds to our authentication
+//     requests, in user space", §IV.A.3),
+// (c) verifies reply signatures and attestation quotes, and
+// (d) detects query suppression by timeout.
+
+#include <functional>
+
+#include "enclave/attestation.hpp"
+#include "rvaas/inband.hpp"
+#include "sdn/network.hpp"
+
+namespace rvaas::core {
+
+class ClientAgent {
+ public:
+  ClientAgent(sdn::HostId host, sdn::Network& net,
+              const control::HostAddress& address, util::Rng rng);
+
+  // The network holds a callback into this object; pin it in place.
+  ClientAgent(const ClientAgent&) = delete;
+  ClientAgent& operator=(const ClientAgent&) = delete;
+
+  sdn::HostId host() const { return host_; }
+  const crypto::VerifyKey& verify_key() const { return key_.verify_key(); }
+  const crypto::BigUInt& box_public() const { return box_.public_element(); }
+
+  /// Pin the RVaaS service keys (normally after a verified attestation).
+  void trust_rvaas(crypto::VerifyKey rvaas_key, crypto::BigUInt rvaas_box_pub);
+
+  /// Verifies an attestation quote: authentic (signed by `ias_root`), the
+  /// expected measurement, and report data binding the given keys. On
+  /// success the keys are pinned (trust_rvaas).
+  bool verify_attestation(const enclave::Quote& quote,
+                          const crypto::VerifyKey& ias_root,
+                          const enclave::Measurement& expected,
+                          const crypto::VerifyKey& rvaas_key,
+                          const crypto::BigUInt& rvaas_box_pub);
+
+  struct Outcome {
+    bool timed_out = false;
+    bool signature_ok = false;
+    std::optional<QueryReply> reply;
+  };
+  using Callback = std::function<void(const Outcome&)>;
+
+  /// Sends a query in-band; the callback fires on reply or timeout.
+  /// Returns the request id.
+  std::uint64_t send_query(const Query& query, Callback callback,
+                           sim::Time timeout = 50 * sim::kMillisecond);
+
+  struct Stats {
+    std::uint64_t queries_sent = 0;
+    std::uint64_t replies_received = 0;
+    std::uint64_t bad_replies = 0;  ///< undecryptable / bad signature
+    std::uint64_t timeouts = 0;
+    std::uint64_t auth_requests_answered = 0;
+    std::uint64_t crypto_ops = 0;  ///< asymmetric operations (E9)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_packet(sdn::PortRef at, const sdn::Packet& packet);
+
+  sdn::HostId host_;
+  sdn::Network* net_;
+  control::HostAddress address_;
+  sdn::PortRef access_point_;
+  util::Rng rng_;
+  crypto::SigningKey key_;
+  crypto::BoxOpener box_;
+
+  std::optional<crypto::VerifyKey> rvaas_key_;
+  std::optional<crypto::BigUInt> rvaas_box_pub_;
+
+  struct PendingQuery {
+    Callback callback;
+    sim::EventId timeout{};
+  };
+  std::map<std::uint64_t, PendingQuery> pending_;
+  std::uint64_t next_request_id_;
+  Stats stats_;
+};
+
+}  // namespace rvaas::core

@@ -1,0 +1,346 @@
+#include "rvaas/controller.hpp"
+
+#include "util/ensure.hpp"
+
+namespace rvaas::core {
+
+using sdn::Field;
+using sdn::FlowMod;
+using sdn::Match;
+using sdn::PortRef;
+using sdn::SwitchId;
+
+namespace {
+constexpr std::uint64_t kInterceptCookie = 0x52566161;  // "RVaa"
+}
+
+RvaasController::RvaasController(sdn::ControllerId id, sdn::Network& net,
+                                 const enclave::AttestationService& ias,
+                                 RvaasConfig config, util::Rng rng)
+    : id_(id),
+      net_(&net),
+      ias_(&ias),
+      config_(std::move(config)),
+      rng_(std::move(rng)),
+      enclave_(config_.enclave_name, config_.enclave_version, rng_),
+      channel_key_(crypto::SigningKey::generate(rng_)),
+      engine_(net.topology(),
+              EngineConfig{config_.policy, config_.max_reach_depth}),
+      snapshot_(config_.history_limit) {}
+
+enclave::Quote RvaasController::quote() const {
+  return ias_->quote(enclave_,
+                     enclave::bind_keys(enclave_.verify_key(),
+                                        enclave_.box_public()));
+}
+
+void RvaasController::register_client(sdn::HostId client,
+                                      crypto::VerifyKey key,
+                                      crypto::BigUInt box_public) {
+  clients_[client] = ClientRecord{std::move(key), std::move(box_public)};
+}
+
+void RvaasController::set_geo_provider(std::unique_ptr<GeoProvider> geo) {
+  geo_ = std::move(geo);
+}
+
+void RvaasController::set_addressing(
+    const control::HostAddressing* addressing) {
+  addressing_ = addressing;
+}
+
+void RvaasController::bootstrap() {
+  handle_ = &net_->attach_controller(*this, channel_key_);
+
+  for (const SwitchId sw : handle_->switches()) {
+    if (config_.passive_monitoring) handle_->subscribe_flow_monitor(sw);
+
+    // Magic-header intercept: client requests and auth replies.
+    FlowMod magic;
+    magic.priority = 0xffff;
+    magic.cookie = kInterceptCookie;
+    magic.match = Match()
+                      .exact(Field::EthType, sdn::kEthTypeIpv4)
+                      .exact(Field::IpProto, sdn::kIpProtoUdp)
+                      .exact(Field::L4Dst, sdn::kPortRvaasRequest);
+    magic.actions = {sdn::to_controller()};
+    handle_->flow_mod(sw, magic);
+
+    if (config_.enable_link_prober) {
+      FlowMod lldp;
+      lldp.priority = 0xffff;
+      lldp.cookie = kInterceptCookie;
+      lldp.match = Match().exact(Field::EthType, sdn::kEthTypeLldp);
+      lldp.actions = {sdn::to_controller()};
+      handle_->flow_mod(sw, lldp);
+    }
+  }
+
+  if (config_.polling != PollingMode::Disabled) schedule_poll();
+  if (config_.enable_link_prober) schedule_probe();
+}
+
+void RvaasController::schedule_poll() {
+  const sim::Time delay =
+      config_.polling == PollingMode::Randomized
+          ? static_cast<sim::Time>(
+                rng_.exponential(static_cast<double>(config_.poll_period)))
+          : config_.poll_period;
+  net_->loop().schedule_after(std::max<sim::Time>(delay, 1), [this] {
+    poll_all_switches();
+    schedule_poll();
+  });
+}
+
+void RvaasController::poll_all_switches() {
+  for (const SwitchId sw : handle_->switches()) {
+    ++stats_.polls_sent;
+    handle_->request_stats(sw, [this](const sdn::StatsReply& reply) {
+      snapshot_.reconcile(reply, net_->loop().now());
+    });
+  }
+}
+
+void RvaasController::schedule_probe() {
+  net_->loop().schedule_after(config_.probe_period, [this] {
+    probe_all_links();
+    schedule_probe();
+  });
+}
+
+void RvaasController::probe_all_links() {
+  for (const SwitchId sw : handle_->switches()) {
+    for (const PortRef port : net_->topology().internal_ports(sw)) {
+      ++stats_.probes_sent;
+      ++stats_.crypto_ops;  // probe signature
+      ProbeInfo info{port, rng_.next_u64()};
+      sdn::PacketOut out;
+      out.sw = sw;
+      out.actions = {sdn::output(port.port)};
+      out.packet = make_probe(info, enclave_);
+      handle_->packet_out(out);
+    }
+  }
+}
+
+void RvaasController::on_flow_update(const sdn::FlowUpdate& msg) {
+  snapshot_.apply_update(msg, net_->loop().now());
+}
+
+void RvaasController::on_packet_in(const sdn::PacketIn& msg) {
+  if (config_.enable_link_prober && is_probe(msg.packet)) {
+    ++stats_.crypto_ops;  // probe verification
+    if (const auto info = verify_probe(msg.packet, enclave_.verify_key())) {
+      if (const auto alarm =
+              check_probe(net_->topology(), *info,
+                          PortRef{msg.sw, msg.in_port}, net_->loop().now())) {
+        wiring_alarms_.push_back(*alarm);
+      }
+    }
+    return;
+  }
+
+  const auto tag = inband::classify(msg.packet);
+  if (!tag) return;
+  switch (*tag) {
+    case inband::Tag::Request:
+      handle_request(msg);
+      return;
+    case inband::Tag::AuthReply:
+      handle_auth_reply(msg);
+      return;
+    default:
+      return;  // auth requests / replies to clients are not ours to consume
+  }
+}
+
+void RvaasController::handle_request(const sdn::PacketIn& msg) {
+  ++stats_.queries_received;
+  ++stats_.crypto_ops;  // unseal
+  const auto request = inband::open_request(msg.packet, enclave_);
+  if (!request || pending_.contains(request->request_id)) {
+    ++stats_.bad_requests;
+    return;
+  }
+  const auto client_it = clients_.find(request->client);
+  if (client_it == clients_.end()) {
+    ++stats_.bad_requests;
+    return;
+  }
+
+  PendingQuery pending;
+  pending.request = *request;
+  pending.request_point = PortRef{msg.sw, msg.in_port};
+  pending.reply.request_id = request->request_id;
+  pending.reply.kind = request->query.kind;
+
+  // Logical verification on the current snapshot.
+  const hsa::NetworkModel model = engine_.model(snapshot_);
+  const hsa::HeaderSpace hs =
+      QueryEngine::constraint_space(request->query.constraint);
+
+  ReachComputation reach;
+  bool needs_auth = false;
+  switch (request->query.kind) {
+    case QueryKind::ReachableEndpoints:
+      reach = engine_.reachable_endpoints(model, pending.request_point, hs);
+      needs_auth = true;
+      break;
+    case QueryKind::ReachingSources:
+      reach = engine_.reaching_sources(model, pending.request_point, hs);
+      needs_auth = true;
+      break;
+    case QueryKind::Isolation:
+      reach = engine_.isolation(model, pending.request_point, hs);
+      needs_auth = true;
+      break;
+    case QueryKind::Geo: {
+      util::ensure(geo_ != nullptr, "geo query without a geo provider");
+      pending.reply.jurisdictions =
+          engine_.geo_jurisdictions(model, pending.request_point, hs, *geo_);
+      break;
+    }
+    case QueryKind::PathLength: {
+      if (request->query.peer && addressing_ != nullptr) {
+        const auto peer_ports =
+            net_->topology().host_ports(*request->query.peer);
+        if (!peer_ports.empty()) {
+          const auto report = engine_.path_length(
+              model, pending.request_point, peer_ports.front(),
+              addressing_->of(*request->query.peer).ip);
+          pending.reply.path_found = report.found;
+          pending.reply.installed_path_length = report.installed;
+          pending.reply.optimal_path_length = report.optimal;
+        }
+      }
+      break;
+    }
+    case QueryKind::Fairness:
+      pending.reply.fairness =
+          engine_.fairness(model, snapshot_, pending.request_point, hs);
+      break;
+    case QueryKind::TransferSummary:
+      pending.reply.transfer_summary =
+          engine_.transfer_summary(model, pending.request_point, hs);
+      break;
+  }
+
+  if (needs_auth) {
+    pending.reply.endpoints = reach.endpoints;
+    if (config_.policy == ConfidentialityPolicy::FullPaths) {
+      pending.reply.disclosed_paths = QueryEngine::render_paths(reach.paths);
+    }
+    for (const PortRef ap : reach.to_authenticate) {
+      // Do not probe the requester's own access point.
+      if (ap == pending.request_point) continue;
+      pending.expected[ap] = std::nullopt;
+    }
+  }
+
+  const std::uint64_t request_id = request->request_id;
+  auto [it, inserted] = pending_.emplace(request_id, std::move(pending));
+  util::ensure(inserted, "duplicate pending query");
+
+  if (it->second.expected.empty()) {
+    finalize(request_id);
+    return;
+  }
+  dispatch_auth_requests(it->second);
+  it->second.timeout = net_->loop().schedule_after(
+      config_.auth_timeout, [this, request_id] { finalize(request_id); });
+}
+
+void RvaasController::dispatch_auth_requests(PendingQuery& pending) {
+  for (const auto& [ap, _] : pending.expected) {
+    inband::AuthRequest req;
+    req.request_id = pending.request.request_id;
+    req.nonce = rng_.next_u64();
+    req.target = ap;
+    pending.nonces[req.nonce] = ap;
+
+    ++stats_.auth_requests_sent;
+    ++stats_.crypto_ops;  // signature
+    sdn::PacketOut out;
+    out.sw = ap.sw;
+    out.actions = {sdn::output(ap.port)};
+    out.packet = make_auth_request(req, enclave_);
+    handle_->packet_out(out);
+  }
+  pending.reply.auth.issued =
+      static_cast<std::uint32_t>(pending.expected.size());
+}
+
+void RvaasController::handle_auth_reply(const sdn::PacketIn& msg) {
+  const auto parsed = inband::parse_auth_reply(msg.packet);
+  if (!parsed) return;
+  const auto& [reply, signature] = *parsed;
+
+  const auto pending_it = pending_.find(reply.request_id);
+  if (pending_it == pending_.end()) return;
+  PendingQuery& pending = pending_it->second;
+
+  // The nonce must match one we issued, and the reply must arrive from the
+  // probed access point (the packet-in tells us where it entered).
+  const auto nonce_it = pending.nonces.find(reply.nonce);
+  if (nonce_it == pending.nonces.end()) return;
+  const PortRef expected_ap = nonce_it->second;
+  if (PortRef{msg.sw, msg.in_port} != expected_ap) return;
+
+  const auto client_it = clients_.find(reply.client);
+  ++stats_.crypto_ops;  // signature verification
+  if (client_it == clients_.end() ||
+      !client_it->second.key.verify(reply.signing_payload(), signature)) {
+    ++stats_.auth_replies_bad;
+    return;
+  }
+  ++stats_.auth_replies_ok;
+
+  auto expected_it = pending.expected.find(expected_ap);
+  if (expected_it != pending.expected.end() && !expected_it->second) {
+    expected_it->second = reply.client;
+    // All answered? Finalize early.
+    bool all = true;
+    for (const auto& [_, who] : pending.expected) all = all && who.has_value();
+    if (all) {
+      net_->loop().cancel(pending.timeout);
+      finalize(reply.request_id);
+    }
+  }
+}
+
+void RvaasController::finalize(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingQuery& pending = it->second;
+
+  std::uint32_t responded = 0;
+  for (EndpointInfo& endpoint : pending.reply.endpoints) {
+    const auto expected_it = pending.expected.find(endpoint.access_point);
+    if (expected_it == pending.expected.end()) continue;
+    if (expected_it->second) {
+      endpoint.authenticated = true;
+      endpoint.authenticated_as = expected_it->second;
+      ++responded;
+    }
+  }
+  pending.reply.auth.responded = responded;
+
+  send_reply(pending);
+  pending_.erase(it);
+}
+
+void RvaasController::send_reply(const PendingQuery& pending) {
+  const auto client_it = clients_.find(pending.request.client);
+  if (client_it == clients_.end()) return;
+
+  stats_.crypto_ops += 2;  // sign + seal
+  ++stats_.replies_sent;
+  sdn::PacketOut out;
+  out.sw = pending.request_point.sw;
+  out.actions = {sdn::output(pending.request_point.port)};
+  out.packet = inband::make_reply_packet(
+      pending.reply, enclave_, client_it->second.box_public, rng_);
+  handle_->packet_out(out);
+}
+
+}  // namespace rvaas::core

@@ -1,0 +1,134 @@
+#pragma once
+// The RVaaS controller (the paper's primary contribution, §IV): a stand-alone
+// trusted OpenFlow controller running inside a (simulated) enclave that
+// combines
+//   (1) passive + actively-randomized configuration monitoring,
+//   (2) logical data-plane verification (HSA reachability), and
+//   (3) in-band testing with client interaction (auth round-trips)
+// to answer client routing-verification queries.
+
+#include <memory>
+
+#include "enclave/attestation.hpp"
+#include "rvaas/engine.hpp"
+#include "rvaas/inband.hpp"
+#include "rvaas/link_prober.hpp"
+#include "sdn/network.hpp"
+
+namespace rvaas::core {
+
+enum class PollingMode { Randomized, Fixed, Disabled };
+
+struct RvaasConfig {
+  /// Subscribe to flow monitors on all switches (passive monitoring).
+  bool passive_monitoring = true;
+  PollingMode polling = PollingMode::Randomized;
+  sim::Time poll_period = 50 * sim::kMillisecond;  ///< mean (randomized) / exact (fixed)
+  /// How long to wait for authentication replies before answering.
+  sim::Time auth_timeout = 5 * sim::kMillisecond;
+  ConfidentialityPolicy policy = ConfidentialityPolicy::EndpointsOnly;
+  std::size_t history_limit = 1 << 16;
+  std::size_t max_reach_depth = 64;
+  bool enable_link_prober = false;
+  sim::Time probe_period = 100 * sim::kMillisecond;
+  std::string enclave_name = "rvaas";
+  std::string enclave_version = "1.0";
+};
+
+class RvaasController : public sdn::Controller {
+ public:
+  RvaasController(sdn::ControllerId id, sdn::Network& net,
+                  const enclave::AttestationService& ias, RvaasConfig config,
+                  util::Rng rng);
+
+  sdn::ControllerId id() const override { return id_; }
+
+  /// Key the trusted party authorizes on switches before bootstrap.
+  const crypto::VerifyKey& channel_key() const {
+    return channel_key_.verify_key();
+  }
+
+  /// Attaches to all switches, subscribes flow monitors, installs the
+  /// magic-header intercept rules, starts pollers/probers.
+  void bootstrap();
+
+  /// Client enrollment: RVaaS learns the client's public keys.
+  void register_client(sdn::HostId client, crypto::VerifyKey key,
+                       crypto::BigUInt box_public);
+
+  /// Optional inputs for geo / path-length / fairness queries.
+  void set_geo_provider(std::unique_ptr<GeoProvider> geo);
+  void set_addressing(const control::HostAddressing* addressing);
+
+  const enclave::Enclave& enclave() const { return enclave_; }
+  /// Attestation quote binding the enclave's keys to its measurement.
+  enclave::Quote quote() const;
+
+  const SnapshotManager& snapshot() const { return snapshot_; }
+  const std::vector<WiringAlarm>& wiring_alarms() const {
+    return wiring_alarms_;
+  }
+
+  // sdn::Controller interface.
+  void on_packet_in(const sdn::PacketIn& msg) override;
+  void on_flow_update(const sdn::FlowUpdate& msg) override;
+
+  struct Stats {
+    std::uint64_t queries_received = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t auth_requests_sent = 0;
+    std::uint64_t auth_replies_ok = 0;
+    std::uint64_t auth_replies_bad = 0;
+    std::uint64_t replies_sent = 0;
+    std::uint64_t polls_sent = 0;
+    std::uint64_t probes_sent = 0;
+    std::uint64_t crypto_ops = 0;  ///< asymmetric operations (E9)
+    std::uint64_t reach_steps = 0; ///< HSA rule applications (E4/E7)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingQuery {
+    QueryRequest request;
+    sdn::PortRef request_point{};
+    QueryReply reply;
+    /// access point -> responded-with-valid-signature host
+    std::map<sdn::PortRef, std::optional<sdn::HostId>> expected;
+    std::map<std::uint64_t, sdn::PortRef> nonces;  ///< nonce -> target
+    sim::EventId timeout{};
+  };
+
+  void schedule_poll();
+  void schedule_probe();
+  void poll_all_switches();
+  void probe_all_links();
+  void handle_request(const sdn::PacketIn& msg);
+  void handle_auth_reply(const sdn::PacketIn& msg);
+  void dispatch_auth_requests(PendingQuery& pending);
+  void finalize(std::uint64_t request_id);
+  void send_reply(const PendingQuery& pending);
+
+  sdn::ControllerId id_;
+  sdn::Network* net_;
+  const enclave::AttestationService* ias_;
+  RvaasConfig config_;
+  util::Rng rng_;
+  enclave::Enclave enclave_;
+  crypto::SigningKey channel_key_;
+  sdn::Network::ControllerHandle* handle_ = nullptr;
+  QueryEngine engine_;
+  SnapshotManager snapshot_;
+  std::unique_ptr<GeoProvider> geo_;
+  const control::HostAddressing* addressing_ = nullptr;
+
+  struct ClientRecord {
+    crypto::VerifyKey key;
+    crypto::BigUInt box_public;
+  };
+  std::map<sdn::HostId, ClientRecord> clients_;
+  std::map<std::uint64_t, PendingQuery> pending_;
+  std::vector<WiringAlarm> wiring_alarms_;
+  Stats stats_;
+};
+
+}  // namespace rvaas::core

@@ -1,0 +1,196 @@
+#include "rvaas/engine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "hsa/transfer.hpp"
+
+namespace rvaas::core {
+
+using sdn::PortRef;
+using sdn::SwitchId;
+
+hsa::NetworkModel QueryEngine::model(const SnapshotManager& snap) const {
+  return hsa::NetworkModel::from_tables(*topo_, snap.table_dump());
+}
+
+hsa::HeaderSpace QueryEngine::constraint_space(const sdn::Match& constraint) {
+  return hsa::HeaderSpace(hsa::match_to_cube(constraint));
+}
+
+ReachComputation QueryEngine::from_reach_result(
+    const hsa::ReachabilityResult& r, std::optional<PortRef> exclude) const {
+  ReachComputation out;
+  out.loops = r.loops.size();
+
+  std::set<PortRef> seen;
+  for (const auto& e : r.endpoints) {
+    if (exclude && e.egress == *exclude) continue;
+    out.paths.push_back(e.path);
+    if (!seen.insert(e.egress).second) continue;
+    EndpointInfo info;
+    info.access_point = e.egress;
+    info.dark = !e.host.has_value();
+    out.endpoints.push_back(info);
+    if (e.host) out.to_authenticate.push_back(e.egress);
+  }
+  return out;
+}
+
+ReachComputation QueryEngine::reachable_endpoints(
+    const hsa::NetworkModel& model, PortRef from,
+    const hsa::HeaderSpace& hs) const {
+  return from_reach_result(model.reach(from, hs, config_.max_depth), from);
+}
+
+ReachComputation QueryEngine::reaching_sources(const hsa::NetworkModel& model,
+                                               PortRef target,
+                                               const hsa::HeaderSpace& hs) const {
+  ReachComputation out;
+  for (const PortRef ap : topo_->all_access_points()) {
+    if (ap == target) continue;
+    const hsa::ReachabilityResult r = model.reach(ap, hs, config_.max_depth);
+    out.loops += r.loops.size();
+    for (const auto& e : r.endpoints) {
+      if (e.egress != target) continue;
+      EndpointInfo info;
+      info.access_point = ap;
+      info.dark = !topo_->host_at(ap).has_value();
+      out.endpoints.push_back(info);
+      if (!info.dark) out.to_authenticate.push_back(ap);
+      out.paths.push_back(e.path);
+      break;  // one entry per source access point
+    }
+  }
+  return out;
+}
+
+ReachComputation QueryEngine::isolation(const hsa::NetworkModel& model,
+                                        PortRef request_point,
+                                        const hsa::HeaderSpace& hs) const {
+  ReachComputation forward = reachable_endpoints(model, request_point, hs);
+  const ReachComputation backward = reaching_sources(model, request_point, hs);
+
+  std::set<PortRef> seen;
+  for (const EndpointInfo& e : forward.endpoints) seen.insert(e.access_point);
+  for (const EndpointInfo& e : backward.endpoints) {
+    if (!seen.insert(e.access_point).second) continue;
+    forward.endpoints.push_back(e);
+    if (!e.dark) forward.to_authenticate.push_back(e.access_point);
+  }
+  forward.paths.insert(forward.paths.end(), backward.paths.begin(),
+                       backward.paths.end());
+  forward.loops += backward.loops;
+
+  // Deduplicate the auth list (an endpoint may appear in both directions).
+  std::sort(forward.to_authenticate.begin(), forward.to_authenticate.end());
+  forward.to_authenticate.erase(
+      std::unique(forward.to_authenticate.begin(),
+                  forward.to_authenticate.end()),
+      forward.to_authenticate.end());
+  return forward;
+}
+
+std::vector<std::string> QueryEngine::geo_jurisdictions(
+    const hsa::NetworkModel& model, PortRef from, const hsa::HeaderSpace& hs,
+    const GeoProvider& geo) const {
+  const hsa::ReachabilityResult r = model.reach(from, hs, config_.max_depth);
+  std::vector<std::vector<SwitchId>> paths;
+  for (const auto& e : r.endpoints) paths.push_back(e.path);
+  for (const auto& c : r.controller_hits) paths.push_back(c.path);
+  for (const auto& l : r.loops) paths.push_back(l.path);
+  return jurisdictions_of(paths, geo);
+}
+
+QueryEngine::PathLengthReport QueryEngine::path_length(
+    const hsa::NetworkModel& model, PortRef from, PortRef peer_ap,
+    std::uint32_t peer_ip) const {
+  PathLengthReport report;
+
+  hsa::Wildcard cube;
+  cube.set_field(sdn::Field::IpDst, peer_ip);
+  const hsa::ReachabilityResult r =
+      model.reach(from, hsa::HeaderSpace(cube), config_.max_depth);
+
+  std::uint32_t best = ~std::uint32_t{0};
+  for (const auto& e : r.endpoints) {
+    if (e.egress != peer_ap) continue;
+    report.found = true;
+    best = std::min(best, static_cast<std::uint32_t>(e.path.size()));
+  }
+  if (report.found) report.installed = best;
+
+  const auto optimal =
+      control::shortest_switch_path(*topo_, from.sw, peer_ap.sw);
+  if (optimal) report.optimal = static_cast<std::uint32_t>(optimal->size());
+  return report;
+}
+
+std::vector<FairnessMetric> QueryEngine::fairness(
+    const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
+    const hsa::HeaderSpace& hs) const {
+  const hsa::ReachabilityResult r = model.reach(from, hs, config_.max_depth);
+
+  // Exact attribution: the reach result records which flow entries carried
+  // each delivered subspace; collect the meters of exactly those rules.
+  const auto tables = snap.table_dump();
+  std::uint64_t min_rate = ~std::uint64_t{0};
+  std::set<SwitchId> metered_switches;
+  for (const auto& endpoint : r.endpoints) {
+    for (const auto& [sw, entry_id] : endpoint.rules) {
+      const auto table_it = tables.find(sw);
+      const auto meters_it = snap.meters().find(sw);
+      if (table_it == tables.end() || meters_it == snap.meters().end()) {
+        continue;
+      }
+      for (const sdn::FlowEntry& entry : table_it->second) {
+        if (entry.id != entry_id || !entry.meter) continue;
+        for (const auto& [meter_id, config] : meters_it->second) {
+          if (meter_id == *entry.meter) {
+            min_rate = std::min(min_rate, config.rate_bps);
+            metered_switches.insert(sw);
+          }
+        }
+      }
+    }
+  }
+
+  return {
+      FairnessMetric{"min-rate-bps", min_rate},
+      FairnessMetric{"metered-switches", metered_switches.size()},
+      FairnessMetric{"paths", static_cast<std::uint64_t>(r.endpoints.size())},
+  };
+}
+
+std::vector<TransferSummaryEntry> QueryEngine::transfer_summary(
+    const hsa::NetworkModel& model, PortRef from,
+    const hsa::HeaderSpace& hs) const {
+  const hsa::ReachabilityResult r = model.reach(from, hs, config_.max_depth);
+  std::map<PortRef, std::uint32_t> cubes;
+  for (const auto& e : r.endpoints) {
+    if (e.egress == from) continue;  // hairpin back to the requester
+    cubes[e.egress] += static_cast<std::uint32_t>(e.space.cube_count());
+  }
+  std::vector<TransferSummaryEntry> out;
+  for (const auto& [egress, count] : cubes) {
+    out.push_back(TransferSummaryEntry{egress, count});
+  }
+  return out;
+}
+
+std::vector<std::string> QueryEngine::render_paths(
+    const std::vector<std::vector<SwitchId>>& paths) {
+  std::set<std::string> unique;
+  for (const auto& path : paths) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) os << "->";
+      os << "s" << path[i].value;
+    }
+    unique.insert(os.str());
+  }
+  return {unique.begin(), unique.end()};
+}
+
+}  // namespace rvaas::core

@@ -1,0 +1,116 @@
+#pragma once
+// The RVaaS query engine: pure computation from a configuration snapshot to
+// query results, built on the HSA reachability engine. No I/O — the
+// controller (rvaas/controller.hpp) feeds it snapshots and dispatches the
+// in-band authentication round-trips it prescribes.
+
+#include <memory>
+
+#include "controlplane/routing.hpp"
+#include "hsa/reachability.hpp"
+#include "rvaas/geo.hpp"
+#include "rvaas/query.hpp"
+#include "rvaas/snapshot.hpp"
+
+namespace rvaas::core {
+
+/// What query answers may reveal about the provider's network (§III:
+/// "clients should not be able to infer the topology").
+enum class ConfidentialityPolicy {
+  EndpointsOnly,  ///< answers name access points only (default)
+  FullPaths,      ///< strawman that discloses internal paths (experiment E5)
+};
+
+struct EngineConfig {
+  ConfidentialityPolicy policy = ConfidentialityPolicy::EndpointsOnly;
+  std::size_t max_depth = 64;
+};
+
+/// Result of the logical step for endpoint-style queries: the endpoint
+/// skeleton plus which access points need in-band authentication.
+struct ReachComputation {
+  std::vector<EndpointInfo> endpoints;
+  /// Access points with hosts behind them, to be probed via auth requests.
+  std::vector<sdn::PortRef> to_authenticate;
+  /// Switch paths (internal; disclosed only under FullPaths).
+  std::vector<std::vector<sdn::SwitchId>> paths;
+  /// Loops found along the way (reported as anomalies).
+  std::size_t loops = 0;
+};
+
+class QueryEngine {
+ public:
+  QueryEngine(const sdn::Topology& topo, EngineConfig config)
+      : topo_(&topo), config_(config) {}
+
+  /// Compiles the snapshot into a logical network model.
+  hsa::NetworkModel model(const SnapshotManager& snap) const;
+
+  /// Converts a client constraint into a header space.
+  static hsa::HeaderSpace constraint_space(const sdn::Match& constraint);
+
+  /// Which endpoints can traffic in `hs` injected at `from` reach? The
+  /// requester's own access point is excluded (hairpin routes back to the
+  /// client are not a disclosure).
+  ReachComputation reachable_endpoints(const hsa::NetworkModel& model,
+                                       sdn::PortRef from,
+                                       const hsa::HeaderSpace& hs) const;
+
+  /// Which access points have installed routes reaching `target`?
+  ReachComputation reaching_sources(const hsa::NetworkModel& model,
+                                    sdn::PortRef target,
+                                    const hsa::HeaderSpace& hs) const;
+
+  /// Union of both directions (the §IV.B.1 isolation check).
+  ReachComputation isolation(const hsa::NetworkModel& model,
+                             sdn::PortRef request_point,
+                             const hsa::HeaderSpace& hs) const;
+
+  /// Jurisdictions any traffic in `hs` from `from` may cross.
+  std::vector<std::string> geo_jurisdictions(const hsa::NetworkModel& model,
+                                             sdn::PortRef from,
+                                             const hsa::HeaderSpace& hs,
+                                             const GeoProvider& geo) const;
+
+  struct PathLengthReport {
+    bool found = false;
+    std::uint32_t installed = 0;  ///< switches on the installed route
+    std::uint32_t optimal = 0;    ///< switches on the shortest possible route
+  };
+  /// Length of the installed route from `from` to the host at `peer_ap`,
+  /// against the topology optimum.
+  PathLengthReport path_length(const hsa::NetworkModel& model,
+                               sdn::PortRef from, sdn::PortRef peer_ap,
+                               std::uint32_t peer_ip) const;
+
+  /// Meter-based fairness metrics for traffic in `hs` from `from`:
+  ///   min-rate-bps       — tightest meter on any of the client's paths
+  ///                        (uint64 max if unmetered),
+  ///   metered-switches   — how many traversed switches meter this traffic,
+  ///   paths              — number of distinct egress spaces considered.
+  std::vector<FairnessMetric> fairness(const hsa::NetworkModel& model,
+                                       const SnapshotManager& snap,
+                                       sdn::PortRef from,
+                                       const hsa::HeaderSpace& hs) const;
+
+  /// Compact representation of the client's transfer function: egress ports
+  /// with the cube count of the traffic subspace reaching them.
+  std::vector<TransferSummaryEntry> transfer_summary(
+      const hsa::NetworkModel& model, sdn::PortRef from,
+      const hsa::HeaderSpace& hs) const;
+
+  /// Renders paths for FullPaths mode (E5 leakage strawman).
+  static std::vector<std::string> render_paths(
+      const std::vector<std::vector<sdn::SwitchId>>& paths);
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  ReachComputation from_reach_result(const hsa::ReachabilityResult& r,
+                                     std::optional<sdn::PortRef> exclude) const;
+
+  const sdn::Topology* topo_;
+  EngineConfig config_;
+};
+
+}  // namespace rvaas::core

@@ -1,0 +1,119 @@
+#include "rvaas/geo.hpp"
+
+#include <deque>
+
+namespace rvaas::core {
+
+using sdn::GeoLocation;
+using sdn::SwitchId;
+
+std::optional<GeoLocation> DisclosedGeo::locate(SwitchId sw) const {
+  if (!topo_->has_switch(sw)) return std::nullopt;
+  return topo_->geo(sw);
+}
+
+void CrowdSourcedGeo::add_report(sdn::PortRef access_point,
+                                 GeoLocation reported) {
+  reports_[access_point.sw].push_back(std::move(reported));
+}
+
+std::optional<GeoLocation> CrowdSourcedGeo::direct(SwitchId sw) const {
+  const auto it = reports_.find(sw);
+  if (it == reports_.end() || it->second.empty()) return std::nullopt;
+
+  GeoLocation out;
+  std::map<std::string, int> jurisdiction_votes;
+  for (const GeoLocation& rep : it->second) {
+    out.latitude += rep.latitude;
+    out.longitude += rep.longitude;
+    ++jurisdiction_votes[rep.jurisdiction];
+  }
+  const auto n = static_cast<double>(it->second.size());
+  out.latitude /= n;
+  out.longitude /= n;
+  int best = 0;
+  for (const auto& [jur, votes] : jurisdiction_votes) {
+    if (votes > best) {
+      best = votes;
+      out.jurisdiction = jur;
+    }
+  }
+  return out;
+}
+
+std::optional<GeoLocation> CrowdSourcedGeo::locate(SwitchId sw) const {
+  if (!topo_->has_switch(sw)) return std::nullopt;
+  if (const auto loc = direct(sw)) return loc;
+  // Borrow from the nearest switch (BFS over the wiring plan) that has
+  // reports — a coarse but honest estimate.
+  std::deque<SwitchId> queue{sw};
+  std::set<SwitchId> seen{sw};
+  while (!queue.empty()) {
+    const SwitchId cur = queue.front();
+    queue.pop_front();
+    for (const sdn::PortRef port : topo_->internal_ports(cur)) {
+      const auto peer = topo_->link_peer(port);
+      if (!peer || seen.contains(peer->sw)) continue;
+      seen.insert(peer->sw);
+      if (const auto loc = direct(peer->sw)) return loc;
+      queue.push_back(peer->sw);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> GeoIpGeo::direct(SwitchId sw) const {
+  std::map<std::string, int> votes;
+  for (const sdn::PortRef port : topo_->access_ports(sw)) {
+    const auto host = topo_->host_at(port);
+    if (!host) continue;
+    const auto& table = addressing_->all();
+    const auto it = table.find(*host);
+    if (it == table.end()) continue;
+    if (const auto jur = db_.lookup(it->second.ip)) ++votes[*jur];
+  }
+  std::optional<std::string> best;
+  int best_votes = 0;
+  for (const auto& [jur, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best = jur;
+    }
+  }
+  return best;
+}
+
+std::optional<GeoLocation> GeoIpGeo::locate(SwitchId sw) const {
+  if (!topo_->has_switch(sw)) return std::nullopt;
+  if (const auto jur = direct(sw)) {
+    return GeoLocation{0, 0, *jur};
+  }
+  std::deque<SwitchId> queue{sw};
+  std::set<SwitchId> seen{sw};
+  while (!queue.empty()) {
+    const SwitchId cur = queue.front();
+    queue.pop_front();
+    for (const sdn::PortRef port : topo_->internal_ports(cur)) {
+      const auto peer = topo_->link_peer(port);
+      if (!peer || seen.contains(peer->sw)) continue;
+      seen.insert(peer->sw);
+      if (const auto jur = direct(peer->sw)) return GeoLocation{0, 0, *jur};
+      queue.push_back(peer->sw);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> jurisdictions_of(
+    const std::vector<std::vector<SwitchId>>& paths, const GeoProvider& geo) {
+  std::set<std::string> out;
+  for (const auto& path : paths) {
+    for (const SwitchId sw : path) {
+      const auto loc = geo.locate(sw);
+      out.insert(loc ? loc->jurisdiction : std::string("unknown"));
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace rvaas::core

@@ -1,0 +1,101 @@
+#pragma once
+// Switch-location providers for geo-location queries (§IV.B.2). The paper
+// lists three ways RVaaS can learn switch locations:
+//   (1) disclosed by the infrastructure provider,
+//   (2) crowd-sourced from client location reports,
+//   (3) passively inferred (geo-IP style) from client traffic.
+// All three are implemented; experiment E6 measures their accuracy.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "controlplane/routing.hpp"
+#include "sdn/topology.hpp"
+
+namespace rvaas::core {
+
+class GeoProvider {
+ public:
+  virtual ~GeoProvider() = default;
+  virtual std::optional<sdn::GeoLocation> locate(sdn::SwitchId sw) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// (1) Ground truth disclosed by the infrastructure provider.
+class DisclosedGeo : public GeoProvider {
+ public:
+  explicit DisclosedGeo(const sdn::Topology& topo) : topo_(&topo) {}
+  std::optional<sdn::GeoLocation> locate(sdn::SwitchId sw) const override;
+  std::string name() const override { return "disclosed"; }
+
+ private:
+  const sdn::Topology* topo_;
+};
+
+/// (2) Clients report their own locations; a switch is located at the
+/// centroid of reports from its access ports, with the majority
+/// jurisdiction. Switches without direct reports borrow from the nearest
+/// reporting neighbor (BFS).
+class CrowdSourcedGeo : public GeoProvider {
+ public:
+  explicit CrowdSourcedGeo(const sdn::Topology& topo) : topo_(&topo) {}
+
+  void add_report(sdn::PortRef access_point, sdn::GeoLocation reported);
+
+  std::optional<sdn::GeoLocation> locate(sdn::SwitchId sw) const override;
+  std::string name() const override { return "crowd-sourced"; }
+
+ private:
+  std::optional<sdn::GeoLocation> direct(sdn::SwitchId sw) const;
+
+  const sdn::Topology* topo_;
+  std::map<sdn::SwitchId, std::vector<sdn::GeoLocation>> reports_;
+};
+
+/// A synthetic geo-IP database: /24 prefix -> jurisdiction.
+class GeoIpDb {
+ public:
+  void add(std::uint32_t ip, std::string jurisdiction) {
+    by_prefix_[ip >> 8] = std::move(jurisdiction);
+  }
+  std::optional<std::string> lookup(std::uint32_t ip) const {
+    const auto it = by_prefix_.find(ip >> 8);
+    if (it == by_prefix_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::uint32_t, std::string> by_prefix_;
+};
+
+/// (3) Passive inference: a switch's jurisdiction is the majority geo-IP
+/// jurisdiction of hosts attached to it (coordinates unavailable); switches
+/// without hosts borrow from the nearest switch with attached hosts.
+class GeoIpGeo : public GeoProvider {
+ public:
+  GeoIpGeo(const sdn::Topology& topo, const control::HostAddressing& addressing,
+           GeoIpDb db)
+      : topo_(&topo), addressing_(&addressing), db_(std::move(db)) {}
+
+  std::optional<sdn::GeoLocation> locate(sdn::SwitchId sw) const override;
+  std::string name() const override { return "geo-ip"; }
+
+ private:
+  std::optional<std::string> direct(sdn::SwitchId sw) const;
+
+  const sdn::Topology* topo_;
+  const control::HostAddressing* addressing_;
+  GeoIpDb db_;
+};
+
+/// The sorted set of jurisdictions touched by any of the given switch paths;
+/// switches the provider cannot locate contribute "unknown".
+std::vector<std::string> jurisdictions_of(
+    const std::vector<std::vector<sdn::SwitchId>>& paths,
+    const GeoProvider& geo);
+
+}  // namespace rvaas::core

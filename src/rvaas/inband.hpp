@@ -1,0 +1,92 @@
+#pragma once
+// In-band protocol codecs (Figures 1 and 2 of the paper):
+//
+//   client --(magic UDP, sealed QueryRequest)--> ingress switch --packet-in-->
+//   RVaaS --packet-out--> (signed AuthRequest at each candidate endpoint)
+//   endpoint --(magic UDP, signed AuthReply)--> packet-in --> RVaaS
+//   RVaaS --packet-out--> (signed+sealed QueryReply at the requester)
+//
+// Requests are sealed to the enclave (the provider cannot read queries);
+// replies are signed by it (the provider cannot forge answers).
+
+#include "controlplane/routing.hpp"
+#include "enclave/enclave.hpp"
+#include "rvaas/query.hpp"
+#include "sdn/header.hpp"
+
+namespace rvaas::core::inband {
+
+enum class Tag : std::uint32_t {
+  Request = 0x52565131,    // "RVQ1"
+  AuthRequest = 0x52564131,  // "RVA1"
+  AuthReply = 0x52565231,    // "RVR1"
+  Reply = 0x52565031,        // "RVP1"
+};
+
+/// Classifies an in-band packet by UDP port + payload tag.
+std::optional<Tag> classify(const sdn::Packet& packet);
+
+// --- client query request (sealed to the enclave) ---
+
+sdn::Packet make_request_packet(const control::HostAddress& src,
+                                const QueryRequest& request,
+                                const crypto::BigUInt& rvaas_box_pub,
+                                util::Rng& rng);
+
+/// Opens a request inside the enclave; nullopt on tamper/garbage.
+std::optional<QueryRequest> open_request(const sdn::Packet& packet,
+                                         const enclave::Enclave& enclave);
+
+// --- authentication request (RVaaS -> candidate endpoint, signed) ---
+
+struct AuthRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t nonce = 0;
+  sdn::PortRef target{};  ///< the access point being probed
+
+  util::Bytes signing_payload() const;
+};
+
+sdn::Packet make_auth_request(const AuthRequest& req,
+                              const enclave::Enclave& enclave);
+
+/// Client-side verification against the trusted RVaaS key.
+std::optional<AuthRequest> verify_auth_request(
+    const sdn::Packet& packet, const crypto::VerifyKey& rvaas_key);
+
+// --- authentication reply (endpoint -> RVaaS, signed by the client) ---
+
+struct AuthReply {
+  std::uint64_t request_id = 0;
+  std::uint64_t nonce = 0;
+  sdn::HostId client{};
+
+  util::Bytes signing_payload() const;
+};
+
+sdn::Packet make_auth_reply(const control::HostAddress& src,
+                            const AuthReply& reply,
+                            const crypto::SigningKey& client_key);
+
+/// Parses without verifying; the controller checks the signature against its
+/// client registry (it must first learn the claimed identity).
+std::optional<std::pair<AuthReply, crypto::Signature>> parse_auth_reply(
+    const sdn::Packet& packet);
+
+// --- final query reply (RVaaS -> client, signed then sealed) ---
+
+sdn::Packet make_reply_packet(const QueryReply& reply,
+                              const enclave::Enclave& enclave,
+                              const crypto::BigUInt& client_box_pub,
+                              util::Rng& rng);
+
+struct OpenedReply {
+  QueryReply reply;
+  bool signature_ok = false;
+};
+
+std::optional<OpenedReply> open_reply(const sdn::Packet& packet,
+                                      const crypto::BoxOpener& client_box,
+                                      const crypto::VerifyKey& rvaas_key);
+
+}  // namespace rvaas::core::inband

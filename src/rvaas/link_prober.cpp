@@ -1,0 +1,60 @@
+#include "rvaas/link_prober.hpp"
+
+namespace rvaas::core {
+
+util::Bytes ProbeInfo::signing_payload() const {
+  util::ByteWriter w;
+  w.put_string("rvaas-lldp-probe-v1");
+  w.put_u32(origin.sw.value);
+  w.put_u32(origin.port.value);
+  w.put_u64(nonce);
+  return w.take();
+}
+
+sdn::Packet make_probe(const ProbeInfo& info, const enclave::Enclave& enclave) {
+  sdn::Packet p;
+  p.hdr.eth_type = sdn::kEthTypeLldp;
+  util::ByteWriter w;
+  w.put_u32(info.origin.sw.value);
+  w.put_u32(info.origin.port.value);
+  w.put_u64(info.nonce);
+  w.put_bytes(enclave.sign(info.signing_payload()).serialize());
+  p.payload = w.take();
+  return p;
+}
+
+bool is_probe(const sdn::Packet& packet) {
+  return packet.hdr.eth_type == sdn::kEthTypeLldp;
+}
+
+std::optional<ProbeInfo> verify_probe(const sdn::Packet& packet,
+                                      const crypto::VerifyKey& rvaas_key) {
+  if (!is_probe(packet)) return std::nullopt;
+  try {
+    util::ByteReader r(packet.payload);
+    ProbeInfo info;
+    info.origin.sw = sdn::SwitchId(r.get_u32());
+    info.origin.port = sdn::PortNo(r.get_u32());
+    info.nonce = r.get_u64();
+    util::ByteReader sig_reader(r.get_bytes());
+    const crypto::Signature sig = crypto::Signature::deserialize(sig_reader);
+    if (!rvaas_key.verify(info.signing_payload(), sig)) return std::nullopt;
+    return info;
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<WiringAlarm> check_probe(const sdn::Topology& topo,
+                                       const ProbeInfo& info,
+                                       sdn::PortRef arrived_at, sim::Time now) {
+  const auto expected = topo.link_peer(info.origin);
+  if (expected && *expected == arrived_at) return std::nullopt;
+  WiringAlarm alarm;
+  alarm.t = now;
+  alarm.expected_at = expected.value_or(sdn::PortRef{});
+  alarm.observed_at = arrived_at;
+  return alarm;
+}
+
+}  // namespace rvaas::core

@@ -1,0 +1,42 @@
+#pragma once
+// LLDP-style active wiring verification (§IV.A.1: "issue and later intercept
+// LLDP like packets through all internal ports"). The RVaaS controller emits
+// signed probes out of every internal port; each probe is intercepted at the
+// neighbor switch and checked against the trusted wiring plan.
+
+#include "enclave/enclave.hpp"
+#include "sdn/header.hpp"
+#include "sdn/topology.hpp"
+
+namespace rvaas::core {
+
+struct ProbeInfo {
+  sdn::PortRef origin;  ///< the port the probe was emitted from
+  std::uint64_t nonce = 0;
+
+  util::Bytes signing_payload() const;
+};
+
+/// A wiring-plan violation observed by the prober.
+struct WiringAlarm {
+  sim::Time t = 0;
+  sdn::PortRef expected_at;  ///< where the plan says the probe should arrive
+  sdn::PortRef observed_at;  ///< where it actually arrived
+};
+
+/// Builds a signed LLDP probe to be packet-out through `origin`.
+sdn::Packet make_probe(const ProbeInfo& info, const enclave::Enclave& enclave);
+
+/// true iff the packet is an LLDP probe (by ethertype).
+bool is_probe(const sdn::Packet& packet);
+
+/// Verifies signature and decodes; nullopt on forgery/garbage.
+std::optional<ProbeInfo> verify_probe(const sdn::Packet& packet,
+                                      const crypto::VerifyKey& rvaas_key);
+
+/// Checks an intercepted probe against the wiring plan.
+std::optional<WiringAlarm> check_probe(const sdn::Topology& topo,
+                                       const ProbeInfo& info,
+                                       sdn::PortRef arrived_at, sim::Time now);
+
+}  // namespace rvaas::core

@@ -1,0 +1,91 @@
+#include "rvaas/multiprovider.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::core {
+
+void Federation::add_domain(ProviderId id, RvaasController& rvaas,
+                            const sdn::Topology& topo) {
+  util::ensure(!domains_.contains(id), "duplicate provider id");
+  domains_[id] = Domain{&rvaas, &topo};
+}
+
+void Federation::add_peering(ProviderId a, sdn::PortRef border, ProviderId b,
+                             sdn::PortRef ingress) {
+  util::ensure(domains_.contains(a) && domains_.contains(b),
+               "peering references unknown domain");
+  peerings_[{a, border}] = Peering{b, ingress};
+}
+
+bool Federation::verify_subquery(ProviderId from, const util::Bytes& payload,
+                                 const crypto::Signature& sig) const {
+  const auto it = domains_.find(from);
+  if (it == domains_.end()) return false;
+  return it->second.rvaas->enclave().verify_key().verify(payload, sig);
+}
+
+FederatedResult Federation::reachable(ProviderId start, sdn::PortRef ingress,
+                                      const sdn::Match& constraint,
+                                      std::uint32_t max_domains) const {
+  FederatedResult out;
+  const hsa::HeaderSpace hs(hsa::match_to_cube(constraint));
+  reach_in_domain(start, ingress, hs, max_domains, {}, out);
+  return out;
+}
+
+void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
+                                 const hsa::HeaderSpace& hs,
+                                 std::uint32_t depth_left,
+                                 std::vector<ProviderId> visited,
+                                 FederatedResult& out) const {
+  if (depth_left == 0) {
+    out.depth_exceeded = true;
+    return;
+  }
+  if (std::find(visited.begin(), visited.end(), domain) != visited.end()) {
+    return;  // provider-level loop guard
+  }
+  visited.push_back(domain);
+  ++out.domains_visited;
+
+  const auto it = domains_.find(domain);
+  util::ensure(it != domains_.end(), "unknown domain in federation walk");
+  const Domain& dom = it->second;
+
+  // Each domain's RVaaS answers from its own snapshot — domains never see
+  // each other's configuration, only endpoint answers (confidentiality).
+  const hsa::NetworkModel model = hsa::NetworkModel::from_tables(
+      *dom.topo, dom.rvaas->snapshot().table_dump());
+  const hsa::ReachabilityResult reach = model.reach(ingress, hs);
+
+  for (const auto& endpoint : reach.endpoints) {
+    const auto peering_it = peerings_.find({domain, endpoint.egress});
+    if (peering_it == peerings_.end()) {
+      FederatedEndpoint fe;
+      fe.provider = domain;
+      fe.info.access_point = endpoint.egress;
+      fe.info.dark = !endpoint.host.has_value();
+      out.endpoints.push_back(fe);
+      continue;
+    }
+
+    // Cross into the peer domain with the egress header space, as a signed
+    // server-to-server subquery.
+    const Peering& peering = peering_it->second;
+    util::ByteWriter w;
+    w.put_string("rvaas-federated-subquery-v1");
+    w.put_u32(peering.ingress.sw.value);
+    w.put_u32(peering.ingress.port.value);
+    const crypto::Signature sig = dom.rvaas->enclave().sign(w.data());
+    const bool accepted = verify_subquery(domain, w.data(), sig);
+    util::ensure(accepted, "federated subquery signature rejected");
+    ++out.subqueries;
+
+    reach_in_domain(peering.to, peering.ingress, endpoint.space,
+                    depth_left - 1, visited, out);
+  }
+}
+
+}  // namespace rvaas::core

@@ -1,0 +1,68 @@
+#pragma once
+// Multi-provider extension (§IV.C.a): queries propagate between the RVaaS
+// servers of consecutive providers. Border ports of one domain map to
+// ingress ports of the next; when a reach computation exits at a border
+// port, a signed subquery continues in the peer domain. Trust extends to
+// all traversed RVaaS servers (exactly as the paper states).
+
+#include "rvaas/controller.hpp"
+
+namespace rvaas::core {
+
+using ProviderId = util::StrongId<struct ProviderIdTag>;
+
+struct FederatedEndpoint {
+  ProviderId provider{};
+  EndpointInfo info;
+};
+
+struct FederatedResult {
+  std::vector<FederatedEndpoint> endpoints;
+  std::uint32_t subqueries = 0;  ///< server-to-server calls made
+  std::uint32_t domains_visited = 0;
+  bool depth_exceeded = false;
+};
+
+class Federation {
+ public:
+  /// Registers a domain. The controller must already be bootstrapped.
+  void add_domain(ProviderId id, RvaasController& rvaas,
+                  const sdn::Topology& topo);
+
+  /// Declares that `border` (a dark port in domain `a`) is physically wired
+  /// to `ingress` (a port in domain `b`). One direction; add both if needed.
+  void add_peering(ProviderId a, sdn::PortRef border, ProviderId b,
+                   sdn::PortRef ingress);
+
+  /// Recursive reachability across domains, starting at `ingress` in
+  /// `start`. Server-to-server subqueries are signed by the requesting
+  /// enclave and verified against the federation's key registry.
+  FederatedResult reachable(ProviderId start, sdn::PortRef ingress,
+                            const sdn::Match& constraint,
+                            std::uint32_t max_domains = 8) const;
+
+ private:
+  struct Domain {
+    RvaasController* rvaas = nullptr;
+    const sdn::Topology* topo = nullptr;
+  };
+  struct Peering {
+    ProviderId to{};
+    sdn::PortRef ingress;
+  };
+
+  void reach_in_domain(ProviderId domain, sdn::PortRef ingress,
+                       const hsa::HeaderSpace& hs, std::uint32_t depth_left,
+                       std::vector<ProviderId> visited,
+                       FederatedResult& out) const;
+
+  /// Simulated secure server-to-server call: the caller signs the subquery,
+  /// the callee verifies against the registry before answering.
+  bool verify_subquery(ProviderId from, const util::Bytes& payload,
+                       const crypto::Signature& sig) const;
+
+  std::map<ProviderId, Domain> domains_;
+  std::map<std::pair<ProviderId, sdn::PortRef>, Peering> peerings_;
+};
+
+}  // namespace rvaas::core

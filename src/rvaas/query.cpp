@@ -1,0 +1,236 @@
+#include "rvaas/query.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::core {
+
+const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::ReachableEndpoints:
+      return "reachable-endpoints";
+    case QueryKind::ReachingSources:
+      return "reaching-sources";
+    case QueryKind::Isolation:
+      return "isolation";
+    case QueryKind::Geo:
+      return "geo";
+    case QueryKind::PathLength:
+      return "path-length";
+    case QueryKind::Fairness:
+      return "fairness";
+    case QueryKind::TransferSummary:
+      return "transfer-summary";
+  }
+  return "unknown";
+}
+
+void Query::serialize(util::ByteWriter& w) const {
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  constraint.serialize(w);
+  w.put_bool(peer.has_value());
+  if (peer) w.put_u32(peer->value);
+}
+
+Query Query::deserialize(util::ByteReader& r) {
+  Query q;
+  const auto kind = r.get_u8();
+  if (kind > static_cast<std::uint8_t>(QueryKind::TransferSummary)) {
+    throw util::DecodeError("bad query kind");
+  }
+  q.kind = static_cast<QueryKind>(kind);
+  q.constraint = sdn::Match::deserialize(r);
+  if (r.get_bool()) q.peer = sdn::HostId(r.get_u32());
+  return q;
+}
+
+void QueryRequest::serialize(util::ByteWriter& w) const {
+  w.put_u64(request_id);
+  w.put_u32(client.value);
+  query.serialize(w);
+}
+
+QueryRequest QueryRequest::deserialize(util::ByteReader& r) {
+  QueryRequest req;
+  req.request_id = r.get_u64();
+  req.client = sdn::HostId(r.get_u32());
+  req.query = Query::deserialize(r);
+  return req;
+}
+
+void EndpointInfo::serialize(util::ByteWriter& w) const {
+  w.put_u32(access_point.sw.value);
+  w.put_u32(access_point.port.value);
+  w.put_bool(dark);
+  w.put_bool(authenticated);
+  w.put_bool(authenticated_as.has_value());
+  if (authenticated_as) w.put_u32(authenticated_as->value);
+}
+
+EndpointInfo EndpointInfo::deserialize(util::ByteReader& r) {
+  EndpointInfo e;
+  e.access_point.sw = sdn::SwitchId(r.get_u32());
+  e.access_point.port = sdn::PortNo(r.get_u32());
+  e.dark = r.get_bool();
+  e.authenticated = r.get_bool();
+  if (r.get_bool()) e.authenticated_as = sdn::HostId(r.get_u32());
+  return e;
+}
+
+void QueryReply::serialize(util::ByteWriter& w) const {
+  w.put_u64(request_id);
+  w.put_u8(static_cast<std::uint8_t>(kind));
+
+  w.put_u32(static_cast<std::uint32_t>(endpoints.size()));
+  for (const EndpointInfo& e : endpoints) e.serialize(w);
+  w.put_u32(auth.issued);
+  w.put_u32(auth.responded);
+
+  w.put_u32(static_cast<std::uint32_t>(jurisdictions.size()));
+  for (const std::string& j : jurisdictions) w.put_string(j);
+
+  w.put_bool(path_found);
+  w.put_u32(installed_path_length);
+  w.put_u32(optimal_path_length);
+
+  w.put_u32(static_cast<std::uint32_t>(fairness.size()));
+  for (const FairnessMetric& m : fairness) {
+    w.put_string(m.name);
+    w.put_u64(m.value);
+  }
+
+  w.put_u32(static_cast<std::uint32_t>(transfer_summary.size()));
+  for (const TransferSummaryEntry& t : transfer_summary) {
+    w.put_u32(t.egress.sw.value);
+    w.put_u32(t.egress.port.value);
+    w.put_u32(t.cube_count);
+  }
+
+  w.put_u32(static_cast<std::uint32_t>(disclosed_paths.size()));
+  for (const std::string& p : disclosed_paths) w.put_string(p);
+}
+
+QueryReply QueryReply::deserialize(util::ByteReader& r) {
+  QueryReply reply;
+  reply.request_id = r.get_u64();
+  const auto kind = r.get_u8();
+  if (kind > static_cast<std::uint8_t>(QueryKind::TransferSummary)) {
+    throw util::DecodeError("bad reply kind");
+  }
+  reply.kind = static_cast<QueryKind>(kind);
+
+  const auto ne = r.get_u32();
+  for (std::uint32_t i = 0; i < ne; ++i) {
+    reply.endpoints.push_back(EndpointInfo::deserialize(r));
+  }
+  reply.auth.issued = r.get_u32();
+  reply.auth.responded = r.get_u32();
+
+  const auto nj = r.get_u32();
+  for (std::uint32_t i = 0; i < nj; ++i) {
+    reply.jurisdictions.push_back(r.get_string());
+  }
+
+  reply.path_found = r.get_bool();
+  reply.installed_path_length = r.get_u32();
+  reply.optimal_path_length = r.get_u32();
+
+  const auto nf = r.get_u32();
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    FairnessMetric m;
+    m.name = r.get_string();
+    m.value = r.get_u64();
+    reply.fairness.push_back(std::move(m));
+  }
+
+  const auto nt = r.get_u32();
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    TransferSummaryEntry t;
+    t.egress.sw = sdn::SwitchId(r.get_u32());
+    t.egress.port = sdn::PortNo(r.get_u32());
+    t.cube_count = r.get_u32();
+    reply.transfer_summary.push_back(t);
+  }
+
+  const auto np = r.get_u32();
+  for (std::uint32_t i = 0; i < np; ++i) {
+    reply.disclosed_paths.push_back(r.get_string());
+  }
+  return reply;
+}
+
+util::Bytes QueryReply::signing_payload() const {
+  util::ByteWriter w;
+  w.put_string("rvaas-reply-v1");
+  serialize(w);
+  return w.take();
+}
+
+Verdict evaluate_reply(const QueryReply& reply, const Expectation& expect) {
+  Verdict v;
+  auto violation = [&v](std::string text) {
+    v.ok = false;
+    v.violations.push_back(std::move(text));
+  };
+
+  for (const EndpointInfo& e : reply.endpoints) {
+    std::ostringstream at;
+    at << e.access_point;
+    if (e.dark) {
+      violation("traffic can leave at unsupervised (dark) port " + at.str());
+      continue;
+    }
+    if (!e.authenticated) {
+      if (expect.require_full_auth) {
+        violation("endpoint at " + at.str() + " failed authentication");
+      }
+      continue;
+    }
+    if (!expect.allowed_endpoints.empty()) {
+      const bool allowed =
+          e.authenticated_as &&
+          std::find(expect.allowed_endpoints.begin(),
+                    expect.allowed_endpoints.end(),
+                    *e.authenticated_as) != expect.allowed_endpoints.end();
+      if (!allowed) {
+        violation("unexpected endpoint host " +
+                  std::to_string(e.authenticated_as ? e.authenticated_as->value
+                                                    : 0) +
+                  " at " + at.str());
+      }
+    }
+  }
+
+  if (reply.auth.responded < reply.auth.issued && expect.require_full_auth) {
+    violation("only " + std::to_string(reply.auth.responded) + " of " +
+              std::to_string(reply.auth.issued) +
+              " authentication requests were answered");
+  }
+
+  if (!expect.allowed_jurisdictions.empty()) {
+    for (const std::string& j : reply.jurisdictions) {
+      if (std::find(expect.allowed_jurisdictions.begin(),
+                    expect.allowed_jurisdictions.end(),
+                    j) == expect.allowed_jurisdictions.end()) {
+        violation("traffic can cross forbidden jurisdiction " + j);
+      }
+    }
+  }
+
+  if (expect.require_optimal_path && reply.kind == QueryKind::PathLength) {
+    if (!reply.path_found) {
+      violation("no installed path to the requested peer");
+    } else if (reply.installed_path_length > reply.optimal_path_length) {
+      violation("installed path length " +
+                std::to_string(reply.installed_path_length) +
+                " exceeds optimum " +
+                std::to_string(reply.optimal_path_length));
+    }
+  }
+
+  return v;
+}
+
+}  // namespace rvaas::core

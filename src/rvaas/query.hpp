@@ -1,0 +1,134 @@
+#pragma once
+// The RVaaS query interface (§IV.A of the paper): what clients can ask and
+// what they get back. Queries go over the in-band channel sealed to the
+// RVaaS enclave; replies come back signed by it.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdn/match.hpp"
+#include "sdn/types.hpp"
+
+namespace rvaas::core {
+
+enum class QueryKind : std::uint8_t {
+  ReachableEndpoints = 0,  ///< which endpoints can my traffic reach?
+  ReachingSources,         ///< which sources have routes reaching me?
+  Isolation,               ///< both directions: my communication closure
+  Geo,                     ///< which jurisdictions can my traffic cross?
+  PathLength,              ///< is my route to a peer length-optimal?
+  Fairness,                ///< are my flows shaped worse than others'?
+  TransferSummary,         ///< compact transfer function of my service
+};
+
+const char* to_string(QueryKind kind);
+
+struct Query {
+  QueryKind kind = QueryKind::ReachableEndpoints;
+  /// Field-level constraint on the traffic the question is about
+  /// (e.g. "only TCP to port 443"); empty = all of the client's traffic.
+  sdn::Match constraint;
+  /// Target peer for PathLength.
+  std::optional<sdn::HostId> peer;
+
+  void serialize(util::ByteWriter& w) const;
+  static Query deserialize(util::ByteReader& r);
+};
+
+/// What a client sends (inside a sealed box).
+struct QueryRequest {
+  std::uint64_t request_id = 0;
+  sdn::HostId client{};
+  Query query;
+
+  void serialize(util::ByteWriter& w) const;
+  static QueryRequest deserialize(util::ByteReader& r);
+};
+
+/// One endpoint in a reply, with its authentication outcome.
+struct EndpointInfo {
+  sdn::PortRef access_point;
+  /// No host is attached at this port per the wiring plan (an unsupervised
+  /// egress: exfiltration indicator).
+  bool dark = false;
+  /// An authentication round-trip completed with a valid signature.
+  bool authenticated = false;
+  /// The verified identity (only when authenticated).
+  std::optional<sdn::HostId> authenticated_as;
+
+  void serialize(util::ByteWriter& w) const;
+  static EndpointInfo deserialize(util::ByteReader& r);
+};
+
+/// "The server also forwards to the client the total number of
+/// authentication requests that were made, such that it can detect cases
+/// where some access points did not respond." (§IV.B.1)
+struct AuthSummary {
+  std::uint32_t issued = 0;
+  std::uint32_t responded = 0;
+};
+
+struct FairnessMetric {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct TransferSummaryEntry {
+  sdn::PortRef egress;
+  std::uint32_t cube_count = 0;
+};
+
+struct QueryReply {
+  std::uint64_t request_id = 0;
+  QueryKind kind = QueryKind::ReachableEndpoints;
+
+  // Reach / sources / isolation:
+  std::vector<EndpointInfo> endpoints;
+  AuthSummary auth;
+
+  // Geo:
+  std::vector<std::string> jurisdictions;
+
+  // PathLength:
+  bool path_found = false;
+  std::uint32_t installed_path_length = 0;
+  std::uint32_t optimal_path_length = 0;
+
+  // Fairness:
+  std::vector<FairnessMetric> fairness;
+
+  // TransferSummary:
+  std::vector<TransferSummaryEntry> transfer_summary;
+
+  /// Extra disclosures (only under the FullPaths confidentiality strawman;
+  /// used by experiment E5 to quantify leakage).
+  std::vector<std::string> disclosed_paths;
+
+  void serialize(util::ByteWriter& w) const;
+  static QueryReply deserialize(util::ByteReader& r);
+  /// Canonical byte string covered by the RVaaS signature.
+  util::Bytes signing_payload() const;
+};
+
+/// Client-side policy: what the client expects of its routing service.
+struct Expectation {
+  /// Endpoint whitelist; empty = any authenticated endpoint is acceptable.
+  std::vector<sdn::HostId> allowed_endpoints;
+  /// Jurisdiction whitelist for Geo replies; empty = no geo policy.
+  std::vector<std::string> allowed_jurisdictions;
+  /// Require every reported endpoint to have authenticated.
+  bool require_full_auth = true;
+  /// Require the installed path to be length-optimal (PathLength).
+  bool require_optimal_path = false;
+};
+
+struct Verdict {
+  bool ok = true;
+  std::vector<std::string> violations;
+};
+
+/// Client-side check of a (signature-verified) reply against expectations.
+Verdict evaluate_reply(const QueryReply& reply, const Expectation& expect);
+
+}  // namespace rvaas::core

@@ -1,0 +1,126 @@
+#include "rvaas/snapshot.hpp"
+
+#include <algorithm>
+
+namespace rvaas::core {
+
+using sdn::FlowEntry;
+using sdn::FlowUpdateKind;
+
+void SnapshotManager::record(sim::Time t, sdn::SwitchId sw,
+                             FlowUpdateKind kind, const FlowEntry& entry) {
+  history_.push_back(HistoryRecord{t, sw, kind, entry});
+  while (history_.size() > history_limit_) history_.pop_front();
+}
+
+void SnapshotManager::apply_update(const sdn::FlowUpdate& update,
+                                   sim::Time now) {
+  ++events_applied_;
+  auto& table = tables_[update.sw];
+  switch (update.kind) {
+    case FlowUpdateKind::Added:
+    case FlowUpdateKind::Modified:
+      table[update.entry.id] = update.entry;
+      break;
+    case FlowUpdateKind::Removed:
+      table.erase(update.entry.id);
+      break;
+  }
+  record(now, update.sw, update.kind, update.entry);
+}
+
+void SnapshotManager::reconcile(const sdn::StatsReply& reply, sim::Time now) {
+  ++polls_applied_;
+  auto& table = tables_[reply.sw];
+
+  std::map<sdn::FlowEntryId, const FlowEntry*> actual;
+  for (const FlowEntry& e : reply.entries) actual[e.id] = &e;
+
+  // Entries the switch has that we did not know about.
+  for (const auto& [id, entry] : actual) {
+    const auto it = table.find(id);
+    if (it == table.end()) {
+      discrepancies_.push_back(Discrepancy{
+          now, reply.sw,
+          "poll found unknown entry id " + std::to_string(id.value) +
+              " (match " + entry->match.to_string() + ")"});
+      record(now, reply.sw, FlowUpdateKind::Added, *entry);
+      table[id] = *entry;
+    } else if (!(it->second == *entry)) {
+      discrepancies_.push_back(Discrepancy{
+          now, reply.sw,
+          "poll found modified entry id " + std::to_string(id.value)});
+      record(now, reply.sw, FlowUpdateKind::Modified, *entry);
+      it->second = *entry;
+    }
+  }
+
+  // Entries we believed in that the switch no longer has.
+  for (auto it = table.begin(); it != table.end();) {
+    if (!actual.contains(it->first)) {
+      discrepancies_.push_back(Discrepancy{
+          now, reply.sw,
+          "poll shows entry id " + std::to_string(it->first.value) +
+              " vanished"});
+      record(now, reply.sw, FlowUpdateKind::Removed, it->second);
+      it = table.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  meters_[reply.sw] = reply.meters;
+}
+
+std::map<sdn::SwitchId, std::vector<FlowEntry>> SnapshotManager::table_dump()
+    const {
+  std::map<sdn::SwitchId, std::vector<FlowEntry>> out;
+  for (const auto& [sw, table] : tables_) {
+    std::vector<FlowEntry> entries;
+    entries.reserve(table.size());
+    for (const auto& [_, e] : table) entries.push_back(e);
+    std::sort(entries.begin(), entries.end(),
+              [](const FlowEntry& a, const FlowEntry& b) {
+                if (a.priority != b.priority) return a.priority > b.priority;
+                return a.id > b.id;
+              });
+    out[sw] = std::move(entries);
+  }
+  return out;
+}
+
+std::vector<HistoryRecord> SnapshotManager::short_lived(
+    sim::Time max_dwell) const {
+  std::vector<HistoryRecord> out;
+  // For each Added record, look for a matching Removed within max_dwell.
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const HistoryRecord& add = history_[i];
+    if (add.kind != FlowUpdateKind::Added) continue;
+    for (std::size_t j = i + 1; j < history_.size(); ++j) {
+      const HistoryRecord& rem = history_[j];
+      if (rem.t - add.t > max_dwell) break;
+      if (rem.kind == FlowUpdateKind::Removed && rem.sw == add.sw &&
+          rem.entry.id == add.entry.id) {
+        out.push_back(add);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t SnapshotManager::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, table] : tables_) n += table.size();
+  return n;
+}
+
+std::size_t SnapshotManager::approx_memory_bytes() const {
+  // Rough model: a flow entry costs ~sizeof(FlowEntry) plus its match
+  // vector; history records add the same per record.
+  constexpr std::size_t kPerEntry = sizeof(sdn::FlowEntry) + 64;
+  return entry_count() * kPerEntry + history_.size() * (kPerEntry + 24) +
+         discrepancies_.size() * 96;
+}
+
+}  // namespace rvaas::core

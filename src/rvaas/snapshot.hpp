@@ -1,0 +1,95 @@
+#pragma once
+// The RVaaS controller's view of the network configuration (§IV.A.1):
+// maintained passively from flow-monitor events, reconciled actively from
+// randomized stats polls, with a change history that defends against
+// short-term reconfiguration attacks.
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdn/openflow.hpp"
+#include "sim/event_loop.hpp"
+
+namespace rvaas::core {
+
+struct HistoryRecord {
+  sim::Time t = 0;
+  sdn::SwitchId sw{};
+  sdn::FlowUpdateKind kind = sdn::FlowUpdateKind::Added;
+  sdn::FlowEntry entry;
+};
+
+/// A disagreement between the passive view and an active poll — with trusted
+/// switches this indicates lost events or an active attack on monitoring.
+struct Discrepancy {
+  sim::Time t = 0;
+  sdn::SwitchId sw{};
+  std::string description;
+};
+
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(std::size_t history_limit = 1 << 16)
+      : history_limit_(history_limit) {}
+
+  /// Passive path: a flow-monitor event.
+  void apply_update(const sdn::FlowUpdate& update, sim::Time now);
+
+  /// Active path: reconciles a full stats dump against the current view.
+  /// Differences are recorded as discrepancies AND adopted (the switch is
+  /// the authority).
+  void reconcile(const sdn::StatsReply& reply, sim::Time now);
+
+  /// Entries per switch in match order (priority desc, id desc), the input
+  /// to transfer-function compilation.
+  std::map<sdn::SwitchId, std::vector<sdn::FlowEntry>> table_dump() const;
+
+  /// Latest meter configuration seen per switch (from stats polls).
+  const std::map<sdn::SwitchId,
+                 std::vector<std::pair<sdn::MeterId, sdn::MeterConfig>>>&
+  meters() const {
+    return meters_;
+  }
+
+  const std::deque<HistoryRecord>& history() const { return history_; }
+  const std::vector<Discrepancy>& discrepancies() const {
+    return discrepancies_;
+  }
+
+  /// Rules that were added and removed again within `max_dwell` — the
+  /// signature of a reconfiguration (flapping) attack.
+  std::vector<HistoryRecord> short_lived(sim::Time max_dwell) const;
+
+  /// true iff some history record matches the predicate.
+  template <class Pred>
+  bool history_contains(Pred&& pred) const {
+    for (const HistoryRecord& rec : history_) {
+      if (pred(rec)) return true;
+    }
+    return false;
+  }
+
+  std::uint64_t events_applied() const { return events_applied_; }
+  std::uint64_t polls_applied() const { return polls_applied_; }
+  std::size_t entry_count() const;
+  /// Rough memory footprint of the view + history (experiment E7).
+  std::size_t approx_memory_bytes() const;
+
+ private:
+  void record(sim::Time t, sdn::SwitchId sw, sdn::FlowUpdateKind kind,
+              const sdn::FlowEntry& entry);
+
+  std::map<sdn::SwitchId, std::map<sdn::FlowEntryId, sdn::FlowEntry>> tables_;
+  std::map<sdn::SwitchId,
+           std::vector<std::pair<sdn::MeterId, sdn::MeterConfig>>>
+      meters_;
+  std::deque<HistoryRecord> history_;
+  std::vector<Discrepancy> discrepancies_;
+  std::size_t history_limit_;
+  std::uint64_t events_applied_ = 0;
+  std::uint64_t polls_applied_ = 0;
+};
+
+}  // namespace rvaas::core

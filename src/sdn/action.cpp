@@ -1,0 +1,124 @@
+#include "sdn/action.hpp"
+
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::sdn {
+
+std::string to_string(const Action& a) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& act) {
+        using T = std::decay_t<decltype(act)>;
+        if constexpr (std::is_same_v<T, OutputAction>) {
+          os << "output:" << act.port.value;
+        } else if constexpr (std::is_same_v<T, ControllerAction>) {
+          os << "controller";
+        } else if constexpr (std::is_same_v<T, DropAction>) {
+          os << "drop";
+        } else if constexpr (std::is_same_v<T, SetFieldAction>) {
+          os << "set:" << field_info(act.field).name << "=" << std::hex
+             << act.value;
+        } else if constexpr (std::is_same_v<T, PushVlanAction>) {
+          os << "push_vlan:" << act.vid;
+        } else if constexpr (std::is_same_v<T, PopVlanAction>) {
+          os << "pop_vlan";
+        } else if constexpr (std::is_same_v<T, DecTtlAction>) {
+          os << "dec_ttl";
+        }
+      },
+      a);
+  return os.str();
+}
+
+std::string to_string(const ActionList& list) {
+  std::string out;
+  for (const Action& a : list) {
+    if (!out.empty()) out += ",";
+    out += to_string(a);
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+namespace {
+enum class ActionTag : std::uint8_t {
+  Output = 0,
+  Controller,
+  Drop,
+  SetField,
+  PushVlan,
+  PopVlan,
+  DecTtl,
+};
+}  // namespace
+
+void serialize(util::ByteWriter& w, const ActionList& list) {
+  w.put_u32(static_cast<std::uint32_t>(list.size()));
+  for (const Action& a : list) {
+    std::visit(
+        [&w](const auto& act) {
+          using T = std::decay_t<decltype(act)>;
+          if constexpr (std::is_same_v<T, OutputAction>) {
+            w.put_u8(static_cast<std::uint8_t>(ActionTag::Output));
+            w.put_u32(act.port.value);
+          } else if constexpr (std::is_same_v<T, ControllerAction>) {
+            w.put_u8(static_cast<std::uint8_t>(ActionTag::Controller));
+          } else if constexpr (std::is_same_v<T, DropAction>) {
+            w.put_u8(static_cast<std::uint8_t>(ActionTag::Drop));
+          } else if constexpr (std::is_same_v<T, SetFieldAction>) {
+            w.put_u8(static_cast<std::uint8_t>(ActionTag::SetField));
+            w.put_u8(static_cast<std::uint8_t>(act.field));
+            w.put_u64(act.value);
+          } else if constexpr (std::is_same_v<T, PushVlanAction>) {
+            w.put_u8(static_cast<std::uint8_t>(ActionTag::PushVlan));
+            w.put_u64(act.vid);
+          } else if constexpr (std::is_same_v<T, PopVlanAction>) {
+            w.put_u8(static_cast<std::uint8_t>(ActionTag::PopVlan));
+          } else if constexpr (std::is_same_v<T, DecTtlAction>) {
+            w.put_u8(static_cast<std::uint8_t>(ActionTag::DecTtl));
+          }
+        },
+        a);
+  }
+}
+
+ActionList deserialize_actions(util::ByteReader& r) {
+  ActionList list;
+  const auto n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    switch (static_cast<ActionTag>(r.get_u8())) {
+      case ActionTag::Output:
+        list.push_back(OutputAction{PortNo(r.get_u32())});
+        break;
+      case ActionTag::Controller:
+        list.push_back(ControllerAction{});
+        break;
+      case ActionTag::Drop:
+        list.push_back(DropAction{});
+        break;
+      case ActionTag::SetField: {
+        const auto f = static_cast<Field>(r.get_u8());
+        if (static_cast<std::size_t>(f) >= kFieldCount) {
+          throw util::DecodeError("bad field id in action");
+        }
+        list.push_back(SetFieldAction{f, r.get_u64()});
+        break;
+      }
+      case ActionTag::PushVlan:
+        list.push_back(PushVlanAction{r.get_u64()});
+        break;
+      case ActionTag::PopVlan:
+        list.push_back(PopVlanAction{});
+        break;
+      case ActionTag::DecTtl:
+        list.push_back(DecTtlAction{});
+        break;
+      default:
+        throw util::DecodeError("bad action tag");
+    }
+  }
+  return list;
+}
+
+}  // namespace rvaas::sdn

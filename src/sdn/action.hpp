@@ -1,0 +1,72 @@
+#pragma once
+// OpenFlow-style actions. An action list is applied in order to a working
+// copy of the packet; Output emits a copy with the header state at that
+// point, so rewrite-then-forward and forward-then-rewrite differ, as in
+// OpenFlow.
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sdn/header.hpp"
+#include "sdn/types.hpp"
+
+namespace rvaas::sdn {
+
+struct OutputAction {
+  PortNo port;
+  bool operator==(const OutputAction&) const = default;
+};
+
+/// Punt the packet to the control plane (OpenFlow "output:CONTROLLER").
+struct ControllerAction {
+  bool operator==(const ControllerAction&) const = default;
+};
+
+/// Explicit drop: stops processing the rest of the action list.
+struct DropAction {
+  bool operator==(const DropAction&) const = default;
+};
+
+struct SetFieldAction {
+  Field field;
+  std::uint64_t value;
+  bool operator==(const SetFieldAction&) const = default;
+};
+
+/// Simplified single-tag VLAN model: push sets the vlan field (no tag
+/// stacking), pop clears it to 0 (untagged).
+struct PushVlanAction {
+  std::uint64_t vid;
+  bool operator==(const PushVlanAction&) const = default;
+};
+
+struct PopVlanAction {
+  bool operator==(const PopVlanAction&) const = default;
+};
+
+/// Decrement TTL; a packet whose TTL reaches 0 is dropped and reported to the
+/// control plane (traceroute support).
+struct DecTtlAction {
+  bool operator==(const DecTtlAction&) const = default;
+};
+
+using Action = std::variant<OutputAction, ControllerAction, DropAction,
+                            SetFieldAction, PushVlanAction, PopVlanAction,
+                            DecTtlAction>;
+
+using ActionList = std::vector<Action>;
+
+std::string to_string(const Action& a);
+std::string to_string(const ActionList& list);
+
+void serialize(util::ByteWriter& w, const ActionList& list);
+ActionList deserialize_actions(util::ByteReader& r);
+
+/// Convenience constructors.
+inline Action output(PortNo p) { return OutputAction{p}; }
+inline Action to_controller() { return ControllerAction{}; }
+inline Action drop() { return DropAction{}; }
+inline Action set_field(Field f, std::uint64_t v) { return SetFieldAction{f, v}; }
+
+}  // namespace rvaas::sdn

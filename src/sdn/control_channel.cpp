@@ -1,0 +1,26 @@
+#include "sdn/control_channel.hpp"
+
+namespace rvaas::sdn {
+
+util::Bytes ChannelHandshake::challenge_bytes(ControllerId controller,
+                                              SwitchId sw,
+                                              std::uint64_t nonce) {
+  util::ByteWriter w;
+  w.put_string("rvaas-channel-handshake-v1");
+  w.put_u32(controller.value);
+  w.put_u32(sw.value);
+  w.put_u64(nonce);
+  return w.take();
+}
+
+bool verify_handshake(const ChannelHandshake& hs, SwitchId sw,
+                      std::uint64_t nonce,
+                      const std::vector<crypto::KeyId>& authorized) {
+  const bool known = std::find(authorized.begin(), authorized.end(),
+                               hs.key.id()) != authorized.end();
+  if (!known) return false;
+  return hs.key.verify(
+      ChannelHandshake::challenge_bytes(hs.controller, sw, nonce), hs.proof);
+}
+
+}  // namespace rvaas::sdn

@@ -1,0 +1,51 @@
+#pragma once
+// Controller abstraction and authenticated control channels.
+//
+// Switches are configured a priori with the certificate (verify key) of each
+// controller allowed to connect (paper §III: "Switch to RVaaS controller
+// sessions are secured, using encrypted OpenFlow sessions and apriori
+// configured switch certificates for authentication"). Channel establishment
+// performs a signed challenge handshake; unauthenticated controllers get no
+// channel.
+
+#include <functional>
+
+#include "crypto/sign.hpp"
+#include "sdn/openflow.hpp"
+#include "sdn/types.hpp"
+
+namespace rvaas::sdn {
+
+/// Interface implemented by every controller (provider and RVaaS).
+/// Unsolicited switch->controller messages arrive through these callbacks;
+/// solicited replies (flow-mod results, stats) arrive through per-call
+/// callbacks on the ControllerHandle.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  virtual ControllerId id() const = 0;
+
+  virtual void on_packet_in(const PacketIn& /*msg*/) {}
+  virtual void on_flow_update(const FlowUpdate& /*msg*/) {}
+};
+
+/// Proof of controller identity used during the channel handshake.
+struct ChannelHandshake {
+  ControllerId controller{};
+  crypto::VerifyKey key;
+  crypto::Signature proof;  ///< over (controller, switch, nonce)
+
+  static util::Bytes challenge_bytes(ControllerId controller, SwitchId sw,
+                                     std::uint64_t nonce);
+};
+
+/// Verifies a handshake against the switch's authorized-key set.
+bool verify_handshake(const ChannelHandshake& hs, SwitchId sw,
+                      std::uint64_t nonce,
+                      const std::vector<crypto::KeyId>& authorized);
+
+using FlowModCallback = std::function<void(SwitchId, const FlowModResult&)>;
+using StatsCallback = std::function<void(const StatsReply&)>;
+
+}  // namespace rvaas::sdn

@@ -1,0 +1,60 @@
+#include "sdn/flow_table.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::sdn {
+
+namespace {
+// Priority descending; ties go to the NEWER entry (matching common switch
+// behaviour where a re-installed overlapping rule takes effect — the
+// query-suppression attack relies on this, and OpenFlow leaves it undefined).
+bool match_order(const FlowEntry& a, const FlowEntry& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.id > b.id;
+}
+}  // namespace
+
+const FlowEntry& FlowTable::add(FlowEntry entry) {
+  entry.id = FlowEntryId(next_id_++);
+  const auto pos =
+      std::lower_bound(entries_.begin(), entries_.end(), entry, match_order);
+  return *entries_.insert(pos, std::move(entry));
+}
+
+const FlowEntry* FlowTable::lookup(const HeaderFields& hdr,
+                                   PortNo in_port) const {
+  for (const FlowEntry& e : entries_) {
+    if (e.match.matches(hdr, in_port)) return &e;
+  }
+  return nullptr;
+}
+
+const FlowEntry* FlowTable::find(FlowEntryId id) const {
+  for (const FlowEntry& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::optional<FlowEntry> FlowTable::remove(FlowEntryId id) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [id](const FlowEntry& e) { return e.id == id; });
+  if (it == entries_.end()) return std::nullopt;
+  FlowEntry removed = std::move(*it);
+  entries_.erase(it);
+  return removed;
+}
+
+bool FlowTable::modify(FlowEntryId id, ActionList actions,
+                       std::optional<MeterId> meter) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [id](const FlowEntry& e) { return e.id == id; });
+  if (it == entries_.end()) return false;
+  it->actions = std::move(actions);
+  it->meter = meter;
+  return true;
+}
+
+}  // namespace rvaas::sdn

@@ -1,0 +1,59 @@
+#pragma once
+// Priority flow table with per-entry controller ownership.
+//
+// Ownership models the paper's trust split: switches are trusted and
+// initially configured correctly, and sessions are authenticated, so a
+// compromised provider controller cannot modify or delete entries installed
+// by the RVaaS controller (it can still install its own rules at any
+// priority — RVaaS *detects*, it does not prevent).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sdn/action.hpp"
+#include "sdn/match.hpp"
+#include "sdn/types.hpp"
+
+namespace rvaas::sdn {
+
+struct FlowEntry {
+  FlowEntryId id{};         ///< assigned by the table on insertion
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;  ///< opaque controller-chosen tag
+  Match match;
+  ActionList actions;
+  std::optional<MeterId> meter;
+  ControllerId owner{};
+
+  bool operator==(const FlowEntry&) const = default;
+};
+
+class FlowTable {
+ public:
+  /// Inserts a new entry and assigns its id.
+  const FlowEntry& add(FlowEntry entry);
+
+  /// Highest-priority matching entry (ties broken toward the newer
+  /// installation, deterministically). nullptr on table miss.
+  const FlowEntry* lookup(const HeaderFields& hdr, PortNo in_port) const;
+
+  const FlowEntry* find(FlowEntryId id) const;
+
+  /// Removes by id; returns the removed entry if present.
+  std::optional<FlowEntry> remove(FlowEntryId id);
+
+  /// Replaces actions/meter of an entry, keeping id/priority/match.
+  bool modify(FlowEntryId id, ActionList actions, std::optional<MeterId> meter);
+
+  /// Entries sorted by (priority desc, id desc) — match order.
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<FlowEntry> entries_;  // kept sorted in match order
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace rvaas::sdn

@@ -1,0 +1,109 @@
+#include "sdn/header.hpp"
+
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::sdn {
+
+std::uint64_t HeaderFields::get(Field f) const {
+  switch (f) {
+    case Field::EthDst:
+      return eth_dst;
+    case Field::EthSrc:
+      return eth_src;
+    case Field::EthType:
+      return eth_type;
+    case Field::Vlan:
+      return vlan;
+    case Field::IpSrc:
+      return ip_src;
+    case Field::IpDst:
+      return ip_dst;
+    case Field::IpProto:
+      return ip_proto;
+    case Field::L4Src:
+      return l4_src;
+    case Field::L4Dst:
+      return l4_dst;
+  }
+  util::unreachable("bad Field");
+}
+
+void HeaderFields::set(Field f, std::uint64_t value) {
+  util::ensure((value & ~field_mask(f)) == 0,
+               std::string("value does not fit field ") + field_info(f).name);
+  switch (f) {
+    case Field::EthDst:
+      eth_dst = value;
+      return;
+    case Field::EthSrc:
+      eth_src = value;
+      return;
+    case Field::EthType:
+      eth_type = value;
+      return;
+    case Field::Vlan:
+      vlan = value;
+      return;
+    case Field::IpSrc:
+      ip_src = value;
+      return;
+    case Field::IpDst:
+      ip_dst = value;
+      return;
+    case Field::IpProto:
+      ip_proto = value;
+      return;
+    case Field::L4Src:
+      l4_src = value;
+      return;
+    case Field::L4Dst:
+      l4_dst = value;
+      return;
+  }
+  util::unreachable("bad Field");
+}
+
+std::string HeaderFields::to_string() const {
+  std::ostringstream os;
+  os << std::hex;
+  for (const auto& info : kFields) {
+    os << info.name << "=" << get(info.field) << " ";
+  }
+  std::string s = os.str();
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+void HeaderFields::serialize(util::ByteWriter& w) const {
+  for (const auto& info : kFields) w.put_u64(get(info.field));
+}
+
+HeaderFields HeaderFields::deserialize(util::ByteReader& r) {
+  HeaderFields h;
+  for (const auto& info : kFields) {
+    const std::uint64_t v = r.get_u64();
+    if ((v & ~field_mask(info.field)) != 0) {
+      throw util::DecodeError("field value out of range");
+    }
+    h.set(info.field, v);
+  }
+  return h;
+}
+
+void Packet::serialize(util::ByteWriter& w) const {
+  hdr.serialize(w);
+  w.put_u8(ttl);
+  w.put_bytes(payload);
+}
+
+Packet Packet::deserialize(util::ByteReader& r) {
+  Packet p;
+  p.hdr = HeaderFields::deserialize(r);
+  p.ttl = r.get_u8();
+  p.payload = r.get_bytes();
+  return p;
+}
+
+}  // namespace rvaas::sdn

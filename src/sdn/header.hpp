@@ -1,0 +1,113 @@
+#pragma once
+// Packet header model. A fixed set of match-relevant fields (the OpenFlow
+// 1.0-style 9-tuple minus physical port, which is handled separately) with a
+// canonical bit layout shared with the HSA engine: field bit offsets below
+// define positions inside the 228-bit header vector.
+//
+// TTL is deliberately *not* part of the header vector: it is data-plane
+// state used by dec-TTL/traceroute and would poison header-space analysis
+// with irrelevant dimensions. It lives on the Packet instead.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace rvaas::sdn {
+
+enum class Field : std::uint8_t {
+  EthDst = 0,
+  EthSrc,
+  EthType,
+  Vlan,
+  IpSrc,
+  IpDst,
+  IpProto,
+  L4Src,
+  L4Dst,
+};
+
+inline constexpr std::size_t kFieldCount = 9;
+
+struct FieldInfo {
+  Field field;
+  std::uint16_t offset;  ///< bit offset in the header vector
+  std::uint16_t width;   ///< bits
+  const char* name;
+};
+
+/// Canonical layout. Total width = 228 bits.
+inline constexpr std::array<FieldInfo, kFieldCount> kFields{{
+    {Field::EthDst, 0, 48, "eth_dst"},
+    {Field::EthSrc, 48, 48, "eth_src"},
+    {Field::EthType, 96, 16, "eth_type"},
+    {Field::Vlan, 112, 12, "vlan"},
+    {Field::IpSrc, 124, 32, "ip_src"},
+    {Field::IpDst, 156, 32, "ip_dst"},
+    {Field::IpProto, 188, 8, "ip_proto"},
+    {Field::L4Src, 196, 16, "l4_src"},
+    {Field::L4Dst, 212, 16, "l4_dst"},
+}};
+
+inline constexpr std::size_t kHeaderBits = 228;
+
+constexpr const FieldInfo& field_info(Field f) {
+  return kFields[static_cast<std::size_t>(f)];
+}
+
+/// All-ones mask of a field's width.
+constexpr std::uint64_t field_mask(Field f) {
+  const auto w = field_info(f).width;
+  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
+/// Common EtherType / protocol constants used by scenarios.
+inline constexpr std::uint64_t kEthTypeIpv4 = 0x0800;
+inline constexpr std::uint64_t kEthTypeLldp = 0x88cc;
+inline constexpr std::uint64_t kIpProtoTcp = 6;
+inline constexpr std::uint64_t kIpProtoUdp = 17;
+
+/// Well-known UDP ports of the in-band protocols (clients and RVaaS agree on
+/// these a priori; the intercept rules match on them).
+inline constexpr std::uint64_t kPortRvaasRequest = 22211;  ///< magic header
+inline constexpr std::uint64_t kPortRvaasAuth = 22212;
+inline constexpr std::uint64_t kPortRvaasReply = 22213;
+inline constexpr std::uint64_t kPortTraceroute = 33434;
+inline constexpr std::uint64_t kPortTracerouteReply = 33435;
+
+/// Concrete header values.
+struct HeaderFields {
+  std::uint64_t eth_dst = 0;
+  std::uint64_t eth_src = 0;
+  std::uint64_t eth_type = kEthTypeIpv4;
+  std::uint64_t vlan = 0;  ///< 0 = untagged
+  std::uint64_t ip_src = 0;
+  std::uint64_t ip_dst = 0;
+  std::uint64_t ip_proto = kIpProtoUdp;
+  std::uint64_t l4_src = 0;
+  std::uint64_t l4_dst = 0;
+
+  std::uint64_t get(Field f) const;
+  /// Sets a field; value must fit in the field's width.
+  void set(Field f, std::uint64_t value);
+
+  bool operator==(const HeaderFields&) const = default;
+
+  std::string to_string() const;
+
+  void serialize(util::ByteWriter& w) const;
+  static HeaderFields deserialize(util::ByteReader& r);
+};
+
+/// A packet: header + TTL + opaque payload.
+struct Packet {
+  HeaderFields hdr;
+  std::uint8_t ttl = 64;
+  util::Bytes payload;
+
+  void serialize(util::ByteWriter& w) const;
+  static Packet deserialize(util::ByteReader& r);
+};
+
+}  // namespace rvaas::sdn

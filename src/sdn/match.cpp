@@ -1,0 +1,93 @@
+#include "sdn/match.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::sdn {
+
+Match& Match::in_port(PortNo p) {
+  in_port_ = p;
+  return *this;
+}
+
+Match& Match::exact(Field f, std::uint64_t value) {
+  return masked(f, value, field_mask(f));
+}
+
+Match& Match::prefix(Field f, std::uint64_t value, unsigned prefix_len) {
+  const unsigned width = field_info(f).width;
+  util::ensure(prefix_len <= width, "prefix longer than field width");
+  if (prefix_len == 0) return *this;  // wildcard: no constraint
+  const std::uint64_t mask =
+      (field_mask(f) >> (width - prefix_len)) << (width - prefix_len);
+  return masked(f, value & mask, mask);
+}
+
+Match& Match::masked(Field f, std::uint64_t value, std::uint64_t mask) {
+  util::ensure((mask & ~field_mask(f)) == 0, "mask exceeds field width");
+  util::ensure((value & ~mask) == 0, "value has bits outside mask");
+  auto it = std::find_if(fields_.begin(), fields_.end(),
+                         [f](const FieldMatch& m) { return m.field == f; });
+  if (it != fields_.end()) {
+    *it = FieldMatch{f, value, mask};
+  } else {
+    fields_.push_back(FieldMatch{f, value, mask});
+  }
+  return *this;
+}
+
+bool Match::matches(const HeaderFields& hdr, PortNo ingress) const {
+  if (in_port_ && *in_port_ != ingress) return false;
+  return matches_fields(hdr);
+}
+
+bool Match::matches_fields(const HeaderFields& hdr) const {
+  for (const FieldMatch& m : fields_) {
+    if ((hdr.get(m.field) & m.mask) != m.value) return false;
+  }
+  return true;
+}
+
+std::string Match::to_string() const {
+  std::ostringstream os;
+  if (in_port_) os << "in_port=" << in_port_->value << " ";
+  os << std::hex;
+  for (const FieldMatch& m : fields_) {
+    os << field_info(m.field).name << "=" << m.value << "/" << m.mask << " ";
+  }
+  std::string s = os.str();
+  if (s.empty()) return "*";
+  s.pop_back();
+  return s;
+}
+
+void Match::serialize(util::ByteWriter& w) const {
+  w.put_bool(in_port_.has_value());
+  if (in_port_) w.put_u32(in_port_->value);
+  w.put_u32(static_cast<std::uint32_t>(fields_.size()));
+  for (const FieldMatch& m : fields_) {
+    w.put_u8(static_cast<std::uint8_t>(m.field));
+    w.put_u64(m.value);
+    w.put_u64(m.mask);
+  }
+}
+
+Match Match::deserialize(util::ByteReader& r) {
+  Match m;
+  if (r.get_bool()) m.in_port_ = PortNo(r.get_u32());
+  const auto n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto f = static_cast<Field>(r.get_u8());
+    if (static_cast<std::size_t>(f) >= kFieldCount) {
+      throw util::DecodeError("bad field id");
+    }
+    const auto value = r.get_u64();
+    const auto mask = r.get_u64();
+    m.masked(f, value, mask);
+  }
+  return m;
+}
+
+}  // namespace rvaas::sdn

@@ -1,0 +1,53 @@
+#pragma once
+// OpenFlow-style match: optional ingress-port constraint plus per-field
+// masked value matches (exact, prefix, arbitrary mask, or wildcard).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdn/header.hpp"
+#include "sdn/types.hpp"
+
+namespace rvaas::sdn {
+
+/// One field constraint: header.get(field) & mask == value.
+struct FieldMatch {
+  Field field;
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;
+
+  bool operator==(const FieldMatch&) const = default;
+};
+
+class Match {
+ public:
+  /// Wildcard match (matches everything).
+  Match() = default;
+
+  Match& in_port(PortNo p);
+  Match& exact(Field f, std::uint64_t value);
+  /// CIDR-style prefix on a field (high `prefix_len` bits significant).
+  Match& prefix(Field f, std::uint64_t value, unsigned prefix_len);
+  Match& masked(Field f, std::uint64_t value, std::uint64_t mask);
+
+  bool matches(const HeaderFields& hdr, PortNo ingress) const;
+  /// Field-only part (ignores in_port); used by packet-out action matching.
+  bool matches_fields(const HeaderFields& hdr) const;
+
+  const std::optional<PortNo>& in_port() const { return in_port_; }
+  const std::vector<FieldMatch>& field_matches() const { return fields_; }
+
+  bool operator==(const Match&) const = default;
+
+  std::string to_string() const;
+
+  void serialize(util::ByteWriter& w) const;
+  static Match deserialize(util::ByteReader& r);
+
+ private:
+  std::optional<PortNo> in_port_;
+  std::vector<FieldMatch> fields_;  // at most one entry per field
+};
+
+}  // namespace rvaas::sdn

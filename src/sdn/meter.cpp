@@ -1,0 +1,29 @@
+#include "sdn/meter.hpp"
+
+#include <algorithm>
+
+namespace rvaas::sdn {
+
+bool TokenBucket::consume(sim::Time now, std::uint64_t bytes) {
+  if (now > last_refill_) {
+    const double elapsed_s =
+        static_cast<double>(now - last_refill_) / sim::kSecond;
+    tokens_ = std::min(static_cast<double>(config_.burst_bytes),
+                       tokens_ + elapsed_s * static_cast<double>(config_.rate_bps) / 8.0);
+    last_refill_ = now;
+  }
+  const auto need = static_cast<double>(bytes);
+  if (tokens_ >= need) {
+    tokens_ -= need;
+    return true;
+  }
+  return false;
+}
+
+std::optional<MeterConfig> MeterTable::get(MeterId id) const {
+  const auto it = configs_.find(id);
+  if (it == configs_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rvaas::sdn

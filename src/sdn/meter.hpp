@@ -1,0 +1,51 @@
+#pragma once
+// OpenFlow-style meters: token-bucket rate limiters referenced by flow
+// entries. Used by the fairness / network-neutrality experiments (E10).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "sdn/types.hpp"
+#include "sim/event_loop.hpp"
+
+namespace rvaas::sdn {
+
+struct MeterConfig {
+  std::uint64_t rate_bps = 0;     ///< sustained rate, bits per second
+  std::uint64_t burst_bytes = 0;  ///< bucket depth
+
+  bool operator==(const MeterConfig&) const = default;
+};
+
+/// Token bucket evaluated in simulated time.
+class TokenBucket {
+ public:
+  explicit TokenBucket(MeterConfig config)
+      : config_(config), tokens_(static_cast<double>(config.burst_bytes)) {}
+
+  /// Consumes `bytes` at time `now`; false means the packet exceeds the rate
+  /// (metered drop).
+  bool consume(sim::Time now, std::uint64_t bytes);
+
+  const MeterConfig& config() const { return config_; }
+
+ private:
+  MeterConfig config_;
+  double tokens_;
+  sim::Time last_refill_ = 0;
+};
+
+/// Per-switch meter configuration table.
+class MeterTable {
+ public:
+  void set(MeterId id, MeterConfig config) { configs_[id] = config; }
+  bool erase(MeterId id) { return configs_.erase(id) > 0; }
+  std::optional<MeterConfig> get(MeterId id) const;
+  const std::map<MeterId, MeterConfig>& all() const { return configs_; }
+
+ private:
+  std::map<MeterId, MeterConfig> configs_;
+};
+
+}  // namespace rvaas::sdn

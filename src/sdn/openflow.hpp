@@ -1,0 +1,94 @@
+#pragma once
+// OpenFlow-like control-plane messages. Messages are typed in-memory structs
+// (the simulation does not serialize the control channel; it *does* model its
+// latency and authentication — see control_channel.hpp).
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "sdn/flow_table.hpp"
+#include "sdn/header.hpp"
+#include "sdn/meter.hpp"
+#include "sdn/types.hpp"
+
+namespace rvaas::sdn {
+
+enum class FlowModCommand { Add, Modify, Delete };
+
+struct FlowMod {
+  FlowModCommand command = FlowModCommand::Add;
+  // Add:
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;
+  Match match;
+  ActionList actions;
+  std::optional<MeterId> meter;
+  // Modify/Delete:
+  FlowEntryId target{};
+};
+
+struct MeterMod {
+  bool remove = false;
+  MeterId id{};
+  MeterConfig config;
+};
+
+enum class PacketInReason { ActionToController, TtlExpired };
+
+/// Switch -> controller: a punted packet.
+struct PacketIn {
+  SwitchId sw{};
+  PortNo in_port{};
+  Packet packet;
+  PacketInReason reason = PacketInReason::ActionToController;
+  std::uint64_t cookie = 0;  ///< cookie of the triggering rule (0 for TTL)
+};
+
+/// Controller -> switch: emit a packet at a port (or run an action list).
+struct PacketOut {
+  SwitchId sw{};
+  ActionList actions;  ///< typically a single OutputAction
+  Packet packet;
+};
+
+enum class FlowUpdateKind { Added, Removed, Modified };
+
+/// Switch -> monitoring controllers: a flow-table change notification
+/// (OpenFlow "flow monitor"). This is the backbone of RVaaS's *passive*
+/// configuration monitoring.
+struct FlowUpdate {
+  SwitchId sw{};
+  FlowUpdateKind kind = FlowUpdateKind::Added;
+  FlowEntry entry;
+};
+
+/// Switch -> controller: full configuration dump (answer to a stats
+/// request). Backbone of RVaaS's *active* polling.
+struct StatsReply {
+  SwitchId sw{};
+  std::vector<FlowEntry> entries;
+  std::vector<std::pair<MeterId, MeterConfig>> meters;
+};
+
+enum class ErrorCode {
+  NotOwner,       ///< tried to modify/delete another controller's entry
+  UnknownEntry,   ///< target id not in the table
+  BadPort,        ///< action references a port that does not exist
+  Unauthorized,   ///< channel authentication failed
+};
+
+struct ErrorMsg {
+  SwitchId sw{};
+  ErrorCode code{};
+};
+
+/// Result of a FlowMod: the assigned entry id, or an error.
+struct FlowModResult {
+  std::optional<FlowEntryId> id;
+  std::optional<ErrorCode> error;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+}  // namespace rvaas::sdn

@@ -1,0 +1,168 @@
+#include "sdn/switch.hpp"
+
+#include "util/ensure.hpp"
+
+namespace rvaas::sdn {
+
+PipelineOutput SwitchSim::process(PortNo in_port, const Packet& packet,
+                                  sim::Time now, bool enforce_meters) {
+  PipelineOutput out;
+  const FlowEntry* entry = table_.lookup(packet.hdr, in_port);
+  if (entry == nullptr) {
+    out.table_miss = true;
+    return out;
+  }
+  if (entry->meter && enforce_meters) {
+    auto it = buckets_.find(*entry->meter);
+    if (it == buckets_.end()) {
+      const auto config = meters_.get(*entry->meter);
+      util::ensure(config.has_value(), "flow entry references missing meter");
+      it = buckets_.emplace(*entry->meter, TokenBucket(*config)).first;
+    }
+    // Approximate wire size: payload plus fixed header overhead.
+    const std::uint64_t bytes = packet.payload.size() + 64;
+    if (!it->second.consume(now, bytes)) {
+      out.metered_drop = true;
+      return out;
+    }
+  }
+  return run_actions(entry->actions, in_port, packet, entry->cookie);
+}
+
+PipelineOutput SwitchSim::run_actions(const ActionList& actions, PortNo in_port,
+                                      const Packet& packet,
+                                      std::uint64_t cookie) {
+  PipelineOutput out;
+  Packet working = packet;
+  for (const Action& action : actions) {
+    bool stop = false;
+    std::visit(
+        [&](const auto& act) {
+          using T = std::decay_t<decltype(act)>;
+          if constexpr (std::is_same_v<T, OutputAction>) {
+            out.forwards.emplace_back(act.port, working);
+          } else if constexpr (std::is_same_v<T, ControllerAction>) {
+            out.punts.push_back(PacketIn{id_, in_port, working,
+                                         PacketInReason::ActionToController,
+                                         cookie});
+          } else if constexpr (std::is_same_v<T, DropAction>) {
+            stop = true;
+          } else if constexpr (std::is_same_v<T, SetFieldAction>) {
+            working.hdr.set(act.field, act.value);
+          } else if constexpr (std::is_same_v<T, PushVlanAction>) {
+            working.hdr.set(Field::Vlan, act.vid);
+          } else if constexpr (std::is_same_v<T, PopVlanAction>) {
+            working.hdr.set(Field::Vlan, 0);
+          } else if constexpr (std::is_same_v<T, DecTtlAction>) {
+            if (working.ttl <= 1) {
+              working.ttl = 0;
+              out.punts.push_back(PacketIn{id_, in_port, working,
+                                           PacketInReason::TtlExpired, cookie});
+              out.ttl_expired = true;
+              stop = true;
+            } else {
+              --working.ttl;
+            }
+          }
+        },
+        action);
+    if (stop) break;
+  }
+  return out;
+}
+
+std::optional<ErrorCode> SwitchSim::validate_actions(
+    const ActionList& actions) const {
+  for (const Action& action : actions) {
+    if (const auto* o = std::get_if<OutputAction>(&action)) {
+      if (o->port.value >= num_ports_) return ErrorCode::BadPort;
+    } else if (const auto* s = std::get_if<SetFieldAction>(&action)) {
+      if ((s->value & ~field_mask(s->field)) != 0) return ErrorCode::BadPort;
+    } else if (const auto* p = std::get_if<PushVlanAction>(&action)) {
+      if (p->vid > 0xfff) return ErrorCode::BadPort;
+    }
+  }
+  return std::nullopt;
+}
+
+FlowModResult SwitchSim::apply_flow_mod(ControllerId from, const FlowMod& mod) {
+  switch (mod.command) {
+    case FlowModCommand::Add: {
+      if (const auto err = validate_actions(mod.actions)) {
+        return FlowModResult{std::nullopt, *err};
+      }
+      if (mod.meter && !meters_.get(*mod.meter)) {
+        return FlowModResult{std::nullopt, ErrorCode::BadPort};
+      }
+      FlowEntry entry;
+      entry.priority = mod.priority;
+      entry.cookie = mod.cookie;
+      entry.match = mod.match;
+      entry.actions = mod.actions;
+      entry.meter = mod.meter;
+      entry.owner = from;
+      const FlowEntry& added = table_.add(std::move(entry));
+      emit_update(FlowUpdateKind::Added, added);
+      return FlowModResult{added.id, std::nullopt};
+    }
+    case FlowModCommand::Modify: {
+      const FlowEntry* existing = table_.find(mod.target);
+      if (existing == nullptr) {
+        return FlowModResult{std::nullopt, ErrorCode::UnknownEntry};
+      }
+      if (existing->owner != from) {
+        return FlowModResult{std::nullopt, ErrorCode::NotOwner};
+      }
+      if (const auto err = validate_actions(mod.actions)) {
+        return FlowModResult{std::nullopt, *err};
+      }
+      table_.modify(mod.target, mod.actions, mod.meter);
+      emit_update(FlowUpdateKind::Modified, *table_.find(mod.target));
+      return FlowModResult{mod.target, std::nullopt};
+    }
+    case FlowModCommand::Delete: {
+      const FlowEntry* existing = table_.find(mod.target);
+      if (existing == nullptr) {
+        return FlowModResult{std::nullopt, ErrorCode::UnknownEntry};
+      }
+      if (existing->owner != from) {
+        return FlowModResult{std::nullopt, ErrorCode::NotOwner};
+      }
+      const auto removed = table_.remove(mod.target);
+      emit_update(FlowUpdateKind::Removed, *removed);
+      return FlowModResult{mod.target, std::nullopt};
+    }
+  }
+  util::unreachable("bad FlowModCommand");
+}
+
+bool SwitchSim::apply_meter_mod(ControllerId /*from*/, const MeterMod& mod) {
+  if (mod.remove) {
+    buckets_.erase(mod.id);
+    return meters_.erase(mod.id);
+  }
+  meters_.set(mod.id, mod.config);
+  buckets_.erase(mod.id);  // reset runtime state on reconfiguration
+  return true;
+}
+
+StatsReply SwitchSim::stats() const {
+  StatsReply reply;
+  reply.sw = id_;
+  reply.entries = table_.entries();
+  for (const auto& [id, config] : meters_.all()) {
+    reply.meters.emplace_back(id, config);
+  }
+  return reply;
+}
+
+void SwitchSim::subscribe_monitor(ControllerId controller, UpdateCallback cb) {
+  monitors_.emplace_back(controller, std::move(cb));
+}
+
+void SwitchSim::emit_update(FlowUpdateKind kind, const FlowEntry& entry) {
+  FlowUpdate update{id_, kind, entry};
+  for (const auto& [_, cb] : monitors_) cb(update);
+}
+
+}  // namespace rvaas::sdn

@@ -1,0 +1,72 @@
+#pragma once
+// The (trusted) OpenFlow switch model: priority flow table, meters, action
+// pipeline, flow-monitor notifications, and per-entry controller ownership.
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sdn/flow_table.hpp"
+#include "sdn/meter.hpp"
+#include "sdn/openflow.hpp"
+#include "sdn/types.hpp"
+#include "sim/event_loop.hpp"
+
+namespace rvaas::sdn {
+
+/// Result of pushing one packet through the pipeline.
+struct PipelineOutput {
+  std::vector<std::pair<PortNo, Packet>> forwards;
+  std::vector<PacketIn> punts;
+  bool table_miss = false;
+  bool metered_drop = false;
+  bool ttl_expired = false;
+};
+
+class SwitchSim {
+ public:
+  SwitchSim(SwitchId id, std::uint32_t num_ports)
+      : id_(id), num_ports_(num_ports) {}
+
+  SwitchId id() const { return id_; }
+  std::uint32_t num_ports() const { return num_ports_; }
+
+  /// Full pipeline: table lookup, meter, actions. Table miss drops (secure
+  /// default). `enforce_meters` is false for functional ground-truth walks.
+  PipelineOutput process(PortNo in_port, const Packet& packet, sim::Time now,
+                         bool enforce_meters);
+
+  /// Runs an explicit action list (packet-out path; no table lookup).
+  PipelineOutput run_actions(const ActionList& actions, PortNo in_port,
+                             const Packet& packet, std::uint64_t cookie);
+
+  /// Applies a FlowMod on behalf of `from` (already authenticated by the
+  /// channel). Enforces per-entry ownership for Modify/Delete.
+  FlowModResult apply_flow_mod(ControllerId from, const FlowMod& mod);
+
+  bool apply_meter_mod(ControllerId from, const MeterMod& mod);
+
+  /// Full configuration dump (active monitoring).
+  StatsReply stats() const;
+
+  const FlowTable& table() const { return table_; }
+  const MeterTable& meters() const { return meters_; }
+
+  /// Flow-monitor subscription. Callbacks fire synchronously on switch state
+  /// change; the Network wraps them to model control-channel latency.
+  using UpdateCallback = std::function<void(const FlowUpdate&)>;
+  void subscribe_monitor(ControllerId controller, UpdateCallback cb);
+
+ private:
+  std::optional<ErrorCode> validate_actions(const ActionList& actions) const;
+  void emit_update(FlowUpdateKind kind, const FlowEntry& entry);
+
+  SwitchId id_;
+  std::uint32_t num_ports_;
+  FlowTable table_;
+  MeterTable meters_;
+  std::map<MeterId, TokenBucket> buckets_;
+  std::vector<std::pair<ControllerId, UpdateCallback>> monitors_;
+};
+
+}  // namespace rvaas::sdn

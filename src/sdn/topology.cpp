@@ -1,0 +1,145 @@
+#include "sdn/topology.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::sdn {
+
+void Topology::add_switch(SwitchId id, std::uint32_t num_ports,
+                          GeoLocation geo) {
+  util::ensure(!has_switch(id), "duplicate switch id");
+  util::ensure(num_ports > 0, "switch needs at least one port");
+  switches_[id] = SwitchRecord{num_ports, std::move(geo)};
+}
+
+LinkId Topology::add_link(PortRef a, PortRef b, sim::Time latency) {
+  util::ensure(valid_port(a) && valid_port(b), "link endpoint does not exist");
+  util::ensure(a != b, "self-link");
+  util::ensure(!link_by_port_.contains(a) && !link_by_port_.contains(b),
+               "port already wired");
+  util::ensure(!host_by_port_.contains(a) && !host_by_port_.contains(b),
+               "port already has a host");
+  const LinkId id(static_cast<std::uint32_t>(links_.size()));
+  links_.push_back(LinkInfo{id, a, b, latency});
+  link_by_port_[a] = links_.size() - 1;
+  link_by_port_[b] = links_.size() - 1;
+  return id;
+}
+
+void Topology::attach_host(HostId host, PortRef port, sim::Time latency) {
+  util::ensure(valid_port(port), "host port does not exist");
+  util::ensure(!link_by_port_.contains(port), "port already wired");
+  util::ensure(!host_by_port_.contains(port), "port already has a host");
+  host_by_port_[port] = Attachment{host, latency};
+  ports_by_host_[host].push_back(port);
+}
+
+bool Topology::has_switch(SwitchId id) const { return switches_.contains(id); }
+
+std::uint32_t Topology::num_ports(SwitchId id) const {
+  const auto it = switches_.find(id);
+  util::ensure(it != switches_.end(), "unknown switch");
+  return it->second.num_ports;
+}
+
+const GeoLocation& Topology::geo(SwitchId id) const {
+  const auto it = switches_.find(id);
+  util::ensure(it != switches_.end(), "unknown switch");
+  return it->second.geo;
+}
+
+void Topology::set_geo(SwitchId id, GeoLocation geo) {
+  const auto it = switches_.find(id);
+  util::ensure(it != switches_.end(), "unknown switch");
+  it->second.geo = std::move(geo);
+}
+
+std::vector<SwitchId> Topology::switches() const {
+  std::vector<SwitchId> out;
+  out.reserve(switches_.size());
+  for (const auto& [id, _] : switches_) out.push_back(id);
+  return out;
+}
+
+std::optional<PortRef> Topology::link_peer(PortRef port) const {
+  const auto it = link_by_port_.find(port);
+  if (it == link_by_port_.end()) return std::nullopt;
+  const LinkInfo& link = links_[it->second];
+  return link.a == port ? link.b : link.a;
+}
+
+sim::Time Topology::link_latency(PortRef port) const {
+  const auto it = link_by_port_.find(port);
+  util::ensure(it != link_by_port_.end(), "port is not wired");
+  return links_[it->second].latency;
+}
+
+std::optional<HostId> Topology::host_at(PortRef port) const {
+  const auto it = host_by_port_.find(port);
+  if (it == host_by_port_.end()) return std::nullopt;
+  return it->second.host;
+}
+
+sim::Time Topology::host_latency(PortRef port) const {
+  const auto it = host_by_port_.find(port);
+  util::ensure(it != host_by_port_.end(), "no host at port");
+  return it->second.latency;
+}
+
+std::vector<PortRef> Topology::host_ports(HostId host) const {
+  const auto it = ports_by_host_.find(host);
+  if (it == ports_by_host_.end()) return {};
+  return it->second;
+}
+
+std::vector<HostId> Topology::hosts() const {
+  std::vector<HostId> out;
+  out.reserve(ports_by_host_.size());
+  for (const auto& [id, _] : ports_by_host_) out.push_back(id);
+  return out;
+}
+
+std::vector<PortRef> Topology::internal_ports(SwitchId id) const {
+  std::vector<PortRef> out;
+  for (std::uint32_t p = 0; p < num_ports(id); ++p) {
+    const PortRef port{id, PortNo(p)};
+    if (link_by_port_.contains(port)) out.push_back(port);
+  }
+  return out;
+}
+
+std::vector<PortRef> Topology::access_ports(SwitchId id) const {
+  std::vector<PortRef> out;
+  for (std::uint32_t p = 0; p < num_ports(id); ++p) {
+    const PortRef port{id, PortNo(p)};
+    if (host_by_port_.contains(port)) out.push_back(port);
+  }
+  return out;
+}
+
+std::vector<PortRef> Topology::all_access_points() const {
+  std::vector<PortRef> out;
+  out.reserve(host_by_port_.size());
+  for (const auto& [port, _] : host_by_port_) out.push_back(port);
+  return out;
+}
+
+std::vector<PortRef> Topology::dark_ports(SwitchId id) const {
+  std::vector<PortRef> out;
+  for (std::uint32_t p = 0; p < num_ports(id); ++p) {
+    const PortRef port{id, PortNo(p)};
+    if (!link_by_port_.contains(port) && !host_by_port_.contains(port)) {
+      out.push_back(port);
+    }
+  }
+  return out;
+}
+
+bool Topology::valid_port(PortRef port) const {
+  const auto it = switches_.find(port.sw);
+  if (it == switches_.end()) return false;
+  return port.port.value < it->second.num_ports;
+}
+
+}  // namespace rvaas::sdn

@@ -1,0 +1,97 @@
+#pragma once
+// Physical network description: switches (with geographic locations), the
+// trusted wiring plan (internal links), and host attachment points.
+//
+// Per the paper's model (§III): "Internal network ports are known, and follow
+// a well-defined wiring plan" — the Topology *is* that wiring plan, and the
+// RVaaS controller receives it at bootstrap.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdn/types.hpp"
+#include "sim/event_loop.hpp"
+
+namespace rvaas::sdn {
+
+/// Geographic placement, used by geo-location queries (§IV.B.2).
+struct GeoLocation {
+  double latitude = 0;
+  double longitude = 0;
+  std::string jurisdiction;  ///< e.g. "DE", "US", "EU-NORTH"
+
+  bool operator==(const GeoLocation&) const = default;
+};
+
+struct LinkInfo {
+  LinkId id{};
+  PortRef a;
+  PortRef b;
+  sim::Time latency = 10 * sim::kMicrosecond;
+};
+
+class Topology {
+ public:
+  void add_switch(SwitchId id, std::uint32_t num_ports,
+                  GeoLocation geo = {});
+
+  /// Connects two switch ports with a bidirectional link.
+  LinkId add_link(PortRef a, PortRef b,
+                  sim::Time latency = 10 * sim::kMicrosecond);
+
+  /// Attaches a host/client NIC to a switch port (an access point). A host
+  /// may have multiple access points; a port holds at most one host.
+  void attach_host(HostId host, PortRef port,
+                   sim::Time latency = 5 * sim::kMicrosecond);
+
+  bool has_switch(SwitchId id) const;
+  std::uint32_t num_ports(SwitchId id) const;
+  const GeoLocation& geo(SwitchId id) const;
+  void set_geo(SwitchId id, GeoLocation geo);
+
+  std::vector<SwitchId> switches() const;
+  std::size_t switch_count() const { return switches_.size(); }
+  const std::vector<LinkInfo>& links() const { return links_; }
+
+  /// The far end of an internal link, if this port is wired.
+  std::optional<PortRef> link_peer(PortRef port) const;
+  sim::Time link_latency(PortRef port) const;
+
+  std::optional<HostId> host_at(PortRef port) const;
+  sim::Time host_latency(PortRef port) const;
+  /// All access points of a host (empty if unknown host).
+  std::vector<PortRef> host_ports(HostId host) const;
+  std::vector<HostId> hosts() const;
+
+  /// Ports of a switch wired to other switches.
+  std::vector<PortRef> internal_ports(SwitchId id) const;
+  /// Ports of a switch with hosts attached.
+  std::vector<PortRef> access_ports(SwitchId id) const;
+  /// All host-facing ports in the network.
+  std::vector<PortRef> all_access_points() const;
+  /// Ports that are neither wired nor host-attached (dark ports — the
+  /// natural target for exfiltration/join attacks).
+  std::vector<PortRef> dark_ports(SwitchId id) const;
+
+  bool valid_port(PortRef port) const;
+
+ private:
+  struct SwitchRecord {
+    std::uint32_t num_ports = 0;
+    GeoLocation geo;
+  };
+  struct Attachment {
+    HostId host;
+    sim::Time latency;
+  };
+
+  std::map<SwitchId, SwitchRecord> switches_;
+  std::vector<LinkInfo> links_;
+  std::map<PortRef, std::size_t> link_by_port_;
+  std::map<PortRef, Attachment> host_by_port_;
+  std::map<HostId, std::vector<PortRef>> ports_by_host_;
+};
+
+}  // namespace rvaas::sdn

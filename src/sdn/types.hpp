@@ -1,0 +1,41 @@
+#pragma once
+// Core identifier types for the SDN substrate.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "util/ids.hpp"
+
+namespace rvaas::sdn {
+
+using SwitchId = util::StrongId<struct SwitchIdTag>;
+using PortNo = util::StrongId<struct PortNoTag>;
+using HostId = util::StrongId<struct HostIdTag>;
+using LinkId = util::StrongId<struct LinkIdTag>;
+using ControllerId = util::StrongId<struct ControllerIdTag>;
+using TenantId = util::StrongId<struct TenantIdTag>;
+using FlowEntryId = util::StrongId<struct FlowEntryIdTag, std::uint64_t>;
+using MeterId = util::StrongId<struct MeterIdTag>;
+
+/// A specific port on a specific switch.
+struct PortRef {
+  SwitchId sw;
+  PortNo port;
+
+  constexpr auto operator<=>(const PortRef&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const PortRef& p) {
+  return os << "s" << p.sw.value << ":p" << p.port.value;
+}
+
+}  // namespace rvaas::sdn
+
+template <>
+struct std::hash<rvaas::sdn::PortRef> {
+  std::size_t operator()(const rvaas::sdn::PortRef& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.sw.value) << 32) | p.port.value);
+  }
+};

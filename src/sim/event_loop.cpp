@@ -1,0 +1,50 @@
+#include "sim/event_loop.hpp"
+
+namespace rvaas::sim {
+
+EventId EventLoop::schedule_at(Time at, std::function<void()> fn) {
+  util::ensure(at >= now_, "cannot schedule events in the past");
+  const EventId id(next_id_++);
+  queue_.push(QueueEntry{at, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventLoop::cancel(EventId id) {
+  return handlers_.erase(id) > 0;  // queue entry is skipped lazily
+}
+
+bool EventLoop::dispatch_next(Time deadline) {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    const auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    if (entry.time > deadline) return false;
+    queue_.pop();
+    now_ = entry.time;
+    auto fn = std::move(it->second);
+    handlers_.erase(it);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_ && dispatch_next(~Time{0})) {
+  }
+}
+
+void EventLoop::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && dispatch_next(deadline)) {
+  }
+  // An early stop() keeps the clock where the stopping event left it.
+  if (!stopped_) now_ = std::max(now_, deadline);
+}
+
+}  // namespace rvaas::sim

@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic discrete-event simulator. All protocol-level behaviour
+// (packet hops, control-channel messages, pollers, timeouts) is scheduled
+// here, so experiments measure reproducible simulated time.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "util/ensure.hpp"
+#include "util/ids.hpp"
+
+namespace rvaas::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+inline double to_ms(Time t) { return static_cast<double>(t) / kMillisecond; }
+inline double to_us(Time t) { return static_cast<double>(t) / kMicrosecond; }
+
+using EventId = util::StrongId<struct EventIdTag, std::uint64_t>;
+
+class EventLoop {
+ public:
+  /// Schedules `fn` at absolute simulated time `at` (must be >= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` after the current time.
+  EventId schedule_after(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; returns false if it already ran / was cancelled.
+  bool cancel(EventId id);
+
+  Time now() const { return now_; }
+  std::size_t pending() const { return handlers_.size(); }
+
+  /// Runs until the queue is empty (or stop() is called).
+  void run();
+
+  /// Runs events with time <= deadline; afterwards now() == max(now, deadline).
+  void run_until(Time deadline);
+
+  /// Stops run()/run_until() after the current event returns.
+  void stop() { stopped_ = true; }
+
+ private:
+  struct QueueEntry {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    EventId id;
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  bool dispatch_next(Time deadline);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  bool stopped_ = false;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace rvaas::sim

@@ -1,0 +1,148 @@
+#pragma once
+// Byte buffer plus bounds-checked little-endian serialization helpers, used
+// by the crypto layer and the in-band wire protocol.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(std::span<const std::uint8_t> b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Append-only serializer (little-endian fixed-width integers, length-prefixed
+/// byte strings).
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void put_u16(std::uint16_t v) {
+    put_u8(static_cast<std::uint8_t>(v));
+    put_u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void put_u32(std::uint32_t v) {
+    put_u16(static_cast<std::uint16_t>(v));
+    put_u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void put_u64(std::uint64_t v) {
+    put_u32(static_cast<std::uint32_t>(v));
+    put_u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  void put_raw(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  /// Length-prefixed (u32) byte string.
+  void put_bytes(std::span<const std::uint8_t> b) {
+    put_u32(static_cast<std::uint32_t>(b.size()));
+    put_raw(b);
+  }
+
+  void put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  const Bytes& data() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Thrown on malformed input (truncated buffers, bad tags). Distinct from
+/// InvariantViolation: decoding errors are expected-at-runtime events.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bounds-checked deserializer matching ByteWriter's format.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Owning overload: keeps rvalue buffers alive for the reader's lifetime
+  /// (prevents dangling spans in `ByteReader r(msg.serialize())`).
+  explicit ByteReader(Bytes&& data)
+      : owned_(std::move(data)), data_(owned_) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t get_u16() {
+    const auto lo = get_u8();
+    const auto hi = get_u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t get_u32() {
+    const std::uint32_t lo = get_u16();
+    const std::uint32_t hi = get_u16();
+    return lo | (hi << 16);
+  }
+
+  std::uint64_t get_u64() {
+    const std::uint64_t lo = get_u32();
+    const std::uint64_t hi = get_u32();
+    return lo | (hi << 32);
+  }
+
+  bool get_bool() { return get_u8() != 0; }
+
+  Bytes get_raw(std::size_t n) {
+    need(n);
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  Bytes get_bytes() {
+    const auto n = get_u32();
+    return get_raw(n);
+  }
+
+  std::string get_string() {
+    const auto b = get_bytes();
+    return to_string(b);
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Requires the buffer to be fully consumed (detects trailing garbage).
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw DecodeError("truncated message");
+  }
+
+  Bytes owned_;  // only used by the owning constructor
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rvaas::util

@@ -1,0 +1,33 @@
+#pragma once
+// Invariant / precondition checking helpers. Violations are programming
+// errors, reported as exceptions so tests can observe them.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace rvaas::util {
+
+/// Thrown when an internal invariant or a caller precondition is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Checks a precondition/invariant; throws InvariantViolation when violated.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantViolation(std::string(loc.file_name()) + ":" +
+                             std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+[[noreturn]] inline void unreachable(
+    const std::string& message,
+    std::source_location loc = std::source_location::current()) {
+  throw InvariantViolation(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": unreachable: " + message);
+}
+
+}  // namespace rvaas::util

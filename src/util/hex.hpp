@@ -1,0 +1,17 @@
+#pragma once
+// Hex encoding/decoding for keys, digests and debug output.
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace rvaas::util {
+
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decodes a hex string (even length, [0-9a-fA-F]); throws DecodeError.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace rvaas::util

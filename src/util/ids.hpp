@@ -1,0 +1,38 @@
+#pragma once
+// Strong ID types. Every entity in the system (switch, port, host, ...) gets
+// its own incompatible integer wrapper so that, e.g., a SwitchId can never be
+// passed where a HostId is expected.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace rvaas::util {
+
+template <class Tag, class Rep = std::uint32_t>
+struct StrongId {
+  using rep_type = Rep;
+
+  Rep value{};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+};
+
+template <class Tag, class Rep>
+std::ostream& operator<<(std::ostream& os, const StrongId<Tag, Rep>& id) {
+  return os << id.value;
+}
+
+}  // namespace rvaas::util
+
+template <class Tag, class Rep>
+struct std::hash<rvaas::util::StrongId<Tag, Rep>> {
+  std::size_t operator()(const rvaas::util::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};

@@ -1,0 +1,13 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace rvaas::util {
+
+double Rng::exponential(double mean) {
+  ensure(mean > 0, "Rng::exponential requires mean > 0");
+  // Inverse CDF; 1 - uniform_real() is in (0, 1], so log() is finite.
+  return -mean * std::log(1.0 - uniform_real());
+}
+
+}  // namespace rvaas::util

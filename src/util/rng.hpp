@@ -1,0 +1,97 @@
+#pragma once
+// Deterministic, seedable PRNG (xoshiro256**). All randomness in the library
+// flows through explicitly-passed Rng instances; there is no global RNG, so
+// every simulation and test is reproducible from its seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    ensure(bound > 0, "Rng::below requires bound > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return v % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    ensure(lo <= hi, "Rng::uniform_int requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform_real() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  bool next_bit() { return (next_u64() & 1) != 0; }
+
+  template <class T>
+  const T& pick(const std::vector<T>& v) {
+    ensure(!v.empty(), "Rng::pick on empty vector");
+    return v[below(v.size())];
+  }
+
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel components).
+  Rng fork() { return Rng(next_u64() ^ 0xc0ffee123456789ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace rvaas::util

@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::util {
+
+void Samples::add(double v) {
+  values_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::min() const {
+  ensure(!values_.empty(), "Samples::min on empty set");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensure(!values_.empty(), "Samples::max on empty set");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Samples::mean() const {
+  ensure(!values_.empty(), "Samples::mean on empty set");
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  ensure(!values_.empty(), "Samples::stddev on empty set");
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double Samples::percentile(double p) const {
+  ensure(!values_.empty(), "Samples::percentile on empty set");
+  ensure(p >= 0 && p <= 100, "percentile must be in [0, 100]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1 - frac) + sorted_[lo + 1] * frac;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  ensure(row.size() == header_.size(), "Table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace rvaas::util

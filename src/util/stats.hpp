@@ -1,0 +1,56 @@
+#pragma once
+// Lightweight measurement helpers for the benchmark harnesses: a sample
+// accumulator with percentiles and an aligned table printer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvaas::util {
+
+/// Accumulates double-valued samples; supports mean/stddev/min/max and
+/// percentile queries.
+class Samples {
+ public:
+  void add(double v);
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+  /// p in [0, 100]; nearest-rank on the sorted samples.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+/// Aligned plain-text table used by benches to print EXPERIMENTS.md rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with column alignment; includes a separator under the header.
+  std::string to_string() const;
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rvaas::util

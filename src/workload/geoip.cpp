@@ -1,0 +1,49 @@
+#include "workload/geoip.hpp"
+
+namespace rvaas::workload {
+
+namespace {
+
+std::string wrong_jurisdiction(const std::string& truth, util::Rng& rng) {
+  const auto& palette = jurisdiction_palette();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string& candidate = rng.pick(palette);
+    if (candidate != truth) return candidate;
+  }
+  return palette.front();
+}
+
+}  // namespace
+
+core::GeoIpDb synth_geoip_db(const sdn::Topology& topo,
+                             const control::HostAddressing& addressing,
+                             double error_rate, util::Rng& rng) {
+  core::GeoIpDb db;
+  for (const auto& [host, address] : addressing.all()) {
+    const auto ports = topo.host_ports(host);
+    if (ports.empty()) continue;
+    std::string jurisdiction = topo.geo(ports.front().sw).jurisdiction;
+    if (rng.bernoulli(error_rate)) {
+      jurisdiction = wrong_jurisdiction(jurisdiction, rng);
+    }
+    db.add(address.ip, jurisdiction);
+  }
+  return db;
+}
+
+std::unique_ptr<core::CrowdSourcedGeo> synth_crowd_geo(
+    const sdn::Topology& topo, double error_rate, util::Rng& rng) {
+  auto geo = std::make_unique<core::CrowdSourcedGeo>(topo);
+  for (const sdn::PortRef ap : topo.all_access_points()) {
+    sdn::GeoLocation reported = topo.geo(ap.sw);
+    reported.latitude += rng.uniform_real(-0.05, 0.05);
+    reported.longitude += rng.uniform_real(-0.05, 0.05);
+    if (rng.bernoulli(error_rate)) {
+      reported.jurisdiction = wrong_jurisdiction(reported.jurisdiction, rng);
+    }
+    geo->add_report(ap, reported);
+  }
+  return geo;
+}
+
+}  // namespace rvaas::workload

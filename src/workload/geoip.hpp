@@ -1,0 +1,23 @@
+#pragma once
+// Synthetic location-source builders for the geo experiments (E6): a geo-IP
+// database and crowd-sourced client reports, each derived from topology
+// ground truth with a configurable error rate.
+
+#include "rvaas/geo.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace rvaas::workload {
+
+/// Builds a geo-IP database mapping every host prefix to its switch's true
+/// jurisdiction, flipping each entry to a random wrong jurisdiction with
+/// probability `error_rate`.
+core::GeoIpDb synth_geoip_db(const sdn::Topology& topo,
+                             const control::HostAddressing& addressing,
+                             double error_rate, util::Rng& rng);
+
+/// Builds crowd-sourced reports: each host reports its switch's true
+/// location, with probability `error_rate` of claiming a wrong jurisdiction.
+std::unique_ptr<core::CrowdSourcedGeo> synth_crowd_geo(
+    const sdn::Topology& topo, double error_rate, util::Rng& rng);
+
+}  // namespace rvaas::workload

@@ -1,0 +1,218 @@
+#include "workload/topo_gen.hpp"
+
+#include "util/ensure.hpp"
+
+namespace rvaas::workload {
+
+using sdn::GeoLocation;
+using sdn::HostId;
+using sdn::PortNo;
+using sdn::PortRef;
+using sdn::SwitchId;
+
+const std::vector<std::string>& jurisdiction_palette() {
+  static const std::vector<std::string> palette{"DE", "FR", "US", "JP",
+                                                "BR", "IN", "ZA", "CA"};
+  return palette;
+}
+
+namespace {
+
+GeoLocation geo_for(std::size_t region, double lat, double lon) {
+  const auto& palette = jurisdiction_palette();
+  return GeoLocation{lat, lon, palette[region % palette.size()]};
+}
+
+/// Tracks the next free port per switch while wiring a topology.
+class PortAllocator {
+ public:
+  PortRef take(SwitchId sw) { return PortRef{sw, PortNo(next_[sw]++)}; }
+  std::uint32_t used(SwitchId sw) const {
+    const auto it = next_.find(sw);
+    return it == next_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<SwitchId, std::uint32_t> next_;
+};
+
+HostId host_for(std::uint32_t index) { return HostId(1000 + index); }
+
+}  // namespace
+
+GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge) {
+  util::ensure(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2");
+  util::ensure(hosts_per_edge >= 1 && hosts_per_edge <= k / 2,
+               "hosts_per_edge must be in [1, k/2]");
+  GeneratedTopology out;
+  const std::uint32_t half = k / 2;
+  const std::uint32_t core_count = half * half;
+
+  // Switch id plan: core [1, core_count], then per pod p:
+  // agg = 100 + p*100 + i, edge = 100 + p*100 + 50 + i.
+  auto core_id = [](std::uint32_t i) { return SwitchId(1 + i); };
+  auto agg_id = [](std::uint32_t pod, std::uint32_t i) {
+    return SwitchId(100 + pod * 100 + i);
+  };
+  auto edge_id = [](std::uint32_t pod, std::uint32_t i) {
+    return SwitchId(100 + pod * 100 + 50 + i);
+  };
+
+  for (std::uint32_t i = 0; i < core_count; ++i) {
+    out.topo.add_switch(core_id(i), k, geo_for(i % half, 0, i));
+  }
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t i = 0; i < half; ++i) {
+      out.topo.add_switch(agg_id(pod, i), k, geo_for(pod, 1, pod));
+      out.topo.add_switch(edge_id(pod, i), k, geo_for(pod, 2, pod));
+    }
+  }
+
+  PortAllocator ports;
+  // Core <-> aggregation: core switch (i, j) connects to aggregation j of
+  // every pod.
+  for (std::uint32_t j = 0; j < half; ++j) {
+    for (std::uint32_t i = 0; i < half; ++i) {
+      const SwitchId core = core_id(j * half + i);
+      for (std::uint32_t pod = 0; pod < k; ++pod) {
+        out.topo.add_link(ports.take(core), ports.take(agg_id(pod, j)));
+      }
+    }
+  }
+  // Aggregation <-> edge within each pod (full bipartite).
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t a = 0; a < half; ++a) {
+      for (std::uint32_t e = 0; e < half; ++e) {
+        out.topo.add_link(ports.take(agg_id(pod, a)),
+                          ports.take(edge_id(pod, e)));
+      }
+    }
+  }
+  // Hosts on edge switches.
+  std::uint32_t host_index = 0;
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t e = 0; e < half; ++e) {
+      for (std::uint32_t h = 0; h < hosts_per_edge; ++h) {
+        const HostId host = host_for(host_index++);
+        out.topo.attach_host(host, ports.take(edge_id(pod, e)));
+        out.hosts.push_back(host);
+      }
+    }
+  }
+  return out;
+}
+
+GeneratedTopology linear(std::uint32_t n) {
+  util::ensure(n >= 1, "linear topology needs >= 1 switch");
+  GeneratedTopology out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::size_t region = n < 3 ? 0 : (i * 3) / n;  // thirds
+    out.topo.add_switch(SwitchId(1 + i), 4,
+                        geo_for(region, 0, static_cast<double>(i)));
+  }
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    out.topo.add_link({SwitchId(1 + i), PortNo(1)},
+                      {SwitchId(2 + i), PortNo(0)});
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const HostId host = host_for(i);
+    out.topo.attach_host(host, {SwitchId(1 + i), PortNo(2)});
+    out.hosts.push_back(host);
+  }
+  return out;
+}
+
+GeneratedTopology ring(std::uint32_t n) {
+  util::ensure(n >= 3, "ring topology needs >= 3 switches");
+  GeneratedTopology out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.topo.add_switch(SwitchId(1 + i), 4,
+                        geo_for((i * 4) / n, 0, static_cast<double>(i)));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.topo.add_link({SwitchId(1 + i), PortNo(1)},
+                      {SwitchId(1 + (i + 1) % n), PortNo(0)});
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const HostId host = host_for(i);
+    out.topo.attach_host(host, {SwitchId(1 + i), PortNo(2)});
+    out.hosts.push_back(host);
+  }
+  return out;
+}
+
+GeneratedTopology grid(std::uint32_t w, std::uint32_t h) {
+  util::ensure(w >= 1 && h >= 1, "grid needs positive dimensions");
+  GeneratedTopology out;
+  auto id = [w](std::uint32_t x, std::uint32_t y) {
+    return SwitchId(1 + y * w + x);
+  };
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const std::size_t quadrant =
+          (x >= (w + 1) / 2 ? 1 : 0) + (y >= (h + 1) / 2 ? 2 : 0);
+      out.topo.add_switch(id(x, y), 6,
+                          geo_for(quadrant, static_cast<double>(y),
+                                  static_cast<double>(x)));
+    }
+  }
+  PortAllocator ports;
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        out.topo.add_link(ports.take(id(x, y)), ports.take(id(x + 1, y)));
+      }
+      if (y + 1 < h) {
+        out.topo.add_link(ports.take(id(x, y)), ports.take(id(x, y + 1)));
+      }
+    }
+  }
+  std::uint32_t host_index = 0;
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const HostId host = host_for(host_index++);
+      out.topo.attach_host(host, ports.take(id(x, y)));
+      out.hosts.push_back(host);
+    }
+  }
+  return out;
+}
+
+GeneratedTopology random_isp(std::uint32_t n, std::uint32_t extra_links,
+                             util::Rng& rng) {
+  util::ensure(n >= 2, "random topology needs >= 2 switches");
+  GeneratedTopology out;
+  // Generous port budget: tree degree + extras + host port.
+  const std::uint32_t ports_per_switch = 4 + extra_links + 4;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.topo.add_switch(SwitchId(1 + i), ports_per_switch,
+                        geo_for(rng.below(4), 0, static_cast<double>(i)));
+  }
+  PortAllocator ports;
+  // Random spanning tree.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<std::uint32_t>(rng.below(i));
+    out.topo.add_link(ports.take(SwitchId(1 + parent)),
+                      ports.take(SwitchId(1 + i)));
+  }
+  // Extra random links (skip pairs that would exceed port budgets).
+  for (std::uint32_t i = 0; i < extra_links; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    const auto b = static_cast<std::uint32_t>(rng.below(n));
+    if (a == b) continue;
+    const SwitchId sa(1 + a), sb(1 + b);
+    if (ports.used(sa) + 2 > ports_per_switch ||
+        ports.used(sb) + 2 > ports_per_switch) {
+      continue;
+    }
+    out.topo.add_link(ports.take(sa), ports.take(sb));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const HostId host = host_for(i);
+    out.topo.attach_host(host, ports.take(SwitchId(1 + i)));
+    out.hosts.push_back(host);
+  }
+  return out;
+}
+
+}  // namespace rvaas::workload

@@ -1,0 +1,42 @@
+#pragma once
+// Topology generators for experiments: fat-tree datacenters, linear/ring/grid
+// WAN shapes, and random ISP-like graphs, each with jurisdiction-labelled
+// geography.
+
+#include <string>
+#include <vector>
+
+#include "sdn/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rvaas::workload {
+
+struct GeneratedTopology {
+  sdn::Topology topo;
+  std::vector<sdn::HostId> hosts;
+};
+
+/// Default jurisdiction palette used by the generators.
+const std::vector<std::string>& jurisdiction_palette();
+
+/// k-ary fat-tree (k even): k pods of k/2 edge + k/2 aggregation switches,
+/// (k/2)^2 core switches; `hosts_per_edge` hosts on each edge switch
+/// (default 1, max k/2). Pods rotate through the jurisdiction palette.
+GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge = 1);
+
+/// n switches in a line, one host per switch. Jurisdictions change in
+/// thirds (useful for geo experiments).
+GeneratedTopology linear(std::uint32_t n);
+
+/// n switches in a cycle, one host per switch.
+GeneratedTopology ring(std::uint32_t n);
+
+/// w x h grid, one host per switch; jurisdictions by quadrant.
+GeneratedTopology grid(std::uint32_t w, std::uint32_t h);
+
+/// Random connected graph: a random spanning tree plus `extra_links`
+/// additional random links; one host per switch.
+GeneratedTopology random_isp(std::uint32_t n, std::uint32_t extra_links,
+                             util::Rng& rng);
+
+}  // namespace rvaas::workload

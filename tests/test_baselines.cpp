@@ -1,0 +1,236 @@
+// Baseline verifiers vs attacks: who detects what, honest vs adversarial
+// provider — reproducing the paper's core comparative argument (§I).
+
+#include <gtest/gtest.h>
+
+#include "baselines/path_tagging.hpp"
+#include "baselines/traceroute.hpp"
+#include "baselines/trajectory_sampling.hpp"
+#include "workload/scenario.hpp"
+
+namespace rvaas::baselines {
+namespace {
+
+using sdn::HostId;
+using sdn::SwitchId;
+using workload::ScenarioConfig;
+using workload::ScenarioRuntime;
+
+ScenarioConfig line6() {
+  ScenarioConfig config;
+  config.generated = workload::linear(6);
+  config.seed = 21;
+  return config;
+}
+
+std::vector<SwitchId> expected_path(ScenarioRuntime& runtime, HostId src,
+                                    HostId dst) {
+  const auto a = runtime.network().topology().host_ports(src).front();
+  const auto b = runtime.network().topology().host_ports(dst).front();
+  return *control::shortest_switch_path(runtime.network().topology(), a.sw,
+                                        b.sw);
+}
+
+TEST(Traceroute, DiscoversHonestPath) {
+  ScenarioRuntime runtime(line6());
+  runtime.provider().enable_traceroute_responder(/*spoof=*/false);
+  const auto& hosts = runtime.hosts();
+
+  TracerouteVerifier verifier(runtime.network(), runtime.addressing());
+  const auto result = verifier.run(hosts[0], hosts[3], 8);
+
+  const auto expected = expected_path(runtime, hosts[0], hosts[3]);
+  ASSERT_GE(result.discovered.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.discovered[i], expected[i]) << "hop " << i;
+  }
+  EXPECT_FALSE(TracerouteVerifier::deviates(result, expected));
+}
+
+TEST(Traceroute, DetectsDiversionUnderHonestProvider) {
+  ScenarioRuntime runtime(line6());
+  runtime.provider().enable_traceroute_responder(/*spoof=*/false);
+  const auto& hosts = runtime.hosts();
+
+  attacks::GeoDiversionAttack attack(hosts[0], hosts[1], SwitchId(5));
+  ASSERT_TRUE(attack.launch(runtime.provider(), runtime.network()).has_value());
+  runtime.settle();
+
+  TracerouteVerifier verifier(runtime.network(), runtime.addressing());
+  const auto result = verifier.run(hosts[0], hosts[1], 12);
+  EXPECT_TRUE(TracerouteVerifier::deviates(
+      result, expected_path(runtime, hosts[0], hosts[1])));
+}
+
+TEST(Traceroute, FooledByAdversarialSpoofing) {
+  // The paper's point: the compromised control plane answers probes with
+  // the path the client expects.
+  ScenarioRuntime runtime(line6());
+  runtime.provider().enable_traceroute_responder(/*spoof=*/true);
+  const auto& hosts = runtime.hosts();
+
+  attacks::GeoDiversionAttack attack(hosts[0], hosts[1], SwitchId(5));
+  ASSERT_TRUE(attack.launch(runtime.provider(), runtime.network()).has_value());
+  runtime.settle();
+
+  TracerouteVerifier verifier(runtime.network(), runtime.addressing());
+  const auto result = verifier.run(hosts[0], hosts[1], 12);
+  EXPECT_FALSE(TracerouteVerifier::deviates(
+      result, expected_path(runtime, hosts[0], hosts[1])));
+}
+
+TEST(Traceroute, BlindToExfiltration) {
+  // The probe follows the normal path; the cloned copy is invisible even
+  // with an honest responder.
+  ScenarioRuntime runtime(line6());
+  runtime.provider().enable_traceroute_responder(/*spoof=*/false);
+  const auto& hosts = runtime.hosts();
+
+  attacks::ExfiltrationAttack attack(hosts[0], hosts[1]);
+  ASSERT_TRUE(attack.launch(runtime.provider(), runtime.network()).has_value());
+  runtime.settle();
+
+  TracerouteVerifier verifier(runtime.network(), runtime.addressing());
+  const auto result = verifier.run(hosts[0], hosts[1], 12);
+  EXPECT_FALSE(TracerouteVerifier::deviates(
+      result, expected_path(runtime, hosts[0], hosts[1])));
+}
+
+TEST(TrajectorySampling, HonestCollectorSeesDiversion) {
+  ScenarioRuntime runtime(line6());
+  const auto& hosts = runtime.hosts();
+  attacks::GeoDiversionAttack attack(hosts[0], hosts[1], SwitchId(5));
+  ASSERT_TRUE(attack.launch(runtime.provider(), runtime.network()).has_value());
+  runtime.settle();
+
+  TrajectorySampling sampling(runtime.network(), runtime.addressing());
+  const auto expected = expected_path(runtime, hosts[0], hosts[1]);
+  const auto honest = sampling.sample_flow(hosts[0], hosts[1], expected,
+                                           /*adversarial=*/false);
+  EXPECT_TRUE(TrajectorySampling::deviates(honest, expected));
+}
+
+TEST(TrajectorySampling, CensoringCollectorHidesDiversion) {
+  ScenarioRuntime runtime(line6());
+  const auto& hosts = runtime.hosts();
+  attacks::GeoDiversionAttack attack(hosts[0], hosts[1], SwitchId(5));
+  ASSERT_TRUE(attack.launch(runtime.provider(), runtime.network()).has_value());
+  runtime.settle();
+
+  TrajectorySampling sampling(runtime.network(), runtime.addressing());
+  const auto expected = expected_path(runtime, hosts[0], hosts[1]);
+  const auto censored = sampling.sample_flow(hosts[0], hosts[1], expected,
+                                             /*adversarial=*/true);
+  EXPECT_FALSE(TrajectorySampling::deviates(censored, expected));
+  // Ground truth still shows the detour — it just never reaches the client.
+  EXPECT_NE(censored.actual, censored.reported);
+}
+
+TEST(PathTagging, HonestTagRevealsDiversion) {
+  ScenarioRuntime runtime(line6());
+  const auto& hosts = runtime.hosts();
+  attacks::GeoDiversionAttack attack(hosts[0], hosts[1], SwitchId(5));
+  ASSERT_TRUE(attack.launch(runtime.provider(), runtime.network()).has_value());
+  runtime.settle();
+
+  PathTagging tagging(runtime.network(), runtime.addressing());
+  const auto expected = expected_path(runtime, hosts[0], hosts[1]);
+  const auto honest = tagging.send_tagged(hosts[0], hosts[1], expected,
+                                          /*adversarial=*/false);
+  EXPECT_TRUE(honest.delivered);
+  EXPECT_TRUE(PathTagging::deviates(honest, expected));
+}
+
+TEST(PathTagging, TagRewriteHidesDiversion) {
+  ScenarioRuntime runtime(line6());
+  const auto& hosts = runtime.hosts();
+  attacks::GeoDiversionAttack attack(hosts[0], hosts[1], SwitchId(5));
+  ASSERT_TRUE(attack.launch(runtime.provider(), runtime.network()).has_value());
+  runtime.settle();
+
+  PathTagging tagging(runtime.network(), runtime.addressing());
+  const auto expected = expected_path(runtime, hosts[0], hosts[1]);
+  const auto rewritten = tagging.send_tagged(hosts[0], hosts[1], expected,
+                                             /*adversarial=*/true);
+  EXPECT_FALSE(PathTagging::deviates(rewritten, expected));
+  EXPECT_NE(rewritten.actual_tag, rewritten.observed_tag);
+}
+
+TEST(PathTagging, TagOfPathIsOrderSensitive) {
+  EXPECT_NE(path_tag({SwitchId(1), SwitchId(2)}),
+            path_tag({SwitchId(2), SwitchId(1)}));
+  EXPECT_EQ(path_tag({SwitchId(1), SwitchId(2)}),
+            path_tag({SwitchId(1), SwitchId(2)}));
+}
+
+TEST(Attacks, ExfiltrationClonesTraffic) {
+  ScenarioRuntime runtime(line6());
+  const auto& hosts = runtime.hosts();
+
+  attacks::ExfiltrationAttack attack(hosts[0], hosts[1]);
+  const auto record = attack.launch(runtime.provider(), runtime.network());
+  ASSERT_TRUE(record.has_value());
+  runtime.settle();
+
+  sdn::Packet p;
+  p.hdr.ip_src = runtime.addressing().of(hosts[0]).ip;
+  p.hdr.ip_dst = runtime.addressing().of(hosts[1]).ip;
+  const sdn::Trajectory t = runtime.network().trace_from_host(hosts[0], p);
+  // Legitimate delivery plus a dark-port copy.
+  EXPECT_EQ(t.reached_hosts(), std::vector<HostId>{hosts[1]});
+  bool dark_copy = false;
+  for (const auto& d : t.deliveries) dark_copy |= !d.host.has_value();
+  EXPECT_TRUE(dark_copy);
+}
+
+TEST(Attacks, GeoDiversionKeepsEndpointsButChangesPath) {
+  ScenarioRuntime runtime(line6());
+  const auto& hosts = runtime.hosts();
+  attacks::GeoDiversionAttack attack(hosts[0], hosts[1], SwitchId(5));
+  const auto record = attack.launch(runtime.provider(), runtime.network());
+  ASSERT_TRUE(record.has_value());
+  runtime.settle();
+
+  sdn::Packet p;
+  p.hdr.ip_src = runtime.addressing().of(hosts[0]).ip;
+  p.hdr.ip_dst = runtime.addressing().of(hosts[1]).ip;
+  const sdn::Trajectory t = runtime.network().trace_from_host(hosts[0], p);
+  EXPECT_EQ(t.reached_hosts(), std::vector<HostId>{hosts[1]});
+  const auto traversed = t.traversed_switches();
+  EXPECT_TRUE(std::find(traversed.begin(), traversed.end(), SwitchId(5)) !=
+              traversed.end());
+}
+
+TEST(Attacks, FlappingWindowsRespectSchedule) {
+  ScenarioRuntime runtime(line6());
+  const auto& hosts = runtime.hosts();
+  attacks::ReconfigFlappingAttack attack(hosts[0], 10 * sim::kMillisecond,
+                                         3 * sim::kMillisecond);
+  ASSERT_TRUE(attack
+                  .launch(runtime.provider(), runtime.network(),
+                          runtime.loop().now() + 50 * sim::kMillisecond)
+                  .has_value());
+  runtime.settle(60 * sim::kMillisecond);
+
+  ASSERT_GE(attack.windows().size(), 3u);
+  for (std::size_t i = 0; i + 1 < attack.windows().size(); ++i) {
+    EXPECT_EQ(attack.windows()[i + 1].first - attack.windows()[i].first,
+              10 * sim::kMillisecond);
+    EXPECT_EQ(attack.windows()[i].second - attack.windows()[i].first,
+              3 * sim::kMillisecond);
+  }
+}
+
+TEST(Attacks, LaunchFailsGracefullyWithoutPreconditions) {
+  ScenarioRuntime runtime(line6());
+  const auto& hosts = runtime.hosts();
+  // Unknown victim host.
+  attacks::ExfiltrationAttack bad(sdn::HostId(9999), hosts[1]);
+  EXPECT_FALSE(bad.launch(runtime.provider(), runtime.network()).has_value());
+  // Same-tenant "breach" is not a breach.
+  attacks::IsolationBreachAttack same(hosts[0], hosts[1]);
+  EXPECT_FALSE(same.launch(runtime.provider(), runtime.network()).has_value());
+}
+
+}  // namespace
+}  // namespace rvaas::baselines

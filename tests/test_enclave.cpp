@@ -1,0 +1,124 @@
+// Enclave simulation: measurements, attestation quotes (incl. forgery and
+// wrong-measurement cases), sealed storage binding.
+
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "enclave/attestation.hpp"
+#include "enclave/enclave.hpp"
+
+namespace rvaas::enclave {
+namespace {
+
+TEST(Measurement, StableAndVersionSensitive) {
+  const Measurement a = measure_code("rvaas", "1.0");
+  EXPECT_TRUE(crypto::digest_equal(a, measure_code("rvaas", "1.0")));
+  EXPECT_FALSE(crypto::digest_equal(a, measure_code("rvaas", "1.1")));
+  EXPECT_FALSE(crypto::digest_equal(a, measure_code("evil-rvaas", "1.0")));
+}
+
+TEST(Enclave, MeasurementMatchesCodeIdentity) {
+  util::Rng rng(1);
+  const Enclave e("rvaas", "1.0", rng);
+  EXPECT_TRUE(crypto::digest_equal(e.measurement(), measure_code("rvaas", "1.0")));
+}
+
+TEST(Enclave, SignAndOpenUseEnclaveKeys) {
+  util::Rng rng(2);
+  const Enclave e("rvaas", "1.0", rng);
+  const util::Bytes msg = util::to_bytes("reply");
+  EXPECT_TRUE(e.verify_key().verify(msg, e.sign(msg)));
+
+  crypto::BoxSealer sealer(e.box_public());
+  const auto box = sealer.seal(rng, util::to_bytes("query"));
+  const auto out = e.open(box);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, util::to_bytes("query"));
+}
+
+TEST(Attestation, QuoteVerifies) {
+  util::Rng rng(3);
+  const AttestationService ias(rng);
+  const Enclave e("rvaas", "1.0", rng);
+  const Quote q = ias.quote(e, bind_keys(e.verify_key(), e.box_public()));
+  EXPECT_TRUE(AttestationService::verify(q, ias.root_key(), e.measurement()));
+  EXPECT_TRUE(AttestationService::verify(q, ias.root_key(), std::nullopt));
+}
+
+TEST(Attestation, WrongMeasurementRejected) {
+  util::Rng rng(4);
+  const AttestationService ias(rng);
+  // A tampered/fake RVaaS produces a different measurement; a client pinning
+  // the genuine measurement must reject its quote.
+  const Enclave fake("evil-rvaas", "1.0", rng);
+  const Quote q = ias.quote(fake, bind_keys(fake.verify_key(), fake.box_public()));
+  EXPECT_TRUE(AttestationService::verify(q, ias.root_key(), std::nullopt));
+  EXPECT_FALSE(AttestationService::verify(q, ias.root_key(),
+                                          measure_code("rvaas", "1.0")));
+}
+
+TEST(Attestation, ForgedQuoteRejected) {
+  util::Rng rng(5);
+  const AttestationService real_ias(rng);
+  const AttestationService fake_ias(rng);
+  const Enclave e("rvaas", "1.0", rng);
+  const Quote q = fake_ias.quote(e, bind_keys(e.verify_key(), e.box_public()));
+  EXPECT_FALSE(AttestationService::verify(q, real_ias.root_key(), e.measurement()));
+}
+
+TEST(Attestation, TamperedReportDataRejected) {
+  util::Rng rng(6);
+  const AttestationService ias(rng);
+  const Enclave e("rvaas", "1.0", rng);
+  Quote q = ias.quote(e, bind_keys(e.verify_key(), e.box_public()));
+  q.report.report_data[0] ^= 1;  // swap in different keys
+  EXPECT_FALSE(AttestationService::verify(q, ias.root_key(), e.measurement()));
+}
+
+TEST(Attestation, QuoteSerializationRoundTrip) {
+  util::Rng rng(7);
+  const AttestationService ias(rng);
+  const Enclave e("rvaas", "1.0", rng);
+  const Quote q = ias.quote(e, bind_keys(e.verify_key(), e.box_public()));
+  util::ByteReader r(q.serialize());
+  const Quote q2 = Quote::deserialize(r);
+  EXPECT_TRUE(AttestationService::verify(q2, ias.root_key(), e.measurement()));
+}
+
+TEST(SealedStorage, RoundTripSameMeasurement) {
+  SealedStorage storage(util::to_bytes("platform-fuse-key"));
+  const Measurement m = measure_code("rvaas", "1.0");
+  const util::Bytes data = util::to_bytes("snapshot-history-state");
+  const util::Bytes blob = storage.seal(m, data);
+  const auto out = storage.unseal(m, blob);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(SealedStorage, DifferentMeasurementCannotUnseal) {
+  SealedStorage storage(util::to_bytes("platform-fuse-key"));
+  const util::Bytes blob =
+      storage.seal(measure_code("rvaas", "1.0"), util::to_bytes("state"));
+  EXPECT_FALSE(storage.unseal(measure_code("rvaas", "2.0"), blob).has_value());
+  EXPECT_FALSE(storage.unseal(measure_code("evil", "1.0"), blob).has_value());
+}
+
+TEST(SealedStorage, DifferentPlatformCannotUnseal) {
+  SealedStorage a(util::to_bytes("platform-a"));
+  SealedStorage b(util::to_bytes("platform-b"));
+  const Measurement m = measure_code("rvaas", "1.0");
+  const util::Bytes blob = a.seal(m, util::to_bytes("state"));
+  EXPECT_FALSE(b.unseal(m, blob).has_value());
+}
+
+TEST(SealedStorage, TamperedBlobRejected) {
+  SealedStorage storage(util::to_bytes("platform"));
+  const Measurement m = measure_code("rvaas", "1.0");
+  util::Bytes blob = storage.seal(m, util::to_bytes("state"));
+  blob[blob.size() / 2] ^= 1;
+  EXPECT_FALSE(storage.unseal(m, blob).has_value());
+  EXPECT_FALSE(storage.unseal(m, util::Bytes{1, 2, 3}).has_value());
+}
+
+}  // namespace
+}  // namespace rvaas::enclave

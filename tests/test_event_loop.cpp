@@ -1,0 +1,131 @@
+// Discrete-event simulator: ordering, determinism, cancellation, deadlines.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.hpp"
+
+namespace rvaas::sim {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30u);
+}
+
+TEST(EventLoop, SimultaneousEventsRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  Time second_fire = 0;
+  loop.schedule_at(50, [&] {
+    loop.schedule_after(25, [&] { second_fire = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(second_fire, 75u);
+}
+
+TEST(EventLoop, SchedulingInPastThrows) {
+  EventLoop loop;
+  loop.schedule_at(100, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(50, [] {}), util::InvariantViolation);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.run_until(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), 20u);
+  loop.run_until(35);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 35u);
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeEvenWithoutEvents) {
+  EventLoop loop;
+  loop.run_until(1000);
+  EXPECT_EQ(loop.now(), 1000u);
+}
+
+TEST(EventLoop, StopHaltsRun) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(1, [&] {
+    ++count;
+    loop.stop();
+  });
+  loop.schedule_at(2, [&] { ++count; });
+  loop.run();
+  EXPECT_EQ(count, 1);
+  loop.run();  // resumes with remaining events
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, EventsCanScheduleChains) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) loop.schedule_after(5, chain);
+  };
+  loop.schedule_at(0, chain);
+  loop.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.now(), 45u);
+}
+
+TEST(EventLoop, PendingCountsUnrunEvents) {
+  EventLoop loop;
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.run_until(15);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    EventLoop loop;
+    std::vector<Time> fire_times;
+    for (int i = 0; i < 20; ++i) {
+      loop.schedule_at(static_cast<Time>((i * 37) % 100),
+                       [&fire_times, &loop] { fire_times.push_back(loop.now()); });
+    }
+    loop.run();
+    return fire_times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace rvaas::sim

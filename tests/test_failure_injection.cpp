@@ -1,0 +1,237 @@
+// Failure injection: lost auth replies, unregistered clients, wrong client
+// keys, garbage on the magic channel, replayed/mis-sourced auth replies,
+// stale snapshots. RVaaS must stay available and answers must degrade
+// *detectably* (counts, flags), never silently.
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.hpp"
+
+namespace rvaas::workload {
+namespace {
+
+using core::Query;
+using core::QueryKind;
+using sdn::Field;
+using sdn::HostId;
+using sdn::Match;
+using sdn::PortNo;
+using sdn::SwitchId;
+
+ScenarioConfig line3() {
+  ScenarioConfig config;
+  config.generated = linear(3);
+  config.seed = 91;
+  return config;
+}
+
+TEST(FailureInjection, LostAuthReplyShowsUpInCounts) {
+  ScenarioRuntime runtime(line3());
+  const auto& hosts = runtime.hosts();
+
+  // The provider blackholes host2's upstream traffic (including its auth
+  // reply) with a max-priority drop at its access port.
+  const auto ap2 = runtime.network().topology().host_ports(hosts[2]).front();
+  sdn::FlowMod drop;
+  drop.priority = 0xffff;
+  drop.match = Match().in_port(ap2.port);
+  drop.actions = {sdn::drop()};
+  runtime.provider().handle().flow_mod(ap2.sw, drop);
+  runtime.settle();
+
+  Query query;
+  query.kind = QueryKind::ReachableEndpoints;
+  const auto outcome = runtime.query_and_wait(hosts[0], query);
+  ASSERT_TRUE(outcome.reply.has_value());
+
+  // Two auth requests issued, only one answered; host2's endpoint is
+  // unauthenticated — exactly the §IV.B.1 count mechanism.
+  EXPECT_EQ(outcome.reply->auth.issued, 2u);
+  EXPECT_EQ(outcome.reply->auth.responded, 1u);
+  const core::Verdict verdict =
+      core::evaluate_reply(*outcome.reply, core::Expectation{});
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(FailureInjection, UnregisteredClientGetsNoReply) {
+  ScenarioRuntime runtime(line3());
+  const auto& hosts = runtime.hosts();
+  const auto ap = runtime.network().topology().host_ports(hosts[0]).front();
+
+  // A well-formed, correctly-sealed request claiming an identity RVaaS
+  // never enrolled: discarded, counted as a bad request.
+  util::Rng rng(5);
+  core::QueryRequest request;
+  request.request_id = 0x5117;
+  request.client = HostId(777);  // unknown to the service
+  request.query.kind = QueryKind::ReachableEndpoints;
+  const sdn::Packet packet = core::inband::make_request_packet(
+      control::HostAddressing::derive(HostId(777)), request,
+      runtime.rvaas().enclave().box_public(), rng);
+  runtime.network().host_send(hosts[0], ap, packet);
+  runtime.settle(20 * sim::kMillisecond);
+
+  EXPECT_GE(runtime.rvaas().stats().bad_requests, 1u);
+  EXPECT_EQ(runtime.rvaas().stats().replies_sent, 0u);
+}
+
+TEST(FailureInjection, WrongClientKeyFailsAuthentication) {
+  ScenarioRuntime runtime(line3());
+  const auto& hosts = runtime.hosts();
+
+  // RVaaS's registry holds a rogue key for host2 (enrollment corruption):
+  // host2's genuine auth replies now fail verification.
+  util::Rng rng(6);
+  const crypto::SigningKey rogue = crypto::SigningKey::generate(rng);
+  runtime.rvaas().register_client(hosts[2], rogue.verify_key(),
+                                  runtime.client(hosts[2]).box_public());
+
+  Query query;
+  query.kind = QueryKind::ReachableEndpoints;
+  const auto outcome = runtime.query_and_wait(hosts[0], query);
+  ASSERT_TRUE(outcome.reply.has_value());
+  EXPECT_EQ(outcome.reply->auth.responded, 1u);
+  EXPECT_GE(runtime.rvaas().stats().auth_replies_bad, 1u);
+  bool host2_unauthenticated = false;
+  for (const auto& e : outcome.reply->endpoints) {
+    if (!e.authenticated) host2_unauthenticated = true;
+  }
+  EXPECT_TRUE(host2_unauthenticated);
+}
+
+TEST(FailureInjection, GarbageOnMagicChannelIsIgnored) {
+  ScenarioRuntime runtime(line3());
+  const auto& hosts = runtime.hosts();
+  const auto ap = runtime.network().topology().host_ports(hosts[0]).front();
+
+  // Random bytes to the magic port: classified or rejected, never crashing.
+  sdn::Packet garbage;
+  garbage.hdr.eth_type = sdn::kEthTypeIpv4;
+  garbage.hdr.ip_proto = sdn::kIpProtoUdp;
+  garbage.hdr.l4_dst = sdn::kPortRvaasRequest;
+  garbage.payload = util::to_bytes("RVQ1 but not really a sealed box");
+  runtime.network().host_send(hosts[0], ap, garbage);
+
+  sdn::Packet truncated = garbage;
+  truncated.payload = {0x31};  // 1 byte
+  runtime.network().host_send(hosts[0], ap, truncated);
+  runtime.settle();
+
+  // Service still answers real queries afterwards.
+  Query query;
+  query.kind = QueryKind::ReachableEndpoints;
+  const auto outcome = runtime.query_and_wait(hosts[0], query);
+  EXPECT_TRUE(outcome.reply.has_value());
+}
+
+TEST(FailureInjection, ReplayedAuthReplyWithForeignNonceIgnored) {
+  ScenarioRuntime runtime(line3());
+  const auto& hosts = runtime.hosts();
+  const auto ap = runtime.network().topology().host_ports(hosts[1]).front();
+
+  // host1 preemptively sends an auth reply with a made-up nonce; it must
+  // not be credited to any pending query.
+  core::inband::AuthReply bogus;
+  bogus.request_id = 0xdeadbeef;
+  bogus.nonce = 0x12345678;
+  bogus.client = hosts[1];
+  util::Rng rng(8);
+  const crypto::SigningKey key = crypto::SigningKey::generate(rng);
+  runtime.network().host_send(
+      hosts[1], ap,
+      core::inband::make_auth_reply(
+          control::HostAddressing::derive(hosts[1]), bogus, key));
+  runtime.settle();
+  EXPECT_EQ(runtime.rvaas().stats().auth_replies_ok, 0u);
+}
+
+TEST(FailureInjection, SnapshotStaleBeforeSettleFreshAfter) {
+  // Build a runtime with monitoring, then install a NEW rule and query
+  // before/after the flow-monitor event propagates.
+  ScenarioRuntime runtime(line3());
+  const auto& hosts = runtime.hosts();
+
+  const auto dark = runtime.network().topology().dark_ports(SwitchId(1));
+  sdn::FlowMod leak;
+  leak.priority = 50;
+  leak.match = Match().in_port(
+      runtime.network().topology().host_ports(hosts[0]).front().port);
+  leak.actions = {sdn::output(dark.front().port)};
+  runtime.provider().handle().flow_mod(SwitchId(1), leak);
+  // No settle: the event is still in flight. The snapshot may not include
+  // the rule yet; after settle it must.
+  runtime.settle();
+  EXPECT_TRUE(runtime.rvaas().snapshot().history_contains(
+      [](const core::HistoryRecord& r) { return r.entry.priority == 50; }));
+
+  Query query;
+  query.kind = QueryKind::ReachableEndpoints;
+  const auto outcome = runtime.query_and_wait(hosts[0], query);
+  ASSERT_TRUE(outcome.reply.has_value());
+  bool dark_seen = false;
+  for (const auto& e : outcome.reply->endpoints) dark_seen |= e.dark;
+  EXPECT_TRUE(dark_seen);
+}
+
+TEST(FailureInjection, ProviderCannotRemoveInterceptRules) {
+  ScenarioRuntime runtime(line3());
+  // Find the RVaaS-owned intercept rule on switch 1 and try to delete it
+  // through the provider's channel.
+  const auto& entries =
+      runtime.network().switch_sim(SwitchId(1)).table().entries();
+  const sdn::FlowEntry* intercept = nullptr;
+  for (const auto& e : entries) {
+    if (e.owner == runtime.rvaas().id()) intercept = &e;
+  }
+  ASSERT_NE(intercept, nullptr);
+
+  std::optional<sdn::FlowModResult> result;
+  sdn::FlowMod del;
+  del.command = sdn::FlowModCommand::Delete;
+  del.target = intercept->id;
+  runtime.provider().handle().flow_mod(
+      SwitchId(1), del,
+      [&](SwitchId, const sdn::FlowModResult& r) { result = r; });
+  runtime.settle();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(*result->error, sdn::ErrorCode::NotOwner);
+}
+
+TEST(FailureInjection, TimedOutQueryCanBeRetried) {
+  ScenarioRuntime runtime(line3());
+  const auto& hosts = runtime.hosts();
+
+  // Suppress, observe timeout, then the provider (e.g. after detection
+  // pressure) removes the drop rule; retry succeeds.
+  attacks::QuerySuppressionAttack attack(SwitchId(1));
+  attack.launch(runtime.provider(), runtime.network());
+  runtime.settle();
+
+  Query query;
+  query.kind = QueryKind::ReachableEndpoints;
+  const auto first =
+      runtime.query_and_wait(hosts[0], query, 20 * sim::kMillisecond);
+  EXPECT_TRUE(first.timed_out);
+
+  // Remove the suppression rule (provider owns it, so it can).
+  const auto& entries =
+      runtime.network().switch_sim(SwitchId(1)).table().entries();
+  for (const auto& e : entries) {
+    if (e.cookie == 0x5bbe) {
+      sdn::FlowMod del;
+      del.command = sdn::FlowModCommand::Delete;
+      del.target = e.id;
+      runtime.provider().handle().flow_mod(SwitchId(1), del);
+    }
+  }
+  runtime.settle();
+
+  const auto second = runtime.query_and_wait(hosts[0], query);
+  EXPECT_FALSE(second.timed_out);
+  EXPECT_TRUE(second.reply.has_value());
+}
+
+}  // namespace
+}  // namespace rvaas::workload

@@ -1,0 +1,181 @@
+// In-band protocol codecs: classification, sealing/opening, signature
+// verification, tamper and confidentiality properties.
+
+#include <gtest/gtest.h>
+
+#include "rvaas/inband.hpp"
+
+namespace rvaas::core::inband {
+namespace {
+
+struct Fixture {
+  util::Rng rng{77};
+  enclave::Enclave enclave{"rvaas", "1.0", rng};
+  control::HostAddress client_addr{0x020000000001ULL, 0x0a000001};
+  crypto::SigningKey client_key = crypto::SigningKey::generate(rng);
+  crypto::BoxOpener client_box = crypto::BoxOpener::generate(rng);
+
+  QueryRequest request() {
+    QueryRequest req;
+    req.request_id = 42;
+    req.client = sdn::HostId(1);
+    req.query.kind = QueryKind::ReachableEndpoints;
+    return req;
+  }
+};
+
+TEST(Inband, ClassifyByPortAndTag) {
+  Fixture f;
+  const sdn::Packet req =
+      make_request_packet(f.client_addr, f.request(), f.enclave.box_public(),
+                          f.rng);
+  EXPECT_EQ(classify(req), Tag::Request);
+
+  sdn::Packet not_udp = req;
+  not_udp.hdr.ip_proto = sdn::kIpProtoTcp;
+  EXPECT_FALSE(classify(not_udp).has_value());
+
+  sdn::Packet wrong_port = req;
+  wrong_port.hdr.l4_dst = 9999;
+  EXPECT_FALSE(classify(wrong_port).has_value());
+
+  sdn::Packet empty;
+  EXPECT_FALSE(classify(empty).has_value());
+}
+
+TEST(Inband, RequestRoundTrip) {
+  Fixture f;
+  const sdn::Packet packet = make_request_packet(
+      f.client_addr, f.request(), f.enclave.box_public(), f.rng);
+  const auto opened = open_request(packet, f.enclave);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->request_id, 42u);
+  EXPECT_EQ(opened->client, sdn::HostId(1));
+}
+
+TEST(Inband, RequestConfidentialFromProvider) {
+  // The provider sees the packet but has no enclave key: it cannot read the
+  // query. A different enclave cannot open it either.
+  Fixture f;
+  const sdn::Packet packet = make_request_packet(
+      f.client_addr, f.request(), f.enclave.box_public(), f.rng);
+  util::Rng rng2(1234);
+  enclave::Enclave other("rvaas", "1.0", rng2);  // same code, different keys
+  EXPECT_FALSE(open_request(packet, other).has_value());
+}
+
+TEST(Inband, TamperedRequestRejected) {
+  Fixture f;
+  sdn::Packet packet = make_request_packet(f.client_addr, f.request(),
+                                           f.enclave.box_public(), f.rng);
+  packet.payload[packet.payload.size() / 2] ^= 1;
+  EXPECT_FALSE(open_request(packet, f.enclave).has_value());
+}
+
+TEST(Inband, AuthRequestRoundTrip) {
+  Fixture f;
+  AuthRequest req;
+  req.request_id = 7;
+  req.nonce = 0xabcdef;
+  req.target = {sdn::SwitchId(3), sdn::PortNo(2)};
+  const sdn::Packet packet = make_auth_request(req, f.enclave);
+  EXPECT_EQ(classify(packet), Tag::AuthRequest);
+
+  const auto verified = verify_auth_request(packet, f.enclave.verify_key());
+  ASSERT_TRUE(verified.has_value());
+  EXPECT_EQ(verified->nonce, 0xabcdefu);
+  EXPECT_EQ(verified->target, (sdn::PortRef{sdn::SwitchId(3), sdn::PortNo(2)}));
+}
+
+TEST(Inband, ForgedAuthRequestRejected) {
+  // A compromised provider cannot forge auth requests: it lacks the enclave
+  // signing key.
+  Fixture f;
+  util::Rng rng2(99);
+  enclave::Enclave fake("rvaas", "1.0", rng2);
+  AuthRequest req;
+  req.request_id = 7;
+  req.nonce = 1;
+  const sdn::Packet packet = make_auth_request(req, fake);
+  EXPECT_FALSE(verify_auth_request(packet, f.enclave.verify_key()).has_value());
+}
+
+TEST(Inband, TamperedAuthRequestRejected) {
+  Fixture f;
+  AuthRequest req;
+  req.request_id = 7;
+  req.nonce = 1;
+  sdn::Packet packet = make_auth_request(req, f.enclave);
+  packet.payload[5] ^= 1;  // flip a bit in request_id
+  EXPECT_FALSE(verify_auth_request(packet, f.enclave.verify_key()).has_value());
+}
+
+TEST(Inband, AuthReplyRoundTrip) {
+  Fixture f;
+  AuthReply reply;
+  reply.request_id = 7;
+  reply.nonce = 0x1234;
+  reply.client = sdn::HostId(11);
+  const sdn::Packet packet =
+      make_auth_reply(f.client_addr, reply, f.client_key);
+  EXPECT_EQ(classify(packet), Tag::AuthReply);
+
+  const auto parsed = parse_auth_reply(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first.client, sdn::HostId(11));
+  EXPECT_TRUE(f.client_key.verify_key().verify(
+      parsed->first.signing_payload(), parsed->second));
+
+  // A different client's key must not verify (impersonation).
+  util::Rng rng2(5);
+  const crypto::SigningKey other = crypto::SigningKey::generate(rng2);
+  EXPECT_FALSE(other.verify_key().verify(parsed->first.signing_payload(),
+                                         parsed->second));
+}
+
+TEST(Inband, ReplyRoundTripSignedAndSealed) {
+  Fixture f;
+  QueryReply reply;
+  reply.request_id = 42;
+  reply.kind = QueryKind::Isolation;
+  reply.auth = {3, 3};
+
+  const sdn::Packet packet = make_reply_packet(
+      reply, f.enclave, f.client_box.public_element(), f.rng);
+  EXPECT_EQ(classify(packet), Tag::Reply);
+
+  const auto opened =
+      open_reply(packet, f.client_box, f.enclave.verify_key());
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->signature_ok);
+  EXPECT_EQ(opened->reply.request_id, 42u);
+  EXPECT_EQ(opened->reply.auth.issued, 3u);
+}
+
+TEST(Inband, ReplyFromWrongEnclaveFailsSignature) {
+  Fixture f;
+  util::Rng rng2(55);
+  enclave::Enclave impostor("rvaas", "1.0", rng2);
+  QueryReply reply;
+  reply.request_id = 42;
+  const sdn::Packet packet = make_reply_packet(
+      reply, impostor, f.client_box.public_element(), f.rng);
+  const auto opened =
+      open_reply(packet, f.client_box, f.enclave.verify_key());
+  ASSERT_TRUE(opened.has_value());   // decrypts fine...
+  EXPECT_FALSE(opened->signature_ok);  // ...but the signature check fails
+}
+
+TEST(Inband, ReplyForOtherClientUnreadable) {
+  Fixture f;
+  util::Rng rng2(66);
+  const crypto::BoxOpener eve = crypto::BoxOpener::generate(rng2);
+  QueryReply reply;
+  reply.request_id = 42;
+  const sdn::Packet packet = make_reply_packet(
+      reply, f.enclave, f.client_box.public_element(), f.rng);
+  EXPECT_FALSE(open_reply(packet, eve, f.enclave.verify_key()).has_value());
+}
+
+}  // namespace
+}  // namespace rvaas::core::inband

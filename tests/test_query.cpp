@@ -1,0 +1,201 @@
+// Query/reply types: serialization round trips and client-side verdict
+// evaluation against expectation policies.
+
+#include <gtest/gtest.h>
+
+#include "rvaas/query.hpp"
+
+namespace rvaas::core {
+namespace {
+
+using sdn::HostId;
+using sdn::PortNo;
+using sdn::PortRef;
+using sdn::SwitchId;
+
+TEST(QueryTypes, QuerySerializationRoundTrip) {
+  Query q;
+  q.kind = QueryKind::PathLength;
+  q.constraint =
+      sdn::Match().exact(sdn::Field::IpProto, sdn::kIpProtoTcp);
+  q.peer = HostId(42);
+
+  util::ByteWriter w;
+  q.serialize(w);
+  util::ByteReader r(w.data());
+  const Query q2 = Query::deserialize(r);
+  EXPECT_EQ(q2.kind, QueryKind::PathLength);
+  EXPECT_EQ(q2.constraint, q.constraint);
+  EXPECT_EQ(q2.peer, HostId(42));
+}
+
+TEST(QueryTypes, RequestSerializationRoundTrip) {
+  QueryRequest req;
+  req.request_id = 0xdeadbeef12345678ULL;
+  req.client = HostId(7);
+  req.query.kind = QueryKind::Isolation;
+  util::ByteWriter w;
+  req.serialize(w);
+  util::ByteReader r(w.data());
+  const QueryRequest req2 = QueryRequest::deserialize(r);
+  EXPECT_EQ(req2.request_id, req.request_id);
+  EXPECT_EQ(req2.client, req.client);
+  EXPECT_EQ(req2.query.kind, QueryKind::Isolation);
+}
+
+TEST(QueryTypes, BadKindRejected) {
+  util::ByteWriter w;
+  w.put_u8(99);
+  util::ByteReader r(w.data());
+  EXPECT_THROW(Query::deserialize(r), util::DecodeError);
+}
+
+QueryReply full_reply() {
+  QueryReply reply;
+  reply.request_id = 77;
+  reply.kind = QueryKind::Isolation;
+  EndpointInfo a;
+  a.access_point = {SwitchId(3), PortNo(1)};
+  a.authenticated = true;
+  a.authenticated_as = HostId(11);
+  EndpointInfo b;
+  b.access_point = {SwitchId(5), PortNo(2)};
+  b.dark = true;
+  reply.endpoints = {a, b};
+  reply.auth = {2, 1};
+  reply.jurisdictions = {"DE", "FR"};
+  reply.path_found = true;
+  reply.installed_path_length = 4;
+  reply.optimal_path_length = 3;
+  reply.fairness = {{"min-rate-bps", 1000}};
+  reply.transfer_summary = {{{SwitchId(3), PortNo(1)}, 5}};
+  reply.disclosed_paths = {"s1->s2"};
+  return reply;
+}
+
+TEST(QueryTypes, ReplySerializationRoundTrip) {
+  const QueryReply reply = full_reply();
+  util::ByteWriter w;
+  reply.serialize(w);
+  util::ByteReader r(w.data());
+  const QueryReply reply2 = QueryReply::deserialize(r);
+
+  EXPECT_EQ(reply2.request_id, 77u);
+  ASSERT_EQ(reply2.endpoints.size(), 2u);
+  EXPECT_EQ(reply2.endpoints[0].authenticated_as, HostId(11));
+  EXPECT_TRUE(reply2.endpoints[1].dark);
+  EXPECT_EQ(reply2.auth.issued, 2u);
+  EXPECT_EQ(reply2.jurisdictions, (std::vector<std::string>{"DE", "FR"}));
+  EXPECT_EQ(reply2.installed_path_length, 4u);
+  ASSERT_EQ(reply2.fairness.size(), 1u);
+  EXPECT_EQ(reply2.fairness[0].value, 1000u);
+  ASSERT_EQ(reply2.transfer_summary.size(), 1u);
+  EXPECT_EQ(reply2.transfer_summary[0].cube_count, 5u);
+  EXPECT_EQ(reply2.disclosed_paths, (std::vector<std::string>{"s1->s2"}));
+  // Signing payload is deterministic.
+  EXPECT_EQ(reply.signing_payload(), reply2.signing_payload());
+}
+
+TEST(Verdict, CleanReplyPasses) {
+  QueryReply reply;
+  reply.kind = QueryKind::ReachableEndpoints;
+  EndpointInfo e;
+  e.access_point = {SwitchId(1), PortNo(1)};
+  e.authenticated = true;
+  e.authenticated_as = HostId(5);
+  reply.endpoints = {e};
+  reply.auth = {1, 1};
+
+  Expectation expect;
+  expect.allowed_endpoints = {HostId(5)};
+  const Verdict v = evaluate_reply(reply, expect);
+  EXPECT_TRUE(v.ok);
+  EXPECT_TRUE(v.violations.empty());
+}
+
+TEST(Verdict, DarkEndpointFlagged) {
+  QueryReply reply;
+  EndpointInfo e;
+  e.access_point = {SwitchId(9), PortNo(3)};
+  e.dark = true;
+  reply.endpoints = {e};
+  const Verdict v = evaluate_reply(reply, Expectation{});
+  EXPECT_FALSE(v.ok);
+  ASSERT_EQ(v.violations.size(), 1u);
+  EXPECT_NE(v.violations[0].find("dark"), std::string::npos);
+}
+
+TEST(Verdict, UnauthenticatedEndpointFlagged) {
+  QueryReply reply;
+  EndpointInfo e;
+  e.access_point = {SwitchId(2), PortNo(1)};
+  reply.endpoints = {e};
+  Expectation expect;
+  const Verdict strict = evaluate_reply(reply, expect);
+  EXPECT_FALSE(strict.ok);
+
+  expect.require_full_auth = false;
+  const Verdict lax = evaluate_reply(reply, expect);
+  EXPECT_TRUE(lax.ok);
+}
+
+TEST(Verdict, UnexpectedEndpointFlagged) {
+  QueryReply reply;
+  EndpointInfo e;
+  e.access_point = {SwitchId(2), PortNo(1)};
+  e.authenticated = true;
+  e.authenticated_as = HostId(66);  // not whitelisted
+  reply.endpoints = {e};
+  reply.auth = {1, 1};
+  Expectation expect;
+  expect.allowed_endpoints = {HostId(5)};
+  const Verdict v = evaluate_reply(reply, expect);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.violations[0].find("unexpected endpoint"), std::string::npos);
+}
+
+TEST(Verdict, MissingAuthRepliesFlagged) {
+  QueryReply reply;
+  reply.auth = {3, 2};
+  const Verdict v = evaluate_reply(reply, Expectation{});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.violations[0].find("2 of 3"), std::string::npos);
+}
+
+TEST(Verdict, ForbiddenJurisdictionFlagged) {
+  QueryReply reply;
+  reply.kind = QueryKind::Geo;
+  reply.jurisdictions = {"DE", "US"};
+  Expectation expect;
+  expect.allowed_jurisdictions = {"DE", "FR"};
+  const Verdict v = evaluate_reply(reply, expect);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.violations[0].find("US"), std::string::npos);
+}
+
+TEST(Verdict, SuboptimalPathFlagged) {
+  QueryReply reply;
+  reply.kind = QueryKind::PathLength;
+  reply.path_found = true;
+  reply.installed_path_length = 6;
+  reply.optimal_path_length = 3;
+  Expectation expect;
+  expect.require_optimal_path = true;
+  const Verdict v = evaluate_reply(reply, expect);
+  EXPECT_FALSE(v.ok);
+
+  reply.installed_path_length = 3;
+  EXPECT_TRUE(evaluate_reply(reply, expect).ok);
+}
+
+TEST(Verdict, MissingPathFlaggedWhenOptimalRequired) {
+  QueryReply reply;
+  reply.kind = QueryKind::PathLength;
+  reply.path_found = false;
+  Expectation expect;
+  expect.require_optimal_path = true;
+  EXPECT_FALSE(evaluate_reply(reply, expect).ok);
+}
+
+}  // namespace
+}  // namespace rvaas::core

@@ -1,0 +1,200 @@
+// Header fields, match semantics, action serialization, meters.
+
+#include <gtest/gtest.h>
+
+#include "sdn/action.hpp"
+#include "sdn/header.hpp"
+#include "sdn/match.hpp"
+#include "sdn/meter.hpp"
+
+namespace rvaas::sdn {
+namespace {
+
+TEST(HeaderLayout, TotalWidthIs228Bits) {
+  std::size_t total = 0;
+  std::uint16_t expected_offset = 0;
+  for (const auto& info : kFields) {
+    EXPECT_EQ(info.offset, expected_offset) << info.name;
+    expected_offset = static_cast<std::uint16_t>(expected_offset + info.width);
+    total += info.width;
+  }
+  EXPECT_EQ(total, kHeaderBits);
+}
+
+TEST(HeaderFields, GetSetRoundTripAllFields) {
+  HeaderFields h;
+  std::uint64_t v = 1;
+  for (const auto& info : kFields) {
+    const std::uint64_t value = v++ & field_mask(info.field);
+    h.set(info.field, value);
+    EXPECT_EQ(h.get(info.field), value) << info.name;
+  }
+}
+
+TEST(HeaderFields, SetRejectsOverwideValues) {
+  HeaderFields h;
+  EXPECT_THROW(h.set(Field::Vlan, 0x1000), util::InvariantViolation);
+  EXPECT_THROW(h.set(Field::IpProto, 0x100), util::InvariantViolation);
+  EXPECT_NO_THROW(h.set(Field::Vlan, 0xfff));
+}
+
+TEST(HeaderFields, SerializationRoundTrip) {
+  HeaderFields h;
+  h.eth_src = 0x0000aabbccddeeULL;
+  h.ip_dst = 0x0a000001;
+  h.l4_dst = 443;
+  util::ByteWriter w;
+  h.serialize(w);
+  util::ByteReader r(w.data());
+  EXPECT_EQ(HeaderFields::deserialize(r), h);
+}
+
+TEST(HeaderFields, DeserializeRejectsOutOfRange) {
+  HeaderFields h;
+  util::ByteWriter w;
+  h.serialize(w);
+  util::Bytes bytes = w.take();
+  // Corrupt the vlan field (4th u64, little-endian) with an over-wide value.
+  bytes[3 * 8] = 0xff;
+  bytes[3 * 8 + 1] = 0xff;
+  util::ByteReader r(bytes);
+  EXPECT_THROW(HeaderFields::deserialize(r), util::DecodeError);
+}
+
+TEST(Packet, SerializationRoundTrip) {
+  Packet p;
+  p.hdr.ip_src = 0xc0a80101;
+  p.ttl = 7;
+  p.payload = util::to_bytes("data");
+  util::ByteWriter w;
+  p.serialize(w);
+  util::ByteReader r(w.data());
+  const Packet q = Packet::deserialize(r);
+  EXPECT_EQ(q.hdr, p.hdr);
+  EXPECT_EQ(q.ttl, p.ttl);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Match, WildcardMatchesEverything) {
+  const Match m;
+  HeaderFields h;
+  h.ip_dst = 0x01020304;
+  EXPECT_TRUE(m.matches(h, PortNo(0)));
+  EXPECT_TRUE(m.matches(h, PortNo(99)));
+}
+
+TEST(Match, ExactFieldMatch) {
+  const Match m = Match().exact(Field::IpDst, 0x0a000001);
+  HeaderFields h;
+  h.ip_dst = 0x0a000001;
+  EXPECT_TRUE(m.matches(h, PortNo(0)));
+  h.ip_dst = 0x0a000002;
+  EXPECT_FALSE(m.matches(h, PortNo(0)));
+}
+
+TEST(Match, InPortConstraint) {
+  const Match m = Match().in_port(PortNo(3));
+  EXPECT_TRUE(m.matches(HeaderFields{}, PortNo(3)));
+  EXPECT_FALSE(m.matches(HeaderFields{}, PortNo(4)));
+}
+
+TEST(Match, PrefixMatch) {
+  // 10.0.0.0/8
+  const Match m = Match().prefix(Field::IpDst, 0x0a000000, 8);
+  HeaderFields h;
+  h.ip_dst = 0x0a123456;
+  EXPECT_TRUE(m.matches(h, PortNo(0)));
+  h.ip_dst = 0x0b000000;
+  EXPECT_FALSE(m.matches(h, PortNo(0)));
+}
+
+TEST(Match, ZeroLengthPrefixIsWildcard) {
+  const Match m = Match().prefix(Field::IpDst, 0x0a000000, 0);
+  HeaderFields h;
+  h.ip_dst = 0xffffffff;
+  EXPECT_TRUE(m.matches(h, PortNo(0)));
+}
+
+TEST(Match, PrefixMasksLowBitsOfValue) {
+  // Value with low bits set should be masked, not rejected.
+  const Match m = Match().prefix(Field::IpDst, 0x0a0000ff, 8);
+  HeaderFields h;
+  h.ip_dst = 0x0a000000;
+  EXPECT_TRUE(m.matches(h, PortNo(0)));
+}
+
+TEST(Match, RepeatedFieldOverwrites) {
+  const Match m = Match().exact(Field::Vlan, 5).exact(Field::Vlan, 6);
+  EXPECT_EQ(m.field_matches().size(), 1u);
+  HeaderFields h;
+  h.vlan = 6;
+  EXPECT_TRUE(m.matches(h, PortNo(0)));
+}
+
+TEST(Match, MaskedValidation) {
+  EXPECT_THROW(Match().masked(Field::Vlan, 0, 0xffff), util::InvariantViolation);
+  EXPECT_THROW(Match().masked(Field::Vlan, 0xf0f, 0x00f), util::InvariantViolation);
+  EXPECT_THROW(Match().prefix(Field::IpDst, 0, 33), util::InvariantViolation);
+}
+
+TEST(Match, SerializationRoundTrip) {
+  const Match m = Match()
+                      .in_port(PortNo(2))
+                      .exact(Field::EthType, kEthTypeIpv4)
+                      .prefix(Field::IpDst, 0x0a000000, 16);
+  util::ByteWriter w;
+  m.serialize(w);
+  util::ByteReader r(w.data());
+  EXPECT_EQ(Match::deserialize(r), m);
+}
+
+TEST(Actions, SerializationRoundTrip) {
+  const ActionList list{
+      output(PortNo(3)),          to_controller(),
+      set_field(Field::Vlan, 42), PushVlanAction{7},
+      PopVlanAction{},            DecTtlAction{},
+      drop(),
+  };
+  util::ByteWriter w;
+  serialize(w, list);
+  util::ByteReader r(w.data());
+  EXPECT_EQ(deserialize_actions(r), list);
+}
+
+TEST(Actions, ToStringReadable) {
+  EXPECT_EQ(to_string(Action{output(PortNo(3))}), "output:3");
+  EXPECT_EQ(to_string(Action{drop()}), "drop");
+  EXPECT_EQ(to_string(ActionList{}), "(none)");
+}
+
+TEST(TokenBucket, AllowsBurstThenLimits) {
+  // 8 Mbit/s = 1 MB/s, burst 1000 bytes.
+  TokenBucket bucket(MeterConfig{8'000'000, 1000});
+  EXPECT_TRUE(bucket.consume(0, 600));
+  EXPECT_TRUE(bucket.consume(0, 400));
+  EXPECT_FALSE(bucket.consume(0, 1));  // bucket empty
+  // After 0.5 ms, 500 bytes refilled.
+  EXPECT_TRUE(bucket.consume(sim::kMillisecond / 2, 400));
+  EXPECT_FALSE(bucket.consume(sim::kMillisecond / 2, 200));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket bucket(MeterConfig{8'000'000, 1000});
+  EXPECT_TRUE(bucket.consume(0, 1000));
+  // A long idle period must not accumulate more than burst.
+  EXPECT_TRUE(bucket.consume(10 * sim::kSecond, 1000));
+  EXPECT_FALSE(bucket.consume(10 * sim::kSecond, 1));
+}
+
+TEST(MeterTable, SetGetErase) {
+  MeterTable table;
+  EXPECT_FALSE(table.get(MeterId(1)).has_value());
+  table.set(MeterId(1), MeterConfig{1000, 100});
+  ASSERT_TRUE(table.get(MeterId(1)).has_value());
+  EXPECT_EQ(table.get(MeterId(1))->rate_bps, 1000u);
+  EXPECT_TRUE(table.erase(MeterId(1)));
+  EXPECT_FALSE(table.erase(MeterId(1)));
+}
+
+}  // namespace
+}  // namespace rvaas::sdn

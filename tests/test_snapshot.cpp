@@ -1,0 +1,168 @@
+// SnapshotManager: passive event application, active reconciliation with
+// discrepancy detection, flapping-rule history queries.
+
+#include <gtest/gtest.h>
+
+#include "rvaas/snapshot.hpp"
+
+namespace rvaas::core {
+namespace {
+
+using sdn::FlowEntry;
+using sdn::FlowUpdate;
+using sdn::FlowUpdateKind;
+using sdn::SwitchId;
+
+FlowEntry entry(std::uint64_t id, std::uint16_t priority = 5) {
+  FlowEntry e;
+  e.id = sdn::FlowEntryId(id);
+  e.priority = priority;
+  e.actions = {sdn::output(sdn::PortNo(1))};
+  return e;
+}
+
+TEST(Snapshot, PassiveAddRemoveModify) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(2)}, 20);
+  EXPECT_EQ(snap.entry_count(), 2u);
+
+  FlowEntry modified = entry(1);
+  modified.actions = {sdn::drop()};
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Modified, modified}, 30);
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Removed, entry(2)}, 40);
+
+  const auto tables = snap.table_dump();
+  ASSERT_EQ(tables.at(SwitchId(1)).size(), 1u);
+  EXPECT_EQ(tables.at(SwitchId(1))[0].actions, sdn::ActionList{sdn::drop()});
+  EXPECT_EQ(snap.events_applied(), 4u);
+  EXPECT_EQ(snap.history().size(), 4u);
+}
+
+TEST(Snapshot, TableDumpInMatchOrder) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1, 5)}, 1);
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(2, 9)}, 2);
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(3, 5)}, 3);
+  const auto dump = snap.table_dump().at(SwitchId(1));
+  ASSERT_EQ(dump.size(), 3u);
+  EXPECT_EQ(dump[0].priority, 9);
+  // Equal priority: newer id first (matches FlowTable semantics).
+  EXPECT_EQ(dump[1].id, sdn::FlowEntryId(3));
+  EXPECT_EQ(dump[2].id, sdn::FlowEntryId(1));
+}
+
+TEST(Snapshot, ReconcileAgreesSilently) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(1);
+  reply.entries = {entry(1)};
+  snap.reconcile(reply, 50);
+  EXPECT_TRUE(snap.discrepancies().empty());
+  EXPECT_EQ(snap.polls_applied(), 1u);
+}
+
+TEST(Snapshot, ReconcileFindsUnknownEntry) {
+  // Active-only detection: a rule installed while events were not delivered.
+  SnapshotManager snap;
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(1);
+  reply.entries = {entry(7)};
+  snap.reconcile(reply, 100);
+
+  ASSERT_EQ(snap.discrepancies().size(), 1u);
+  EXPECT_NE(snap.discrepancies()[0].description.find("unknown entry"),
+            std::string::npos);
+  // The view adopts the switch's truth.
+  EXPECT_EQ(snap.entry_count(), 1u);
+}
+
+TEST(Snapshot, ReconcileFindsVanishedEntry) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(1);
+  snap.reconcile(reply, 100);  // empty dump
+
+  ASSERT_EQ(snap.discrepancies().size(), 1u);
+  EXPECT_NE(snap.discrepancies()[0].description.find("vanished"),
+            std::string::npos);
+  EXPECT_EQ(snap.entry_count(), 0u);
+}
+
+TEST(Snapshot, ReconcileFindsModifiedEntry) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+  FlowEntry changed = entry(1);
+  changed.actions = {sdn::drop()};
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(1);
+  reply.entries = {changed};
+  snap.reconcile(reply, 100);
+  ASSERT_EQ(snap.discrepancies().size(), 1u);
+  EXPECT_NE(snap.discrepancies()[0].description.find("modified"),
+            std::string::npos);
+}
+
+TEST(Snapshot, ShortLivedRulesDetected) {
+  SnapshotManager snap;
+  // Rule 1: lives 5ms (flapping). Rule 2: permanent.
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)},
+                    10 * sim::kMillisecond);
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(2)},
+                    11 * sim::kMillisecond);
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Removed, entry(1)},
+                    15 * sim::kMillisecond);
+
+  const auto flapping = snap.short_lived(20 * sim::kMillisecond);
+  ASSERT_EQ(flapping.size(), 1u);
+  EXPECT_EQ(flapping[0].entry.id, sdn::FlowEntryId(1));
+
+  // With a tighter dwell bound, nothing qualifies.
+  EXPECT_TRUE(snap.short_lived(2 * sim::kMillisecond).empty());
+}
+
+TEST(Snapshot, HistoryLimitBounded) {
+  SnapshotManager snap(/*history_limit=*/10);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(i)}, i);
+  }
+  EXPECT_EQ(snap.history().size(), 10u);
+  EXPECT_EQ(snap.history().front().entry.id, sdn::FlowEntryId(90));
+}
+
+TEST(Snapshot, HistoryContainsPredicate) {
+  SnapshotManager snap;
+  FlowEntry e = entry(1);
+  e.cookie = 0xe4f1;
+  snap.apply_update({SwitchId(3), FlowUpdateKind::Added, e}, 10);
+  EXPECT_TRUE(snap.history_contains(
+      [](const HistoryRecord& r) { return r.entry.cookie == 0xe4f1; }));
+  EXPECT_FALSE(snap.history_contains(
+      [](const HistoryRecord& r) { return r.entry.cookie == 0xdead; }));
+}
+
+TEST(Snapshot, MemoryEstimateGrowsWithState) {
+  SnapshotManager snap;
+  const std::size_t empty = snap.approx_memory_bytes();
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(i)}, i);
+  }
+  EXPECT_GT(snap.approx_memory_bytes(), empty);
+}
+
+TEST(Snapshot, MetersStoredFromPolls) {
+  SnapshotManager snap;
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(1);
+  reply.meters = {{sdn::MeterId(1), sdn::MeterConfig{1000, 100}}};
+  snap.reconcile(reply, 10);
+  ASSERT_EQ(snap.meters().at(SwitchId(1)).size(), 1u);
+  EXPECT_EQ(snap.meters().at(SwitchId(1))[0].second.rate_bps, 1000u);
+}
+
+}  // namespace
+}  // namespace rvaas::core

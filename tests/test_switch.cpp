@@ -1,0 +1,298 @@
+// Flow table semantics (priority, shadowing, ownership) and the switch
+// pipeline (actions, TTL, meters, punts, flow-monitor events).
+
+#include <gtest/gtest.h>
+
+#include "sdn/switch.hpp"
+
+namespace rvaas::sdn {
+namespace {
+
+constexpr ControllerId kProvider{1};
+constexpr ControllerId kRvaas{2};
+
+FlowMod add_rule(std::uint16_t priority, Match match, ActionList actions) {
+  FlowMod mod;
+  mod.command = FlowModCommand::Add;
+  mod.priority = priority;
+  mod.match = std::move(match);
+  mod.actions = std::move(actions);
+  return mod;
+}
+
+TEST(FlowTable, LookupHonorsPriority) {
+  FlowTable table;
+  FlowEntry low;
+  low.priority = 1;
+  low.match = Match();
+  low.actions = {output(PortNo(1))};
+  table.add(low);
+
+  FlowEntry high;
+  high.priority = 10;
+  high.match = Match().exact(Field::Vlan, 5);
+  high.actions = {output(PortNo(2))};
+  table.add(high);
+
+  HeaderFields h;
+  h.vlan = 5;
+  const FlowEntry* hit = table.lookup(h, PortNo(0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 10);
+
+  h.vlan = 6;
+  hit = table.lookup(h, PortNo(0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 1);
+}
+
+TEST(FlowTable, EqualPriorityPrefersNewerInstall) {
+  FlowTable table;
+  FlowEntry a;
+  a.priority = 5;
+  a.actions = {output(PortNo(1))};
+  table.add(a);
+
+  FlowEntry b;
+  b.priority = 5;
+  b.actions = {output(PortNo(2))};
+  const FlowEntryId second = table.add(b).id;
+
+  const FlowEntry* hit = table.lookup(HeaderFields{}, PortNo(0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, second);
+}
+
+TEST(FlowTable, RemoveAndModify) {
+  FlowTable table;
+  FlowEntry e;
+  e.actions = {output(PortNo(1))};
+  const FlowEntryId id = table.add(e).id;
+
+  EXPECT_TRUE(table.modify(id, {output(PortNo(3))}, std::nullopt));
+  EXPECT_EQ(table.find(id)->actions, ActionList{output(PortNo(3))});
+
+  const auto removed = table.remove(id);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->id, id);
+  EXPECT_EQ(table.lookup(HeaderFields{}, PortNo(0)), nullptr);
+  EXPECT_FALSE(table.remove(id).has_value());
+  EXPECT_FALSE(table.modify(id, {}, std::nullopt));
+}
+
+TEST(SwitchPipeline, TableMissDrops) {
+  SwitchSim sw(SwitchId(1), 4);
+  const PipelineOutput out = sw.process(PortNo(0), Packet{}, 0, true);
+  EXPECT_TRUE(out.table_miss);
+  EXPECT_TRUE(out.forwards.empty());
+  EXPECT_TRUE(out.punts.empty());
+}
+
+TEST(SwitchPipeline, ForwardAndRewrite) {
+  SwitchSim sw(SwitchId(1), 4);
+  // Rewrite vlan then output: the emitted copy carries the new vlan.
+  auto mod = add_rule(5, Match(), {set_field(Field::Vlan, 7), output(PortNo(2))});
+  ASSERT_TRUE(sw.apply_flow_mod(kProvider, mod).ok());
+
+  const PipelineOutput out = sw.process(PortNo(0), Packet{}, 0, true);
+  ASSERT_EQ(out.forwards.size(), 1u);
+  EXPECT_EQ(out.forwards[0].first, PortNo(2));
+  EXPECT_EQ(out.forwards[0].second.hdr.vlan, 7u);
+}
+
+TEST(SwitchPipeline, OutputThenRewriteEmitsOldHeader) {
+  SwitchSim sw(SwitchId(1), 4);
+  auto mod = add_rule(
+      5, Match(),
+      {output(PortNo(1)), set_field(Field::Vlan, 7), output(PortNo(2))});
+  ASSERT_TRUE(sw.apply_flow_mod(kProvider, mod).ok());
+
+  const PipelineOutput out = sw.process(PortNo(0), Packet{}, 0, true);
+  ASSERT_EQ(out.forwards.size(), 2u);
+  EXPECT_EQ(out.forwards[0].second.hdr.vlan, 0u);  // before rewrite
+  EXPECT_EQ(out.forwards[1].second.hdr.vlan, 7u);  // after rewrite
+}
+
+TEST(SwitchPipeline, DropStopsActionList) {
+  SwitchSim sw(SwitchId(1), 4);
+  auto mod = add_rule(5, Match(), {drop(), output(PortNo(1))});
+  ASSERT_TRUE(sw.apply_flow_mod(kProvider, mod).ok());
+  const PipelineOutput out = sw.process(PortNo(0), Packet{}, 0, true);
+  EXPECT_TRUE(out.forwards.empty());
+}
+
+TEST(SwitchPipeline, ControllerPuntCarriesCookie) {
+  SwitchSim sw(SwitchId(1), 4);
+  auto mod = add_rule(5, Match(), {to_controller()});
+  mod.cookie = 0xbeef;
+  ASSERT_TRUE(sw.apply_flow_mod(kRvaas, mod).ok());
+
+  const PipelineOutput out = sw.process(PortNo(3), Packet{}, 0, true);
+  ASSERT_EQ(out.punts.size(), 1u);
+  EXPECT_EQ(out.punts[0].cookie, 0xbeefu);
+  EXPECT_EQ(out.punts[0].in_port, PortNo(3));
+  EXPECT_EQ(out.punts[0].reason, PacketInReason::ActionToController);
+}
+
+TEST(SwitchPipeline, VlanPushPop) {
+  SwitchSim sw(SwitchId(1), 4);
+  auto mod = add_rule(5, Match().exact(Field::Vlan, 0),
+                      {PushVlanAction{100}, output(PortNo(1))});
+  ASSERT_TRUE(sw.apply_flow_mod(kProvider, mod).ok());
+  auto mod2 = add_rule(5, Match().exact(Field::Vlan, 100),
+                       {PopVlanAction{}, output(PortNo(2))});
+  ASSERT_TRUE(sw.apply_flow_mod(kProvider, mod2).ok());
+
+  Packet p;
+  const PipelineOutput tagged = sw.process(PortNo(0), p, 0, true);
+  ASSERT_EQ(tagged.forwards.size(), 1u);
+  EXPECT_EQ(tagged.forwards[0].second.hdr.vlan, 100u);
+
+  const PipelineOutput untagged =
+      sw.process(PortNo(0), tagged.forwards[0].second, 0, true);
+  ASSERT_EQ(untagged.forwards.size(), 1u);
+  EXPECT_EQ(untagged.forwards[0].second.hdr.vlan, 0u);
+}
+
+TEST(SwitchPipeline, TtlExpiryPunts) {
+  SwitchSim sw(SwitchId(1), 4);
+  auto mod = add_rule(5, Match(), {DecTtlAction{}, output(PortNo(1))});
+  ASSERT_TRUE(sw.apply_flow_mod(kProvider, mod).ok());
+
+  Packet p;
+  p.ttl = 1;
+  const PipelineOutput out = sw.process(PortNo(0), p, 0, true);
+  EXPECT_TRUE(out.ttl_expired);
+  EXPECT_TRUE(out.forwards.empty());
+  ASSERT_EQ(out.punts.size(), 1u);
+  EXPECT_EQ(out.punts[0].reason, PacketInReason::TtlExpired);
+
+  p.ttl = 2;
+  const PipelineOutput ok = sw.process(PortNo(0), p, 0, true);
+  ASSERT_EQ(ok.forwards.size(), 1u);
+  EXPECT_EQ(ok.forwards[0].second.ttl, 1);
+}
+
+TEST(SwitchPipeline, MeterDropsExcessTraffic) {
+  SwitchSim sw(SwitchId(1), 4);
+  MeterMod meter;
+  meter.id = MeterId(1);
+  meter.config = MeterConfig{8'000, 200};  // 1 KB/s, 200 B burst
+  ASSERT_TRUE(sw.apply_meter_mod(kProvider, meter));
+
+  auto mod = add_rule(5, Match(), {output(PortNo(1))});
+  mod.meter = MeterId(1);
+  ASSERT_TRUE(sw.apply_flow_mod(kProvider, mod).ok());
+
+  Packet p;
+  p.payload.resize(64);  // 128 bytes with overhead
+  const PipelineOutput first = sw.process(PortNo(0), p, 0, true);
+  EXPECT_FALSE(first.metered_drop);
+  const PipelineOutput second = sw.process(PortNo(0), p, 0, true);
+  EXPECT_TRUE(second.metered_drop);
+
+  // Functional mode ignores meters entirely.
+  const PipelineOutput func = sw.process(PortNo(0), p, 0, false);
+  EXPECT_FALSE(func.metered_drop);
+  EXPECT_EQ(func.forwards.size(), 1u);
+}
+
+TEST(SwitchControl, OwnershipProtectsEntries) {
+  SwitchSim sw(SwitchId(1), 4);
+  auto mod = add_rule(100, Match(), {to_controller()});
+  const FlowModResult res = sw.apply_flow_mod(kRvaas, mod);
+  ASSERT_TRUE(res.ok());
+
+  // The provider cannot delete or modify the RVaaS-owned intercept rule.
+  FlowMod del;
+  del.command = FlowModCommand::Delete;
+  del.target = *res.id;
+  const FlowModResult del_res = sw.apply_flow_mod(kProvider, del);
+  EXPECT_FALSE(del_res.ok());
+  EXPECT_EQ(*del_res.error, ErrorCode::NotOwner);
+
+  FlowMod modify;
+  modify.command = FlowModCommand::Modify;
+  modify.target = *res.id;
+  modify.actions = {drop()};
+  EXPECT_EQ(*sw.apply_flow_mod(kProvider, modify).error, ErrorCode::NotOwner);
+
+  // The owner can.
+  EXPECT_TRUE(sw.apply_flow_mod(kRvaas, del).ok());
+  EXPECT_EQ(sw.table().size(), 0u);
+}
+
+TEST(SwitchControl, UnknownTargetReported) {
+  SwitchSim sw(SwitchId(1), 4);
+  FlowMod del;
+  del.command = FlowModCommand::Delete;
+  del.target = FlowEntryId(99);
+  EXPECT_EQ(*sw.apply_flow_mod(kProvider, del).error, ErrorCode::UnknownEntry);
+}
+
+TEST(SwitchControl, ValidationRejectsBadActions) {
+  SwitchSim sw(SwitchId(1), 4);
+  // Output port out of range.
+  auto bad_port = add_rule(5, Match(), {output(PortNo(17))});
+  EXPECT_EQ(*sw.apply_flow_mod(kProvider, bad_port).error, ErrorCode::BadPort);
+  // Over-wide set-field.
+  auto bad_set = add_rule(5, Match(), {set_field(Field::IpProto, 0x1ff)});
+  EXPECT_FALSE(sw.apply_flow_mod(kProvider, bad_set).ok());
+  // Reference to a missing meter.
+  auto bad_meter = add_rule(5, Match(), {output(PortNo(1))});
+  bad_meter.meter = MeterId(9);
+  EXPECT_FALSE(sw.apply_flow_mod(kProvider, bad_meter).ok());
+}
+
+TEST(SwitchControl, FlowMonitorSeesAllChanges) {
+  SwitchSim sw(SwitchId(1), 4);
+  std::vector<FlowUpdateKind> kinds;
+  sw.subscribe_monitor(kRvaas,
+                       [&](const FlowUpdate& u) { kinds.push_back(u.kind); });
+
+  auto mod = add_rule(5, Match(), {output(PortNo(1))});
+  const auto res = sw.apply_flow_mod(kProvider, mod);
+  FlowMod modify;
+  modify.command = FlowModCommand::Modify;
+  modify.target = *res.id;
+  modify.actions = {output(PortNo(2))};
+  sw.apply_flow_mod(kProvider, modify);
+  FlowMod del;
+  del.command = FlowModCommand::Delete;
+  del.target = *res.id;
+  sw.apply_flow_mod(kProvider, del);
+
+  EXPECT_EQ(kinds,
+            (std::vector<FlowUpdateKind>{FlowUpdateKind::Added,
+                                         FlowUpdateKind::Modified,
+                                         FlowUpdateKind::Removed}));
+}
+
+TEST(SwitchControl, StatsDumpMatchesTable) {
+  SwitchSim sw(SwitchId(1), 4);
+  sw.apply_meter_mod(kProvider, MeterMod{false, MeterId(1), {1000, 10}});
+  sw.apply_flow_mod(kProvider, add_rule(5, Match(), {output(PortNo(1))}));
+  sw.apply_flow_mod(kProvider, add_rule(7, Match(), {drop()}));
+
+  const StatsReply reply = sw.stats();
+  EXPECT_EQ(reply.sw, SwitchId(1));
+  EXPECT_EQ(reply.entries.size(), 2u);
+  EXPECT_EQ(reply.entries[0].priority, 7);  // match order
+  ASSERT_EQ(reply.meters.size(), 1u);
+  EXPECT_EQ(reply.meters[0].first, MeterId(1));
+}
+
+TEST(SwitchControl, PacketOutRunsActionList) {
+  SwitchSim sw(SwitchId(1), 4);
+  Packet p;
+  p.hdr.ip_dst = 5;
+  const PipelineOutput out =
+      sw.run_actions({set_field(Field::Vlan, 3), output(PortNo(2))},
+                     PortNo(4), p, 0);
+  ASSERT_EQ(out.forwards.size(), 1u);
+  EXPECT_EQ(out.forwards[0].first, PortNo(2));
+  EXPECT_EQ(out.forwards[0].second.hdr.vlan, 3u);
+}
+
+}  // namespace
+}  // namespace rvaas::sdn

@@ -1,0 +1,115 @@
+// Topology: wiring plan, host attachment, port classification, geo data.
+
+#include <gtest/gtest.h>
+
+#include "sdn/topology.hpp"
+
+namespace rvaas::sdn {
+namespace {
+
+Topology two_switches() {
+  Topology t;
+  t.add_switch(SwitchId(1), 4, GeoLocation{52.5, 13.4, "DE"});
+  t.add_switch(SwitchId(2), 4, GeoLocation{48.9, 2.4, "FR"});
+  t.add_link({SwitchId(1), PortNo(0)}, {SwitchId(2), PortNo(0)});
+  t.attach_host(HostId(10), {SwitchId(1), PortNo(1)});
+  t.attach_host(HostId(11), {SwitchId(2), PortNo(1)});
+  return t;
+}
+
+TEST(Topology, SwitchRegistration) {
+  const Topology t = two_switches();
+  EXPECT_TRUE(t.has_switch(SwitchId(1)));
+  EXPECT_FALSE(t.has_switch(SwitchId(3)));
+  EXPECT_EQ(t.num_ports(SwitchId(1)), 4u);
+  EXPECT_EQ(t.switch_count(), 2u);
+  EXPECT_EQ(t.geo(SwitchId(1)).jurisdiction, "DE");
+}
+
+TEST(Topology, DuplicateSwitchRejected) {
+  Topology t;
+  t.add_switch(SwitchId(1), 4);
+  EXPECT_THROW(t.add_switch(SwitchId(1), 4), util::InvariantViolation);
+  EXPECT_THROW(t.add_switch(SwitchId(2), 0), util::InvariantViolation);
+}
+
+TEST(Topology, LinkPeerSymmetric) {
+  const Topology t = two_switches();
+  const PortRef a{SwitchId(1), PortNo(0)};
+  const PortRef b{SwitchId(2), PortNo(0)};
+  EXPECT_EQ(t.link_peer(a), b);
+  EXPECT_EQ(t.link_peer(b), a);
+  EXPECT_FALSE(t.link_peer({SwitchId(1), PortNo(2)}).has_value());
+}
+
+TEST(Topology, LinkValidation) {
+  Topology t;
+  t.add_switch(SwitchId(1), 2);
+  t.add_switch(SwitchId(2), 2);
+  const PortRef a{SwitchId(1), PortNo(0)};
+  const PortRef b{SwitchId(2), PortNo(0)};
+  t.add_link(a, b);
+  // Port already wired.
+  EXPECT_THROW(t.add_link(a, {SwitchId(2), PortNo(1)}), util::InvariantViolation);
+  // Nonexistent port.
+  EXPECT_THROW(t.add_link({SwitchId(1), PortNo(5)}, {SwitchId(2), PortNo(1)}),
+               util::InvariantViolation);
+  // Self-link.
+  EXPECT_THROW(t.add_link({SwitchId(1), PortNo(1)}, {SwitchId(1), PortNo(1)}),
+               util::InvariantViolation);
+}
+
+TEST(Topology, HostAttachment) {
+  const Topology t = two_switches();
+  EXPECT_EQ(t.host_at({SwitchId(1), PortNo(1)}), HostId(10));
+  EXPECT_FALSE(t.host_at({SwitchId(1), PortNo(2)}).has_value());
+  EXPECT_EQ(t.host_ports(HostId(10)),
+            (std::vector<PortRef>{{SwitchId(1), PortNo(1)}}));
+  EXPECT_TRUE(t.host_ports(HostId(99)).empty());
+  EXPECT_EQ(t.hosts().size(), 2u);
+}
+
+TEST(Topology, MultiHomedHost) {
+  Topology t = two_switches();
+  t.attach_host(HostId(10), {SwitchId(2), PortNo(2)});
+  EXPECT_EQ(t.host_ports(HostId(10)).size(), 2u);
+}
+
+TEST(Topology, HostOnWiredPortRejected) {
+  Topology t = two_switches();
+  EXPECT_THROW(t.attach_host(HostId(12), {SwitchId(1), PortNo(0)}),
+               util::InvariantViolation);
+  EXPECT_THROW(t.attach_host(HostId(12), {SwitchId(1), PortNo(1)}),
+               util::InvariantViolation);
+}
+
+TEST(Topology, PortClassification) {
+  const Topology t = two_switches();
+  EXPECT_EQ(t.internal_ports(SwitchId(1)),
+            (std::vector<PortRef>{{SwitchId(1), PortNo(0)}}));
+  EXPECT_EQ(t.access_ports(SwitchId(1)),
+            (std::vector<PortRef>{{SwitchId(1), PortNo(1)}}));
+  EXPECT_EQ(t.dark_ports(SwitchId(1)).size(), 2u);
+  EXPECT_EQ(t.all_access_points().size(), 2u);
+}
+
+TEST(Topology, GeoUpdate) {
+  Topology t = two_switches();
+  t.set_geo(SwitchId(1), GeoLocation{0, 0, "US"});
+  EXPECT_EQ(t.geo(SwitchId(1)).jurisdiction, "US");
+  EXPECT_THROW(t.geo(SwitchId(9)), util::InvariantViolation);
+}
+
+TEST(Topology, LinkLatencyStored) {
+  Topology t;
+  t.add_switch(SwitchId(1), 2);
+  t.add_switch(SwitchId(2), 2);
+  t.add_link({SwitchId(1), PortNo(0)}, {SwitchId(2), PortNo(0)},
+             7 * sim::kMicrosecond);
+  EXPECT_EQ(t.link_latency({SwitchId(1), PortNo(0)}), 7 * sim::kMicrosecond);
+  EXPECT_THROW(t.link_latency({SwitchId(1), PortNo(1)}),
+               util::InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rvaas::sdn

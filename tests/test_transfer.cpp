@@ -1,0 +1,234 @@
+// Transfer-function compilation: priority shadowing, rewrites, multi-output,
+// and agreement with the concrete switch pipeline.
+
+#include <gtest/gtest.h>
+
+#include "hsa/transfer.hpp"
+#include "sdn/switch.hpp"
+
+namespace rvaas::hsa {
+namespace {
+
+using sdn::Field;
+using sdn::FlowEntry;
+using sdn::HeaderFields;
+using sdn::Match;
+using sdn::PortNo;
+
+FlowEntry entry(std::uint16_t priority, Match m, sdn::ActionList actions,
+                std::uint64_t cookie = 0) {
+  FlowEntry e;
+  e.priority = priority;
+  e.match = std::move(m);
+  e.actions = std::move(actions);
+  e.cookie = cookie;
+  return e;
+}
+
+TEST(MatchToCube, TranslatesFieldConstraints) {
+  const Wildcard w = match_to_cube(
+      Match().exact(Field::Vlan, 5).prefix(Field::IpDst, 0x0a000000, 8));
+  HeaderFields h;
+  h.vlan = 5;
+  h.ip_dst = 0x0a112233;
+  EXPECT_TRUE(w.contains(h));
+  h.ip_dst = 0x0b000000;
+  EXPECT_FALSE(w.contains(h));
+}
+
+TEST(Transfer, SimpleForwardRule) {
+  sdn::FlowTable table;
+  table.add(entry(5, Match().exact(Field::Vlan, 1), {sdn::output(PortNo(2))}));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+
+  const auto results = tf.apply(PortNo(0), HeaderSpace::all());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].kind, TfOutput::Kind::Port);
+  EXPECT_EQ(results[0].port, PortNo(2));
+  HeaderFields h;
+  h.vlan = 1;
+  EXPECT_TRUE(results[0].space.contains(h));
+  h.vlan = 2;
+  EXPECT_FALSE(results[0].space.contains(h));
+}
+
+TEST(Transfer, PriorityShadowing) {
+  // High priority: vlan 1 -> port 1. Low priority: everything -> port 2.
+  // The low-priority rule must NOT carry vlan 1 traffic.
+  sdn::FlowTable table;
+  table.add(entry(10, Match().exact(Field::Vlan, 1), {sdn::output(PortNo(1))}));
+  table.add(entry(1, Match(), {sdn::output(PortNo(2))}));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+
+  const auto results = tf.apply(PortNo(0), HeaderSpace::all());
+  ASSERT_EQ(results.size(), 2u);
+  HeaderFields vlan1;
+  vlan1.vlan = 1;
+  HeaderFields vlan2;
+  vlan2.vlan = 2;
+
+  EXPECT_EQ(results[0].port, PortNo(1));
+  EXPECT_TRUE(results[0].space.contains(vlan1));
+  EXPECT_FALSE(results[0].space.contains(vlan2));
+
+  EXPECT_EQ(results[1].port, PortNo(2));
+  EXPECT_FALSE(results[1].space.contains(vlan1));  // shadowed!
+  EXPECT_TRUE(results[1].space.contains(vlan2));
+}
+
+TEST(Transfer, InPortScopedRules) {
+  sdn::FlowTable table;
+  table.add(entry(5, Match().in_port(PortNo(1)), {sdn::output(PortNo(2))}));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+
+  EXPECT_EQ(tf.apply(PortNo(1), HeaderSpace::all()).size(), 1u);
+  EXPECT_TRUE(tf.apply(PortNo(0), HeaderSpace::all()).empty());
+}
+
+TEST(Transfer, InPortRuleDoesNotShadowOtherPorts) {
+  // A high-priority rule on port 1 must not shadow traffic entering port 0.
+  sdn::FlowTable table;
+  table.add(entry(10, Match().in_port(PortNo(1)), {sdn::drop()}));
+  table.add(entry(1, Match(), {sdn::output(PortNo(3))}));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+
+  const auto from0 = tf.apply(PortNo(0), HeaderSpace::all());
+  ASSERT_EQ(from0.size(), 1u);
+  EXPECT_EQ(from0[0].port, PortNo(3));
+  EXPECT_TRUE(from0[0].space.contains(HeaderFields{}));
+
+  const auto from1 = tf.apply(PortNo(1), HeaderSpace::all());
+  EXPECT_TRUE(from1.empty());  // dropped
+}
+
+TEST(Transfer, RewriteAppliedPerOutput) {
+  sdn::FlowTable table;
+  table.add(entry(5, Match(),
+                  {sdn::output(PortNo(1)), sdn::set_field(Field::Vlan, 7),
+                   sdn::output(PortNo(2))}));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+
+  const auto results = tf.apply(PortNo(0), HeaderSpace(match_to_cube(
+                                               Match().exact(Field::Vlan, 3))));
+  ASSERT_EQ(results.size(), 2u);
+  HeaderFields vlan3;
+  vlan3.vlan = 3;
+  HeaderFields vlan7;
+  vlan7.vlan = 7;
+  EXPECT_TRUE(results[0].space.contains(vlan3));   // before rewrite
+  EXPECT_FALSE(results[0].space.contains(vlan7));
+  EXPECT_TRUE(results[1].space.contains(vlan7));   // after rewrite
+  EXPECT_FALSE(results[1].space.contains(vlan3));
+}
+
+TEST(Transfer, ControllerOutputCarriesCookie) {
+  sdn::FlowTable table;
+  table.add(entry(5, Match(), {sdn::to_controller()}, 0xabc));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+  const auto results = tf.apply(PortNo(0), HeaderSpace::all());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].kind, TfOutput::Kind::Controller);
+  EXPECT_EQ(results[0].cookie, 0xabcu);
+}
+
+TEST(Transfer, DropStopsOutputs) {
+  sdn::FlowTable table;
+  table.add(entry(5, Match(), {sdn::drop(), sdn::output(PortNo(1))}));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+  EXPECT_TRUE(tf.apply(PortNo(0), HeaderSpace::all()).empty());
+}
+
+TEST(Transfer, VlanPushPopCompile) {
+  sdn::FlowTable table;
+  table.add(entry(5, Match().exact(Field::Vlan, 0),
+                  {sdn::PushVlanAction{100}, sdn::output(PortNo(1))}));
+  table.add(entry(4, Match().exact(Field::Vlan, 100),
+                  {sdn::PopVlanAction{}, sdn::output(PortNo(2))}));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+
+  const auto results = tf.apply(PortNo(0), HeaderSpace::all());
+  ASSERT_EQ(results.size(), 2u);
+  HeaderFields tagged;
+  tagged.vlan = 100;
+  HeaderFields untagged;
+  EXPECT_TRUE(results[0].space.contains(tagged));
+  EXPECT_TRUE(results[1].space.contains(untagged));
+}
+
+TEST(Transfer, EmptyInputYieldsNothing) {
+  sdn::FlowTable table;
+  table.add(entry(5, Match(), {sdn::output(PortNo(1))}));
+  const SwitchTransfer tf = SwitchTransfer::compile(table.entries());
+  EXPECT_TRUE(tf.apply(PortNo(0), HeaderSpace{}).empty());
+}
+
+// Agreement property: for random tables and random packets, the transfer
+// function predicts exactly the concrete pipeline's outputs.
+class TfAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TfAgreement, MatchesConcretePipeline) {
+  util::Rng rng(GetParam() + 500);
+  sdn::SwitchSim sw(sdn::SwitchId(1), 8);
+  const sdn::ControllerId ctl(1);
+
+  // Random table: 12 rules over small vlan/proto/in_port domains.
+  for (int i = 0; i < 12; ++i) {
+    sdn::FlowMod mod;
+    mod.priority = static_cast<std::uint16_t>(rng.below(4));
+    if (rng.bernoulli(0.4)) mod.match.in_port(PortNo(static_cast<std::uint32_t>(rng.below(3))));
+    if (rng.bernoulli(0.6)) mod.match.exact(Field::Vlan, rng.below(3));
+    if (rng.bernoulli(0.4)) mod.match.exact(Field::IpProto, rng.below(2));
+    const std::uint64_t kind = rng.below(4);
+    if (kind == 0) {
+      mod.actions = {sdn::output(PortNo(static_cast<std::uint32_t>(rng.below(8))))};
+    } else if (kind == 1) {
+      mod.actions = {sdn::set_field(Field::Vlan, rng.below(3)),
+                     sdn::output(PortNo(static_cast<std::uint32_t>(rng.below(8))))};
+    } else if (kind == 2) {
+      mod.actions = {sdn::output(PortNo(static_cast<std::uint32_t>(rng.below(8)))),
+                     sdn::output(PortNo(static_cast<std::uint32_t>(rng.below(8))))};
+    } else {
+      mod.actions = {sdn::to_controller()};
+    }
+    ASSERT_TRUE(sw.apply_flow_mod(ctl, mod).ok());
+  }
+
+  const SwitchTransfer tf = SwitchTransfer::compile(sw.table().entries());
+
+  for (int i = 0; i < 60; ++i) {
+    sdn::Packet p;
+    p.hdr.vlan = rng.below(4);
+    p.hdr.ip_proto = rng.below(3);
+    const PortNo in_port(static_cast<std::uint32_t>(rng.below(4)));
+
+    const sdn::PipelineOutput concrete = sw.process(in_port, p, 0, false);
+    const auto logical = tf.apply(in_port, HeaderSpace(Wildcard::encode(p.hdr)));
+
+    // Concrete forwards <=> logical port outputs containing the rewritten
+    // header; concrete punts <=> logical controller outputs.
+    std::size_t logical_ports = 0, logical_punts = 0;
+    for (const auto& r : logical) {
+      if (r.kind == TfOutput::Kind::Port) {
+        ++logical_ports;
+      } else {
+        ++logical_punts;
+      }
+    }
+    ASSERT_EQ(concrete.forwards.size(), logical_ports) << "packet " << i;
+    ASSERT_EQ(concrete.punts.size(), logical_punts);
+
+    for (std::size_t k = 0, lp = 0; k < concrete.forwards.size(); ++k) {
+      // Find the k-th logical port output (order matches action order).
+      while (logical[lp].kind != TfOutput::Kind::Port) ++lp;
+      EXPECT_EQ(concrete.forwards[k].first, logical[lp].port);
+      EXPECT_TRUE(logical[lp].space.contains(concrete.forwards[k].second.hdr));
+      ++lp;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TfAgreement,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace rvaas::hsa

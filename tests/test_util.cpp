@@ -1,0 +1,208 @@
+// Unit tests for the util layer: strong ids, rng, bytes codec, hex, stats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "util/bytes.hpp"
+#include "util/ensure.hpp"
+#include "util/hex.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rvaas::util {
+namespace {
+
+using TestId = StrongId<struct TestTag>;
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_EQ(TestId(3), TestId(3));
+  EXPECT_NE(TestId(3), TestId(4));
+  EXPECT_LT(TestId(3), TestId(4));
+}
+
+TEST(StrongId, HashableInUnorderedSet) {
+  std::unordered_set<TestId> ids{TestId(1), TestId(2), TestId(1)};
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(Ensure, ThrowsOnViolation) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(ensure(false, "boom"), InvariantViolation);
+  EXPECT_THROW(unreachable("bad"), InvariantViolation);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+  EXPECT_THROW(rng.below(0), InvariantViolation);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Bytes, RoundTripAllTypes) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_bool(true);
+  w.put_string("hello");
+  w.put_bytes(Bytes{1, 2, 3});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.put_u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_THROW(r.get_u32(), DecodeError);
+}
+
+TEST(Bytes, TrailingGarbageDetected) {
+  ByteWriter w;
+  w.put_u32(1);
+  ByteReader r(w.data());
+  r.get_u16();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(Bytes, LengthPrefixBeyondBufferThrows) {
+  ByteWriter w;
+  w.put_u32(1000);  // claims 1000 bytes follow
+  ByteReader r(w.data());
+  EXPECT_THROW(r.get_bytes(), DecodeError);
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes b{0x00, 0x01, 0xfe, 0xff};
+  EXPECT_EQ(to_hex(b), "0001feff");
+  EXPECT_EQ(from_hex("0001feff"), b);
+  EXPECT_EQ(from_hex("0001FEFF"), b);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), DecodeError);   // odd length
+  EXPECT_THROW(from_hex("zz"), DecodeError);    // bad digit
+}
+
+TEST(Samples, BasicStatistics) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (double v : {0.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(Samples, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.mean(), InvariantViolation);
+  EXPECT_THROW(s.percentile(50), InvariantViolation);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantViolation);
+}
+
+TEST(Table, FmtFormatsPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace rvaas::util

@@ -1,0 +1,162 @@
+// Topology generators and scenario runtime wiring.
+
+#include <gtest/gtest.h>
+
+#include "workload/geoip.hpp"
+#include "workload/scenario.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace rvaas::workload {
+namespace {
+
+using sdn::SwitchId;
+
+TEST(TopoGen, FatTreeStructure) {
+  const GeneratedTopology g = fat_tree(4);
+  // k=4: 4 core + 4 pods * (2 agg + 2 edge) = 20 switches, 8 hosts.
+  EXPECT_EQ(g.topo.switch_count(), 20u);
+  EXPECT_EQ(g.hosts.size(), 8u);
+  // Links: core-agg = 4*4 = 16, agg-edge = 4 * 2*2 = 16.
+  EXPECT_EQ(g.topo.links().size(), 32u);
+  // Every pair of hosts is connected in the switch graph.
+  const auto a = g.topo.host_ports(g.hosts.front()).front();
+  const auto b = g.topo.host_ports(g.hosts.back()).front();
+  const auto path = control::shortest_switch_path(g.topo, a.sw, b.sw);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 5u);  // edge-agg-core-agg-edge across pods
+}
+
+TEST(TopoGen, FatTreeHostsPerEdge) {
+  const GeneratedTopology g = fat_tree(4, 2);
+  EXPECT_EQ(g.hosts.size(), 16u);
+  EXPECT_THROW(fat_tree(4, 3), util::InvariantViolation);
+  EXPECT_THROW(fat_tree(3), util::InvariantViolation);
+}
+
+TEST(TopoGen, LinearChain) {
+  const GeneratedTopology g = linear(5);
+  EXPECT_EQ(g.topo.switch_count(), 5u);
+  EXPECT_EQ(g.topo.links().size(), 4u);
+  EXPECT_EQ(g.hosts.size(), 5u);
+  // Ends are 5 switches apart.
+  const auto path =
+      control::shortest_switch_path(g.topo, SwitchId(1), SwitchId(5));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 5u);
+  // Jurisdiction changes along the line.
+  EXPECT_NE(g.topo.geo(SwitchId(1)).jurisdiction,
+            g.topo.geo(SwitchId(5)).jurisdiction);
+}
+
+TEST(TopoGen, RingWraps) {
+  const GeneratedTopology g = ring(6);
+  EXPECT_EQ(g.topo.links().size(), 6u);
+  const auto path =
+      control::shortest_switch_path(g.topo, SwitchId(1), SwitchId(6));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);  // wrap-around link
+}
+
+TEST(TopoGen, GridDimensions) {
+  const GeneratedTopology g = grid(3, 4);
+  EXPECT_EQ(g.topo.switch_count(), 12u);
+  EXPECT_EQ(g.topo.links().size(), (2u * 4u) + (3u * 3u));
+  EXPECT_EQ(g.hosts.size(), 12u);
+}
+
+TEST(TopoGen, RandomIspConnected) {
+  util::Rng rng(7);
+  const GeneratedTopology g = random_isp(20, 10, rng);
+  EXPECT_EQ(g.topo.switch_count(), 20u);
+  EXPECT_GE(g.topo.links().size(), 19u);
+  for (std::uint32_t i = 2; i <= 20; ++i) {
+    EXPECT_TRUE(control::shortest_switch_path(g.topo, SwitchId(1), SwitchId(i))
+                    .has_value());
+  }
+}
+
+TEST(GeoIpSynthesis, ZeroErrorMatchesTruth) {
+  util::Rng rng(5);
+  const GeneratedTopology g = linear(4);
+  control::HostAddressing addressing;
+  for (const auto h : g.hosts) addressing.assign(h);
+  const core::GeoIpDb db = synth_geoip_db(g.topo, addressing, 0.0, rng);
+  for (const auto h : g.hosts) {
+    const auto jur = db.lookup(addressing.of(h).ip);
+    ASSERT_TRUE(jur.has_value());
+    EXPECT_EQ(*jur, g.topo.geo(g.topo.host_ports(h).front().sw).jurisdiction);
+  }
+}
+
+TEST(GeoIpSynthesis, FullErrorNeverMatchesTruth) {
+  util::Rng rng(6);
+  const GeneratedTopology g = linear(4);
+  control::HostAddressing addressing;
+  for (const auto h : g.hosts) addressing.assign(h);
+  const core::GeoIpDb db = synth_geoip_db(g.topo, addressing, 1.0, rng);
+  for (const auto h : g.hosts) {
+    const auto jur = db.lookup(addressing.of(h).ip);
+    ASSERT_TRUE(jur.has_value());
+    EXPECT_NE(*jur, g.topo.geo(g.topo.host_ports(h).front().sw).jurisdiction);
+  }
+}
+
+TEST(Scenario, BootstrapsAndRoutesTraffic) {
+  ScenarioConfig config;
+  config.generated = linear(3);
+  config.seed = 11;
+  ScenarioRuntime runtime(std::move(config));
+
+  // Provider routing is installed: host0 can reach host2 in the data plane.
+  const auto& hosts = runtime.hosts();
+  sdn::Packet p;
+  p.hdr.eth_type = sdn::kEthTypeIpv4;
+  p.hdr.ip_proto = sdn::kIpProtoUdp;
+  p.hdr.ip_src = runtime.addressing().of(hosts[0]).ip;
+  p.hdr.ip_dst = runtime.addressing().of(hosts[2]).ip;
+  const sdn::Trajectory t = runtime.network().trace_from_host(hosts[0], p);
+  EXPECT_EQ(t.reached_hosts(), std::vector<sdn::HostId>{hosts[2]});
+}
+
+TEST(Scenario, TenantsPartitionHosts) {
+  ScenarioConfig config;
+  config.generated = linear(4);
+  config.tenant_count = 2;
+  ScenarioRuntime runtime(std::move(config));
+
+  const auto& hosts = runtime.hosts();
+  // hosts[0] and hosts[2] share tenant 1; hosts[1], hosts[3] tenant 2.
+  const auto t0 = runtime.provider().tenant_of(hosts[0]);
+  const auto t1 = runtime.provider().tenant_of(hosts[1]);
+  ASSERT_TRUE(t0 && t1);
+  EXPECT_NE(t0->id, t1->id);
+
+  // Cross-tenant traffic is not routed.
+  sdn::Packet p;
+  p.hdr.ip_src = runtime.addressing().of(hosts[0]).ip;
+  p.hdr.ip_dst = runtime.addressing().of(hosts[1]).ip;
+  const sdn::Trajectory t = runtime.network().trace_from_host(hosts[0], p);
+  EXPECT_TRUE(t.reached_hosts().empty());
+}
+
+TEST(Scenario, ProviderRoutesFollowShortestPaths) {
+  ScenarioConfig config;
+  config.generated = fat_tree(4);
+  ScenarioRuntime runtime(std::move(config));
+  const auto& hosts = runtime.hosts();
+
+  for (std::size_t i = 1; i < 4; ++i) {
+    const auto route =
+        runtime.provider().route_switches(hosts[0], hosts[i]);
+    ASSERT_TRUE(route.has_value());
+    const auto a = runtime.network().topology().host_ports(hosts[0]).front();
+    const auto b = runtime.network().topology().host_ports(hosts[i]).front();
+    const auto shortest =
+        control::shortest_switch_path(runtime.network().topology(), a.sw, b.sw);
+    ASSERT_TRUE(shortest.has_value());
+    EXPECT_EQ(route->size(), shortest->size());
+  }
+}
+
+}  // namespace
+}  // namespace rvaas::workload

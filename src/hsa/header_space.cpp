@@ -6,10 +6,18 @@ namespace rvaas::hsa {
 
 namespace {
 
-/// Recursive emptiness of base \ (diffs[idx..]). Splits on the first diff.
+/// Recursive emptiness of base \ (diffs[idx..]). Splits on the first
+/// overlapping diff. Two prunings keep the recursion from exploding on the
+/// long diff lists rule shadowing produces: a diff that contains the whole
+/// base settles the question without splitting, and disjoint diffs are
+/// skipped without copying pieces.
 bool covered(const Wildcard& base, const std::vector<Wildcard>& diffs,
              std::size_t idx) {
   if (base.is_empty()) return true;
+  for (std::size_t j = idx; j < diffs.size(); ++j) {
+    if (base.subset_of(diffs[j])) return true;
+  }
+  while (idx < diffs.size() && !base.intersects(diffs[idx])) ++idx;
   if (idx == diffs.size()) return false;
   // base \ diffs = ⋃ pieces(base \ diffs[idx]) \ diffs[idx+1..]
   for (const Wildcard& piece : cube_subtract(base, diffs[idx])) {
@@ -22,10 +30,12 @@ bool covered(const Wildcard& base, const std::vector<Wildcard>& diffs,
 void resolve_cube(const Wildcard& base, const std::vector<Wildcard>& diffs,
                   std::size_t idx, std::vector<Wildcard>& out) {
   if (base.is_empty()) return;
+  while (idx < diffs.size() && !base.intersects(diffs[idx])) ++idx;
   if (idx == diffs.size()) {
     out.push_back(base);
     return;
   }
+  if (base.subset_of(diffs[idx])) return;  // nothing of base survives
   for (const Wildcard& piece : cube_subtract(base, diffs[idx])) {
     resolve_cube(piece, diffs, idx + 1, out);
   }

@@ -1,5 +1,6 @@
 #include "hsa/wildcard.hpp"
 
+#include <bit>
 #include <sstream>
 
 #include "util/ensure.hpp"
@@ -196,18 +197,31 @@ sdn::HeaderFields Rewrite::apply(const sdn::HeaderFields& h) const {
 std::vector<Wildcard> cube_subtract(const Wildcard& a, const Wildcard& b) {
   if (a.is_empty()) return {};
   if (!a.intersects(b)) return {a};
+  // One piece per position where b is constrained and a is free: the piece is
+  // a with that bit forced to b's complement. Positions where a is fixed and
+  // equal to b remove nothing; fixed and different would make a ∩ b empty
+  // (handled above). Scanned word-by-word: the low bit of a pair is set in
+  // `*_any` iff the pair decodes to 11 (x).
+  constexpr std::uint64_t kLow = 0x5555555555555555ULL;
   std::vector<Wildcard> out;
-  for (std::size_t i = 0; i < Wildcard::kBits; ++i) {
-    const Trit bi = b.get_bit(i);
-    if (bi == Trit::Any) continue;
-    if (a.get_bit(i) == Trit::Any) {
+  for (std::size_t w = 0; w < Wildcard::kWords; ++w) {
+    const std::uint64_t aw = a.words_[w];
+    const std::uint64_t bw = b.words_[w];
+    const std::uint64_t a_any = aw & (aw >> 1) & kLow;
+    const std::uint64_t b_any = bw & (bw >> 1) & kLow;
+    // Padding pairs beyond 2*kBits are 11 in both, so they never qualify.
+    std::uint64_t candidates = a_any & ~b_any;
+    while (candidates != 0) {
+      const int pos = std::countr_zero(candidates);
+      candidates &= candidates - 1;
       Wildcard piece = a;
-      piece.set_bit(i, bi == Trit::One ? Trit::Zero : Trit::One);
-      out.push_back(piece);
+      // b's pair at pos is 01 (0) or 10 (1); the piece takes the complement.
+      const std::uint64_t b_pair = (bw >> pos) & 0b11;
+      const std::uint64_t flipped = b_pair ^ 0b11;
+      piece.words_[w] &= ~(std::uint64_t{0b11} << pos);
+      piece.words_[w] |= flipped << pos;
+      out.push_back(std::move(piece));
     }
-    // If a's bit is fixed and equal to b's, the subtraction removes nothing
-    // at this position; if fixed and different, a ∩ b would be empty (handled
-    // above).
   }
   return out;
 }

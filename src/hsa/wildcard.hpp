@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sdn/header.hpp"
 #include "util/rng.hpp"
@@ -72,6 +73,9 @@ class Wildcard {
   std::string field_to_string(sdn::Field f) const;
 
  private:
+  friend std::vector<Wildcard> cube_subtract(const Wildcard& a,
+                                             const Wildcard& b);
+
   // Header bit i lives at 2-bit offset 2i: word (2i)/64, shift (2i)%64.
   std::array<std::uint64_t, kWords> words_;
 };

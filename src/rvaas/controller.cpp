@@ -171,70 +171,20 @@ void RvaasController::handle_request(const sdn::PacketIn& msg) {
   PendingQuery pending;
   pending.request = *request;
   pending.request_point = PortRef{msg.sw, msg.in_port};
-  pending.reply.request_id = request->request_id;
-  pending.reply.kind = request->query.kind;
 
-  // Logical verification on the current snapshot.
+  // Logical verification on the current snapshot. QueryEngine::answer is the
+  // single dispatch for the logical step, shared with the batch path.
   const hsa::NetworkModel model = engine_.model(snapshot_);
-  const hsa::HeaderSpace hs =
-      QueryEngine::constraint_space(request->query.constraint);
-
-  ReachComputation reach;
-  bool needs_auth = false;
-  switch (request->query.kind) {
-    case QueryKind::ReachableEndpoints:
-      reach = engine_.reachable_endpoints(model, pending.request_point, hs);
-      needs_auth = true;
-      break;
-    case QueryKind::ReachingSources:
-      reach = engine_.reaching_sources(model, pending.request_point, hs);
-      needs_auth = true;
-      break;
-    case QueryKind::Isolation:
-      reach = engine_.isolation(model, pending.request_point, hs);
-      needs_auth = true;
-      break;
-    case QueryKind::Geo: {
-      util::ensure(geo_ != nullptr, "geo query without a geo provider");
-      pending.reply.jurisdictions =
-          engine_.geo_jurisdictions(model, pending.request_point, hs, *geo_);
-      break;
-    }
-    case QueryKind::PathLength: {
-      if (request->query.peer && addressing_ != nullptr) {
-        const auto peer_ports =
-            net_->topology().host_ports(*request->query.peer);
-        if (!peer_ports.empty()) {
-          const auto report = engine_.path_length(
-              model, pending.request_point, peer_ports.front(),
-              addressing_->of(*request->query.peer).ip);
-          pending.reply.path_found = report.found;
-          pending.reply.installed_path_length = report.installed;
-          pending.reply.optimal_path_length = report.optimal;
-        }
-      }
-      break;
-    }
-    case QueryKind::Fairness:
-      pending.reply.fairness =
-          engine_.fairness(model, snapshot_, pending.request_point, hs);
-      break;
-    case QueryKind::TransferSummary:
-      pending.reply.transfer_summary =
-          engine_.transfer_summary(model, pending.request_point, hs);
-      break;
-  }
-
-  if (needs_auth) {
-    pending.reply.endpoints = reach.endpoints;
-    if (config_.policy == ConfidentialityPolicy::FullPaths) {
-      pending.reply.disclosed_paths = QueryEngine::render_paths(reach.paths);
-    }
-    for (const PortRef ap : reach.to_authenticate) {
-      // Do not probe the requester's own access point.
-      if (ap == pending.request_point) continue;
-      pending.expected[ap] = std::nullopt;
-    }
+  QueryEngine::BatchContext ctx;
+  ctx.from = pending.request_point;
+  ctx.geo = geo_.get();
+  ctx.addressing = addressing_;
+  QueryEngine::Answer answer =
+      engine_.answer(model, snapshot_, request->query, ctx);
+  pending.reply = std::move(answer.reply);
+  pending.reply.request_id = request->request_id;
+  for (const PortRef ap : answer.to_authenticate) {
+    pending.expected[ap] = std::nullopt;
   }
 
   const std::uint64_t request_id = request->request_id;

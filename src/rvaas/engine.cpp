@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "hsa/transfer.hpp"
+#include "util/ensure.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rvaas::core {
 
@@ -177,6 +179,91 @@ std::vector<TransferSummaryEntry> QueryEngine::transfer_summary(
     out.push_back(TransferSummaryEntry{egress, count});
   }
   return out;
+}
+
+QueryEngine::Answer QueryEngine::answer(const hsa::NetworkModel& model,
+                                        const SnapshotManager& snap,
+                                        const Query& query,
+                                        const BatchContext& ctx) const {
+  Answer out;
+  out.reply.kind = query.kind;
+  const hsa::HeaderSpace hs = constraint_space(query.constraint);
+
+  ReachComputation reach;
+  bool has_endpoints = false;
+  switch (query.kind) {
+    case QueryKind::ReachableEndpoints:
+      reach = reachable_endpoints(model, ctx.from, hs);
+      has_endpoints = true;
+      break;
+    case QueryKind::ReachingSources:
+      reach = reaching_sources(model, ctx.from, hs);
+      has_endpoints = true;
+      break;
+    case QueryKind::Isolation:
+      reach = isolation(model, ctx.from, hs);
+      has_endpoints = true;
+      break;
+    case QueryKind::Geo:
+      util::ensure(ctx.geo != nullptr, "geo query without a geo provider");
+      out.reply.jurisdictions = geo_jurisdictions(model, ctx.from, hs, *ctx.geo);
+      break;
+    case QueryKind::PathLength: {
+      if (query.peer && ctx.addressing != nullptr) {
+        const auto peer_ports = topo_->host_ports(*query.peer);
+        if (!peer_ports.empty()) {
+          const PathLengthReport report =
+              path_length(model, ctx.from, peer_ports.front(),
+                          ctx.addressing->of(*query.peer).ip);
+          out.reply.path_found = report.found;
+          out.reply.installed_path_length = report.installed;
+          out.reply.optimal_path_length = report.optimal;
+        }
+      }
+      break;
+    }
+    case QueryKind::Fairness:
+      out.reply.fairness = fairness(model, snap, ctx.from, hs);
+      break;
+    case QueryKind::TransferSummary:
+      out.reply.transfer_summary = transfer_summary(model, ctx.from, hs);
+      break;
+  }
+
+  if (has_endpoints) {
+    out.reply.endpoints = std::move(reach.endpoints);
+    if (config_.policy == ConfidentialityPolicy::FullPaths) {
+      out.reply.disclosed_paths = render_paths(reach.paths);
+    }
+    for (const PortRef ap : reach.to_authenticate) {
+      // Never probe the requester's own access point.
+      if (ap == ctx.from) continue;
+      out.to_authenticate.push_back(ap);
+    }
+  }
+  return out;
+}
+
+std::vector<QueryReply> QueryEngine::run_batch(const SnapshotManager& snap,
+                                               std::span<const Query> queries,
+                                               std::size_t threads,
+                                               const BatchContext& ctx) const {
+  util::ThreadPool pool(threads <= 1 ? 0 : threads - 1);
+  return run_batch(snap, queries, pool, ctx);
+}
+
+std::vector<QueryReply> QueryEngine::run_batch(const SnapshotManager& snap,
+                                               std::span<const Query> queries,
+                                               util::ThreadPool& pool,
+                                               const BatchContext& ctx) const {
+  // One compilation of the snapshot amortizes over the whole batch; the
+  // resulting model is immutable, so queries read it concurrently.
+  const hsa::NetworkModel compiled = model(snap);
+  std::vector<QueryReply> replies(queries.size());
+  pool.parallel_for(queries.size(), [&](std::size_t i) {
+    replies[i] = answer(compiled, snap, queries[i], ctx).reply;
+  });
+  return replies;
 }
 
 std::vector<std::string> QueryEngine::render_paths(

@@ -5,12 +5,14 @@
 // in-band authentication round-trips it prescribes.
 
 #include <memory>
+#include <span>
 
 #include "controlplane/routing.hpp"
 #include "hsa/reachability.hpp"
 #include "rvaas/geo.hpp"
 #include "rvaas/query.hpp"
 #include "rvaas/snapshot.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rvaas::core {
 
@@ -102,6 +104,42 @@ class QueryEngine {
   /// Renders paths for FullPaths mode (E5 leakage strawman).
   static std::vector<std::string> render_paths(
       const std::vector<std::vector<sdn::SwitchId>>& paths);
+
+  /// Per-client context for the logical step of a query: where the request
+  /// entered the network, plus the optional providers some query kinds need.
+  struct BatchContext {
+    sdn::PortRef from{};
+    const GeoProvider* geo = nullptr;                     ///< Geo queries
+    const control::HostAddressing* addressing = nullptr;  ///< PathLength
+  };
+
+  /// The logical step of one query: everything the engine can compute from
+  /// the snapshot alone. `to_authenticate` lists the access points the
+  /// caller (the controller) still has to probe in-band; it never includes
+  /// `ctx.from` and is empty for query kinds without endpoint answers.
+  struct Answer {
+    QueryReply reply;
+    std::vector<sdn::PortRef> to_authenticate;
+  };
+  Answer answer(const hsa::NetworkModel& model, const SnapshotManager& snap,
+                const Query& query, const BatchContext& ctx) const;
+
+  /// Batch path: compiles the snapshot's network model ONCE and answers all
+  /// queries against that immutable model, fanned out over `threads` threads
+  /// (<= 1 runs sequentially inline). Results are positionally identical to
+  /// calling answer() per query, including the confidentiality redaction.
+  /// Spawns a pool per call; callers issuing many batches should hold a
+  /// util::ThreadPool and use the overload below to amortize thread spawn.
+  std::vector<QueryReply> run_batch(const SnapshotManager& snap,
+                                    std::span<const Query> queries,
+                                    std::size_t threads,
+                                    const BatchContext& ctx) const;
+
+  /// As above, fanned out over an existing pool (reused across batches).
+  std::vector<QueryReply> run_batch(const SnapshotManager& snap,
+                                    std::span<const Query> queries,
+                                    util::ThreadPool& pool,
+                                    const BatchContext& ctx) const;
 
   const EngineConfig& config() const { return config_; }
 

@@ -1,0 +1,103 @@
+#include "util/thread_pool.hpp"
+
+namespace rvaas::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.limit) return;
+    if (job.failed.load(std::memory_order_relaxed)) continue;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      job.failed.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t last_seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_seq_ != last_seen);
+      });
+      if (stop_) return;
+      job = job_;
+      last_seen = job_seq_;
+      job->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    drain(*job);
+    std::size_t remaining;
+    {
+      // Decrement under the lock so the completion wait in parallel_for
+      // cannot check the count and go to sleep between our decrement and
+      // notify (lost wakeup).
+      std::lock_guard<std::mutex> lock(mu_);
+      remaining = job->active.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    }
+    if (remaining == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  Job job;
+  job.limit = n;
+  job.fn = &fn;
+  if (workers_.empty() || n == 1) {
+    drain(job);
+  } else {
+    // One loop owns the workers at a time; concurrent callers queue here.
+    std::lock_guard<std::mutex> loop_lock(loop_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      ++job_seq_;
+    }
+    work_ready_.notify_all();
+    drain(job);  // the caller works too
+    {
+      // Unpublish the job, then wait for workers that picked it up.
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ = nullptr;
+      work_done_.wait(lock, [&] {
+        return job.active.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(threads - 1);
+  pool.parallel_for(n, fn);
+}
+
+}  // namespace rvaas::util

@@ -1,0 +1,73 @@
+#pragma once
+// A small fixed-size worker pool for fanning independent computations out
+// across cores. The only primitive is a blocking parallel index loop
+// (`parallel_for`): workers pull indices from a shared atomic counter, so
+// uneven per-item cost balances automatically. With 0 or 1 threads the loop
+// degenerates to an inline sequential run — callers need no special case.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rvaas::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is allowed: every parallel_for then runs
+  /// inline on the calling thread).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the
+  /// workers, and blocks until all calls returned. The calling thread
+  /// participates, so a pool of size T applies T+1 threads of compute. If
+  /// any call throws, one of the exceptions is rethrown here after the loop
+  /// drains; the remaining indices are still consumed (each worker keeps
+  /// pulling, but fn is skipped once a failure is recorded).
+  ///
+  /// The pool runs one loop at a time: concurrent calls from different
+  /// threads are safe but serialize against each other (each still gets the
+  /// full pool). Calling parallel_for from inside fn deadlocks.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::atomic<std::size_t> next{0};
+    std::size_t limit = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> active{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void worker_loop();
+  static void drain(Job& job);
+
+  std::mutex loop_mu_;  ///< serializes whole parallel_for invocations
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Job* job_ = nullptr;  // guarded by mu_; non-null while a loop is running
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One-shot convenience: runs fn(i) for i in [0, n) on up to `threads`
+/// threads total (including the caller). threads <= 1 runs inline.
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace rvaas::util

@@ -292,5 +292,84 @@ TEST(SealedBox, FreshEphemeralPerSeal) {
   EXPECT_NE(a.cipher, b.cipher);
 }
 
+// --- Additional known-answer vectors ---
+
+// NIST CAVP SHA-256 short-message vectors (byte-oriented).
+TEST(Sha256, NistOneByte) {
+  const Bytes msg = from_hex("bd");
+  Sha256 h;
+  h.update(msg);
+  EXPECT_EQ(hex_of(h.finalize()),
+            "68325720aabd7c82f30f554b313d0570c95accbb7dc4b5aae11204c08ffe732b");
+}
+
+TEST(Sha256, NistFourBytes) {
+  const Bytes msg = from_hex("c98c8e55");
+  Sha256 h;
+  h.update(msg);
+  EXPECT_EQ(hex_of(h.finalize()),
+            "7abc22c0ae5af26ce93dbb94433a0e0b2e119d014f8e7f65bd56c61ccccd9504");
+}
+
+// FIPS 180-4 appendix vector: the 448-bit two-block-boundary message "abc..."
+// extended; here the 896-bit variant from SHA-2 test suites.
+TEST(Sha256, FourBlockBoundaryMessage) {
+  const std::string msg =
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+  EXPECT_EQ(hex_of(sha256(msg)),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(HmacSha256, Rfc4231Case4) {
+  Bytes key(25);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + 1);  // 0x01..0x19
+  }
+  const Bytes msg(50, 0xcd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case7LongKeyLongData) {
+  const Bytes key(131, 0xaa);
+  const Bytes msg = util::to_bytes(
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// --- Randomized round-trips across message shapes ---
+
+TEST(Schnorr, SignVerifyRoundTripsAcrossSizes) {
+  util::Rng rng(300);
+  const SigningKey sk = SigningKey::generate(rng);
+  for (const std::size_t len : {0u, 1u, 31u, 32u, 33u, 64u, 255u, 1024u}) {
+    Bytes msg(len);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u64());
+    const Signature sig = sk.sign(msg);
+    EXPECT_TRUE(sk.verify_key().verify(msg, sig)) << "len=" << len;
+    if (!msg.empty()) {
+      msg[len / 2] ^= 0x40;
+      EXPECT_FALSE(sk.verify_key().verify(msg, sig)) << "len=" << len;
+    }
+  }
+}
+
+TEST(SealedBox, SealOpenRoundTripsAcrossSizes) {
+  util::Rng rng(301);
+  const BoxOpener opener = BoxOpener::generate(rng);
+  for (const std::size_t len : {1u, 16u, 63u, 64u, 65u, 512u, 4096u}) {
+    Bytes plain(len);
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next_u64());
+    const SealedBox box = opener.sealer().seal(rng, plain);
+    const auto out = opener.open(box);
+    ASSERT_TRUE(out.has_value()) << "len=" << len;
+    EXPECT_EQ(*out, plain) << "len=" << len;
+  }
+}
+
 }  // namespace
 }  // namespace rvaas::crypto

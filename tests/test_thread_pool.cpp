@@ -1,0 +1,103 @@
+// util::ThreadPool / util::parallel_for: full coverage of the index range,
+// exactly-once execution, inline fallbacks, reuse, and exception transport.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace rvaas::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::size_t sum = 0;  // no synchronization: must run on this thread
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(257, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 257u * 256u / 2);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed loop.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ConcurrentLoopsOnSharedPoolBothComplete) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> a(2000), b(2000);
+  std::thread other([&] {
+    pool.parallel_for(a.size(), [&](std::size_t i) {
+      a[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  pool.parallel_for(b.size(), [&](std::size_t i) {
+    b[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  other.join();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].load(), 1) << "a[" << i << "]";
+    ASSERT_EQ(b[i].load(), 1) << "b[" << i << "]";
+  }
+}
+
+TEST(ParallelForHelper, SequentialFallbackPreservesOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(1, 5, [&](std::size_t i) { order.push_back(i); });
+  const std::vector<std::size_t> expected{0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForHelper, ParallelCoversRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(8, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace rvaas::util

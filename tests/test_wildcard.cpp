@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "hsa/header_space.hpp"
 #include "hsa/wildcard.hpp"
 
 namespace rvaas::hsa {
@@ -243,6 +244,122 @@ TEST(Wildcard, ToStringShowsConstrainedFields) {
   EXPECT_EQ(s.find("ip_dst"), std::string::npos);
   EXPECT_EQ(w.field_to_string(Field::Vlan), "000000000101");
 }
+
+// --- Randomized algebra round-trips ---
+//
+// Complement has no direct primitive; ¬A is expressed as all() \ A on
+// HeaderSpace and validated through membership of randomized headers, both
+// uniform ones and ones sampled from the cubes under test.
+
+class AlgebraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgebraProperty, ComplementPartitionsEveryHeader) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const Wildcard a = random_cube(rng);
+    const HeaderSpace complement = HeaderSpace::all().subtract(a);
+    for (int k = 0; k < 20; ++k) {
+      const HeaderFields h =
+          (k % 2 == 0) ? random_header(rng) : a.sample(rng);
+      EXPECT_NE(a.contains(h), complement.contains(h)) << a.to_string();
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, DoubleComplementRoundTripsMembership) {
+  util::Rng rng(GetParam() ^ 0x1);
+  for (int round = 0; round < 10; ++round) {
+    const Wildcard a = random_cube(rng);
+    // ¬¬A: resolve ¬A to plain cubes and subtract each from the full space.
+    HeaderSpace twice = HeaderSpace::all();
+    for (const Wildcard& piece : HeaderSpace::all().subtract(a).resolve()) {
+      twice = twice.subtract(piece);
+    }
+    for (int k = 0; k < 20; ++k) {
+      const HeaderFields h =
+          (k % 2 == 0) ? random_header(rng) : a.sample(rng);
+      EXPECT_EQ(twice.contains(h), a.contains(h));
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, IntersectionMembershipIsConjunction) {
+  util::Rng rng(GetParam() ^ 0x2);
+  for (int round = 0; round < 20; ++round) {
+    const Wildcard a = random_cube(rng, 0.15);
+    const Wildcard b = random_cube(rng, 0.15);
+    const HeaderSpace meet = HeaderSpace(a).intersect(b);
+    for (int k = 0; k < 30; ++k) {
+      const HeaderFields h = (k % 3 == 0)   ? random_header(rng)
+                             : (k % 3 == 1) ? a.sample(rng)
+                                            : b.sample(rng);
+      EXPECT_EQ(meet.contains(h), a.contains(h) && b.contains(h));
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, SubsetAgreesWithSampledMembership) {
+  util::Rng rng(GetParam() ^ 0x3);
+  for (int round = 0; round < 20; ++round) {
+    const Wildcard b = random_cube(rng, 0.2);
+    // Tighten b into a guaranteed subset by fixing a few more free bits.
+    Wildcard a = b;
+    for (std::size_t i = 0; i < Wildcard::kBits; ++i) {
+      if (a.get_bit(i) == Trit::Any && rng.bernoulli(0.1)) {
+        a.set_bit(i, rng.next_bit() ? Trit::One : Trit::Zero);
+      }
+    }
+    ASSERT_TRUE(a.subset_of(b));
+    // Subset ⟺ intersection is a no-op on the smaller cube.
+    EXPECT_EQ(a.intersect(b), a);
+    for (int k = 0; k < 20; ++k) {
+      EXPECT_TRUE(b.contains(a.sample(rng)));
+    }
+    // And an independent random cube that claims subset must agree on
+    // sampled members.
+    const Wildcard c = random_cube(rng, 0.2);
+    if (c.subset_of(b)) {
+      for (int k = 0; k < 20; ++k) EXPECT_TRUE(b.contains(c.sample(rng)));
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, SubtractPlusIntersectionRoundTripsToOriginal) {
+  util::Rng rng(GetParam() ^ 0x4);
+  for (int round = 0; round < 10; ++round) {
+    const Wildcard a = random_cube(rng, 0.15);
+    const Wildcard b = random_cube(rng, 0.15);
+    // (A \ B) ∪ (A ∩ B) must have exactly A's members.
+    const HeaderSpace recombined =
+        HeaderSpace(a).subtract(b).union_with(HeaderSpace(a).intersect(b));
+    for (int k = 0; k < 30; ++k) {
+      const HeaderFields h =
+          (k % 2 == 0) ? random_header(rng) : a.sample(rng);
+      EXPECT_EQ(recombined.contains(h), a.contains(h));
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, DeMorganOnMembership) {
+  util::Rng rng(GetParam() ^ 0x5);
+  for (int round = 0; round < 10; ++round) {
+    const Wildcard a = random_cube(rng, 0.15);
+    const Wildcard b = random_cube(rng, 0.15);
+    const HeaderSpace not_a = HeaderSpace::all().subtract(a);
+    const HeaderSpace not_b = HeaderSpace::all().subtract(b);
+    const HeaderSpace meet = HeaderSpace(a).intersect(b);
+    for (int k = 0; k < 30; ++k) {
+      const HeaderFields h = (k % 3 == 0)   ? random_header(rng)
+                             : (k % 3 == 1) ? a.sample(rng)
+                                            : b.sample(rng);
+      // ¬(A ∩ B) = ¬A ∪ ¬B, checked pointwise.
+      EXPECT_EQ(!meet.contains(h), not_a.contains(h) || not_b.contains(h));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
 
 }  // namespace
 }  // namespace rvaas::hsa

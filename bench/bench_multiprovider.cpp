@@ -26,8 +26,7 @@ struct Chain {
       domains.push_back(
           std::make_unique<workload::ScenarioRuntime>(std::move(config)));
       fed.add_domain(core::ProviderId(static_cast<std::uint32_t>(i + 1)),
-                     domains.back()->rvaas(),
-                     domains.back()->network().topology());
+                     domains.back()->rvaas());
     }
     for (std::size_t i = 0; i + 1 < n; ++i) {
       fed.add_peering(core::ProviderId(static_cast<std::uint32_t>(i + 1)),

@@ -9,6 +9,12 @@
 //   fixed-poll     — periodic stats polls, phase known to the attacker
 //                    (attacker flaps in anti-phase),
 //   random-poll    — exponential inter-poll times (memoryless).
+//
+// Also reports the CompiledModelCache hit rate per discipline: polls that
+// agree with the passive view never bump table epochs, so a client querying
+// under steady polling should almost never trigger recompilation.
+//
+// Flags: --smoke (tiny run, 1 trial)   --json FILE (machine output)
 
 #include <cstdio>
 
@@ -23,6 +29,12 @@ struct Config {
   bool passive;
   core::PollingMode polling;
   const char* label;
+};
+
+constexpr Config kModes[] = {
+    {true, core::PollingMode::Disabled, "passive-events"},
+    {false, core::PollingMode::Fixed, "fixed-poll"},
+    {false, core::PollingMode::Randomized, "random-poll"},
 };
 
 /// Runs one trial; returns true if the malicious rule was ever observed.
@@ -48,27 +60,56 @@ bool run_trial(const Config& mode, sim::Time dwell, std::uint64_t seed) {
       [](const core::HistoryRecord& r) { return r.entry.cookie == 0xf1a9; });
 }
 
+/// One monitored scenario with a client querying every 10 ms while the
+/// attacker flaps; returns the controller engine's model-cache counters.
+core::CompiledModelCache::Stats run_cache_trial(const Config& mode,
+                                                bool smoke) {
+  workload::ScenarioConfig config;
+  config.generated = smoke ? workload::linear(3) : workload::linear(10);
+  config.seed = 99;
+  config.rvaas.passive_monitoring = mode.passive;
+  config.rvaas.polling = mode.polling;
+  config.rvaas.poll_period = 50 * sim::kMillisecond;
+  workload::ScenarioRuntime runtime(std::move(config));
+  const auto& hosts = runtime.hosts();
+
+  attacks::ReconfigFlappingAttack attack(hosts[0], 50 * sim::kMillisecond,
+                                         20 * sim::kMillisecond);
+  attack.launch(runtime.provider(), runtime.network(),
+                runtime.loop().now() + 5 * sim::kMillisecond);
+
+  core::Query query;
+  query.kind = core::QueryKind::ReachableEndpoints;
+  const int queries = smoke ? 3 : 30;
+  for (int i = 0; i < queries; ++i) {
+    (void)runtime.query_and_wait(hosts[1], query);
+    runtime.settle(10 * sim::kMillisecond);
+  }
+  return runtime.rvaas().engine().cache_stats();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::BenchArgs::parse(argc, argv);
+
   std::puts("E3: flapping-attack observation probability vs monitoring");
-  std::puts("discipline and rule dwell time (10 trials each, 10 flaps per");
+  std::printf("discipline and rule dwell time (%d trials each, 10 flaps per\n",
+              args.smoke ? 1 : 10);
   std::puts("trial, poll period = flap period = 50 ms).\n");
 
-  const Config modes[] = {
-      {true, core::PollingMode::Disabled, "passive-events"},
-      {false, core::PollingMode::Fixed, "fixed-poll"},
-      {false, core::PollingMode::Randomized, "random-poll"},
-  };
-  const sim::Time dwells[] = {1 * sim::kMillisecond, 5 * sim::kMillisecond,
-                              20 * sim::kMillisecond, 40 * sim::kMillisecond};
+  std::vector<sim::Time> dwells{1 * sim::kMillisecond};
+  if (!args.smoke) {
+    dwells = {1 * sim::kMillisecond, 5 * sim::kMillisecond,
+              20 * sim::kMillisecond, 40 * sim::kMillisecond};
+  }
 
   util::Table table({"discipline", "dwell-ms", "observed-trials",
                      "detection-rate"});
-  for (const Config& mode : modes) {
+  for (const Config& mode : kModes) {
     for (const sim::Time dwell : dwells) {
       int observed = 0;
-      const int kTrials = 10;
+      const int kTrials = args.smoke ? 1 : 10;
       for (int t = 0; t < kTrials; ++t) {
         if (run_trial(mode, dwell, 1000 + static_cast<std::uint64_t>(t))) {
           ++observed;
@@ -85,5 +126,29 @@ int main() {
   std::puts("in anti-phase misses short dwells entirely; randomized polling");
   std::puts("detects with probability ~ 1-(1-dwell/period)^flaps, rising");
   std::puts("with dwell — matching the paper's randomization argument.");
+
+  std::puts("\nModel-cache hit rate while a client queries under monitoring");
+  std::puts("(flapping attacker active; agreeing polls are epoch-neutral, so");
+  std::puts("only real configuration changes force recompilation):");
+  util::Table cache({"discipline", "lookups", "full-rebuilds", "clean-hits",
+                     "switch-recompiles", "switch-hits", "switch-hit-rate"});
+  for (const Config& mode : kModes) {
+    const auto s = run_cache_trial(mode, args.smoke);
+    cache.add_row({mode.label, std::to_string(s.lookups),
+                   std::to_string(s.full_rebuilds),
+                   std::to_string(s.clean_hits),
+                   std::to_string(s.switch_recompiles),
+                   std::to_string(s.switch_hits),
+                   util::Table::fmt(100.0 * s.switch_hit_rate(), 1) + "%"});
+  }
+  cache.print();
+
+  if (!args.json.empty()) {
+    if (!util::write_json_tables(args.json,
+                                 {{"detection", &table}, {"cache", &cache}})) {
+      return 1;
+    }
+    std::printf("\nJSON written to %s\n", args.json.c_str());
+  }
   return 0;
 }

@@ -27,10 +27,8 @@ int main() {
   std::puts("Two provider domains, each a 3-switch line with its own RVaaS.");
 
   core::Federation fed;
-  fed.add_domain(core::ProviderId(1), domain_a.rvaas(),
-                 domain_a.network().topology());
-  fed.add_domain(core::ProviderId(2), domain_b.rvaas(),
-                 domain_b.network().topology());
+  fed.add_domain(core::ProviderId(1), domain_a.rvaas());
+  fed.add_domain(core::ProviderId(2), domain_b.rvaas());
   // Domain A's s3:p3 is wired to domain B's s1:p3.
   const sdn::PortRef border_a{sdn::SwitchId(3), sdn::PortNo(3)};
   const sdn::PortRef ingress_b{sdn::SwitchId(1), sdn::PortNo(3)};

@@ -85,8 +85,8 @@ ReachabilityResult NetworkModel::reach(PortRef ingress, const HeaderSpace& hs,
       visited[item.in].push_back(cube);
     }
 
-    const auto tf_it = transfer_.find(item.in.sw);
-    if (tf_it == transfer_.end()) continue;  // switch absent from snapshot
+    const auto tf_it = transfer_->find(item.in.sw);
+    if (tf_it == transfer_->end()) continue;  // switch absent from snapshot
 
     auto path = item.path;
     path.push_back(item.in.sw);

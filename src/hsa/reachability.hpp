@@ -6,6 +6,7 @@
 // logical verification step (§IV.A.2 of the paper).
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "hsa/transfer.hpp"
@@ -53,10 +54,20 @@ struct ReachabilityResult {
 };
 
 /// The logical network model: trusted wiring plan + per-switch transfer
-/// functions compiled from a configuration snapshot.
+/// functions compiled from a configuration snapshot. The transfer map is
+/// held behind a shared_ptr so an incremental compiler (CompiledModelCache)
+/// can hand out models without copying compiled state; a model keeps the
+/// map it was built with alive and immutable.
 class NetworkModel {
  public:
   NetworkModel(const sdn::Topology& topo, NetworkTransfer transfer)
+      : topo_(&topo),
+        transfer_(std::make_shared<const NetworkTransfer>(
+            std::move(transfer))) {}
+
+  /// Shares an externally maintained transfer map without copying it.
+  NetworkModel(const sdn::Topology& topo,
+               std::shared_ptr<const NetworkTransfer> transfer)
       : topo_(&topo), transfer_(std::move(transfer)) {}
 
   static NetworkModel from_tables(
@@ -81,11 +92,11 @@ class NetworkModel {
                                              const HeaderSpace& hs) const;
 
   const sdn::Topology& topology() const { return *topo_; }
-  const NetworkTransfer& transfer() const { return transfer_; }
+  const NetworkTransfer& transfer() const { return *transfer_; }
 
  private:
   const sdn::Topology* topo_;
-  NetworkTransfer transfer_;
+  std::shared_ptr<const NetworkTransfer> transfer_;
 };
 
 }  // namespace rvaas::hsa

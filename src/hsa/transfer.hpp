@@ -20,6 +20,8 @@ struct TfOutput {
   Kind kind = Kind::Port;
   sdn::PortNo port{};  ///< valid when kind == Port
   Rewrite rewrite;
+
+  bool operator==(const TfOutput&) const = default;
 };
 
 struct CompiledRule {
@@ -29,6 +31,8 @@ struct CompiledRule {
   std::optional<sdn::PortNo> in_port;
   Wildcard match;  ///< field constraints as a cube
   std::vector<TfOutput> outputs;
+
+  bool operator==(const CompiledRule&) const = default;
 };
 
 /// Converts a Match's field constraints into a cube (ignores in_port,
@@ -58,6 +62,10 @@ class SwitchTransfer {
   std::vector<TfResult> apply(sdn::PortNo in_port, const HeaderSpace& hs) const;
 
   const std::vector<CompiledRule>& rules() const { return rules_; }
+
+  /// Structural equality of the compiled rule lists (used to pin incremental
+  /// recompilation identical to a cold full compile).
+  bool operator==(const SwitchTransfer&) const = default;
 
  private:
   std::vector<CompiledRule> rules_;

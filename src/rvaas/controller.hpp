@@ -65,6 +65,9 @@ class RvaasController : public sdn::Controller {
   enclave::Quote quote() const;
 
   const SnapshotManager& snapshot() const { return snapshot_; }
+  /// The query engine answering this controller's logical steps; exposes the
+  /// incremental model cache's counters (cache_stats) to benches/monitoring.
+  const QueryEngine& engine() const { return engine_; }
   const std::vector<WiringAlarm>& wiring_alarms() const {
     return wiring_alarms_;
   }

@@ -13,7 +13,68 @@ namespace rvaas::core {
 using sdn::PortRef;
 using sdn::SwitchId;
 
+hsa::NetworkModel CompiledModelCache::model(const sdn::Topology& topo,
+                                            const SnapshotManager& snap) {
+  std::lock_guard lock(mu_);
+  ++stats_.lookups;
+
+  // Identity check: a different view instance — or an epoch that moved
+  // backwards, which only a moved-from view being reused can produce —
+  // cannot be patched incrementally.
+  if (!transfer_ || snap.instance_id() != snapshot_id_ ||
+      snap.epoch() < snapshot_epoch_) {
+    transfer_ = std::make_shared<hsa::NetworkTransfer>();
+    for (const SwitchId sw : snap.switch_ids()) {
+      (*transfer_)[sw] = hsa::SwitchTransfer::compile(snap.table(sw));
+      ++stats_.switch_recompiles;
+    }
+    ++stats_.full_rebuilds;
+    snapshot_id_ = snap.instance_id();
+    snapshot_epoch_ = snap.epoch();
+    return hsa::NetworkModel(topo, transfer_);
+  }
+
+  // Incremental path. The dirty set is complete: a switch's first
+  // appearance bumps its epoch (see snapshot.hpp), so a switch we have not
+  // compiled yet is necessarily in it.
+  const std::vector<SwitchId> dirty = snap.dirty_since(snapshot_epoch_);
+
+  if (dirty.empty()) {
+    ++stats_.clean_hits;
+  } else {
+    // Copy-on-write: previously returned models may still reference the
+    // compiled map; never mutate it under them.
+    if (transfer_.use_count() > 1) {
+      transfer_ = std::make_shared<hsa::NetworkTransfer>(*transfer_);
+    }
+    for (const SwitchId sw : dirty) {
+      (*transfer_)[sw] = hsa::SwitchTransfer::compile(snap.table(sw));
+    }
+    stats_.switch_recompiles += dirty.size();
+  }
+  stats_.switch_hits += transfer_->size() - dirty.size();
+  snapshot_epoch_ = snap.epoch();
+  return hsa::NetworkModel(topo, transfer_);
+}
+
+void CompiledModelCache::invalidate() {
+  std::lock_guard lock(mu_);
+  transfer_.reset();
+  snapshot_id_ = 0;
+  snapshot_epoch_ = 0;
+}
+
+CompiledModelCache::Stats CompiledModelCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
 hsa::NetworkModel QueryEngine::model(const SnapshotManager& snap) const {
+  return cache_->model(*topo_, snap);
+}
+
+hsa::NetworkModel QueryEngine::model_uncached(
+    const SnapshotManager& snap) const {
   return hsa::NetworkModel::from_tables(*topo_, snap.table_dump());
 }
 
@@ -135,24 +196,22 @@ std::vector<FairnessMetric> QueryEngine::fairness(
   const hsa::ReachabilityResult r = model.reach(from, hs, config_.max_depth);
 
   // Exact attribution: the reach result records which flow entries carried
-  // each delivered subspace; collect the meters of exactly those rules.
-  const auto tables = snap.table_dump();
+  // each delivered subspace; collect the meters of exactly those rules
+  // (point lookups — no full table_dump copy on the query path).
   std::uint64_t min_rate = ~std::uint64_t{0};
   std::set<SwitchId> metered_switches;
   for (const auto& endpoint : r.endpoints) {
     for (const auto& [sw, entry_id] : endpoint.rules) {
-      const auto table_it = tables.find(sw);
+      const sdn::FlowEntry* entry = snap.find_entry(sw, entry_id);
       const auto meters_it = snap.meters().find(sw);
-      if (table_it == tables.end() || meters_it == snap.meters().end()) {
+      if (entry == nullptr || !entry->meter ||
+          meters_it == snap.meters().end()) {
         continue;
       }
-      for (const sdn::FlowEntry& entry : table_it->second) {
-        if (entry.id != entry_id || !entry.meter) continue;
-        for (const auto& [meter_id, config] : meters_it->second) {
-          if (meter_id == *entry.meter) {
-            min_rate = std::min(min_rate, config.rate_bps);
-            metered_switches.insert(sw);
-          }
+      for (const auto& [meter_id, config] : meters_it->second) {
+        if (meter_id == *entry->meter) {
+          min_rate = std::min(min_rate, config.rate_bps);
+          metered_switches.insert(sw);
         }
       }
     }

@@ -5,6 +5,7 @@
 // in-band authentication round-trips it prescribes.
 
 #include <memory>
+#include <mutex>
 #include <span>
 
 #include "controlplane/routing.hpp"
@@ -17,10 +18,52 @@
 namespace rvaas::core {
 
 /// What query answers may reveal about the provider's network (§III:
-/// "clients should not be able to infer the topology").
+/// "clients should not be able to infer the topology"). Semantics and
+/// rationale are documented in docs/CONFIDENTIALITY.md.
 enum class ConfidentialityPolicy {
   EndpointsOnly,  ///< answers name access points only (default)
   FullPaths,      ///< strawman that discloses internal paths (experiment E5)
+};
+
+/// Incrementally maintained snapshot→model compiler — the §IV.A.2 hot path.
+/// Keyed on (SnapshotManager::instance_id, table epochs): a model() call
+/// recompiles only switches whose table content changed since the previous
+/// call and reuses every other compiled transfer function. Returned models
+/// share the compiled map by shared_ptr; if a previously returned model is
+/// still alive when the cache must mutate, it copies-on-write, so models
+/// stay immutable. Thread-safe (internal mutex).
+class CompiledModelCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;           ///< model() calls
+    std::uint64_t full_rebuilds = 0;     ///< first use / snapshot identity change
+    std::uint64_t clean_hits = 0;        ///< lookups with zero dirty switches
+    std::uint64_t switch_recompiles = 0; ///< per-switch compilations performed
+    std::uint64_t switch_hits = 0;       ///< per-switch compilations reused
+
+    /// Fraction of per-switch compilations avoided across all lookups.
+    double switch_hit_rate() const {
+      const std::uint64_t total = switch_recompiles + switch_hits;
+      return total == 0 ? 0.0 : static_cast<double>(switch_hits) / total;
+    }
+  };
+
+  /// A model of the snapshot's current state, recompiling only dirty
+  /// switches. Results are always identical to a cold full compilation.
+  hsa::NetworkModel model(const sdn::Topology& topo,
+                          const SnapshotManager& snap);
+
+  /// Drops all compiled state (the next lookup is a full rebuild).
+  void invalidate();
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<hsa::NetworkTransfer> transfer_;
+  std::uint64_t snapshot_id_ = 0;     ///< 0 = nothing cached
+  std::uint64_t snapshot_epoch_ = 0;  ///< snapshot epoch at last refresh
+  Stats stats_;
 };
 
 struct EngineConfig {
@@ -45,8 +88,19 @@ class QueryEngine {
   QueryEngine(const sdn::Topology& topo, EngineConfig config)
       : topo_(&topo), config_(config) {}
 
-  /// Compiles the snapshot into a logical network model.
+  /// Compiles the snapshot into a logical network model through the
+  /// engine's CompiledModelCache: only switches whose table epoch advanced
+  /// since the last call are recompiled. Single-query, batch and polling
+  /// paths all funnel through here, so they share one cache. Results are
+  /// identical to model_uncached().
   hsa::NetworkModel model(const SnapshotManager& snap) const;
+
+  /// Cold path: full recompilation of every switch, bypassing the cache
+  /// (the baseline for bench_incremental and the equivalence tests).
+  hsa::NetworkModel model_uncached(const SnapshotManager& snap) const;
+
+  /// Counters of the engine's model cache.
+  CompiledModelCache::Stats cache_stats() const { return cache_->stats(); }
 
   /// Converts a client constraint into a header space.
   static hsa::HeaderSpace constraint_space(const sdn::Match& constraint);
@@ -142,6 +196,8 @@ class QueryEngine {
                                     const BatchContext& ctx) const;
 
   const EngineConfig& config() const { return config_; }
+  /// The wiring plan this engine compiles models against.
+  const sdn::Topology& topology() const { return *topo_; }
 
  private:
   ReachComputation from_reach_result(const hsa::ReachabilityResult& r,
@@ -149,6 +205,9 @@ class QueryEngine {
 
   const sdn::Topology* topo_;
   EngineConfig config_;
+  /// Heap-held so the engine stays movable (the cache owns a mutex).
+  mutable std::unique_ptr<CompiledModelCache> cache_ =
+      std::make_unique<CompiledModelCache>();
 };
 
 }  // namespace rvaas::core

@@ -6,10 +6,9 @@
 
 namespace rvaas::core {
 
-void Federation::add_domain(ProviderId id, RvaasController& rvaas,
-                            const sdn::Topology& topo) {
+void Federation::add_domain(ProviderId id, RvaasController& rvaas) {
   util::ensure(!domains_.contains(id), "duplicate provider id");
-  domains_[id] = Domain{&rvaas, &topo};
+  domains_[id] = Domain{&rvaas, &rvaas.engine().topology()};
 }
 
 void Federation::add_peering(ProviderId a, sdn::PortRef border, ProviderId b,
@@ -56,8 +55,10 @@ void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
 
   // Each domain's RVaaS answers from its own snapshot — domains never see
   // each other's configuration, only endpoint answers (confidentiality).
-  const hsa::NetworkModel model = hsa::NetworkModel::from_tables(
-      *dom.topo, dom.rvaas->snapshot().table_dump());
+  // Compiled through the domain engine's incremental cache, shared with the
+  // domain's own query paths.
+  const hsa::NetworkModel model =
+      dom.rvaas->engine().model(dom.rvaas->snapshot());
   const hsa::ReachabilityResult reach = model.reach(ingress, hs);
 
   for (const auto& endpoint : reach.endpoints) {

@@ -25,9 +25,10 @@ struct FederatedResult {
 
 class Federation {
  public:
-  /// Registers a domain. The controller must already be bootstrapped.
-  void add_domain(ProviderId id, RvaasController& rvaas,
-                  const sdn::Topology& topo);
+  /// Registers a domain; its wiring plan is the controller's own topology
+  /// (subqueries answer through the domain engine's cached model). The
+  /// controller must already be bootstrapped.
+  void add_domain(ProviderId id, RvaasController& rvaas);
 
   /// Declares that `border` (a dark port in domain `a`) is physically wired
   /// to `ingress` (a port in domain `b`). One direction; add both if needed.

@@ -1,11 +1,34 @@
 #include "rvaas/snapshot.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace rvaas::core {
 
 using sdn::FlowEntry;
 using sdn::FlowUpdateKind;
+
+namespace {
+
+std::vector<FlowEntry> sorted_entries(
+    const std::map<sdn::FlowEntryId, FlowEntry>& table) {
+  std::vector<FlowEntry> entries;
+  entries.reserve(table.size());
+  for (const auto& [_, e] : table) entries.push_back(e);
+  std::sort(entries.begin(), entries.end(),
+            [](const FlowEntry& a, const FlowEntry& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.id > b.id;
+            });
+  return entries;
+}
+
+}  // namespace
+
+std::uint64_t SnapshotManager::next_instance_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
 
 void SnapshotManager::record(sim::Time t, sdn::SwitchId sw,
                              FlowUpdateKind kind, const FlowEntry& entry) {
@@ -16,21 +39,27 @@ void SnapshotManager::record(sim::Time t, sdn::SwitchId sw,
 void SnapshotManager::apply_update(const sdn::FlowUpdate& update,
                                    sim::Time now) {
   ++events_applied_;
+  bool changed = !tables_.contains(update.sw);  // first appearance
   auto& table = tables_[update.sw];
   switch (update.kind) {
     case FlowUpdateKind::Added:
-    case FlowUpdateKind::Modified:
+    case FlowUpdateKind::Modified: {
+      const auto it = table.find(update.entry.id);
+      changed = changed || it == table.end() || !(it->second == update.entry);
       table[update.entry.id] = update.entry;
       break;
+    }
     case FlowUpdateKind::Removed:
-      table.erase(update.entry.id);
+      changed = (table.erase(update.entry.id) > 0) || changed;
       break;
   }
+  if (changed) bump(update.sw);
   record(now, update.sw, update.kind, update.entry);
 }
 
 void SnapshotManager::reconcile(const sdn::StatsReply& reply, sim::Time now) {
   ++polls_applied_;
+  bool changed = !tables_.contains(reply.sw);  // first appearance
   auto& table = tables_[reply.sw];
 
   std::map<sdn::FlowEntryId, const FlowEntry*> actual;
@@ -46,12 +75,14 @@ void SnapshotManager::reconcile(const sdn::StatsReply& reply, sim::Time now) {
               " (match " + entry->match.to_string() + ")"});
       record(now, reply.sw, FlowUpdateKind::Added, *entry);
       table[id] = *entry;
+      changed = true;
     } else if (!(it->second == *entry)) {
       discrepancies_.push_back(Discrepancy{
           now, reply.sw,
           "poll found modified entry id " + std::to_string(id.value)});
       record(now, reply.sw, FlowUpdateKind::Modified, *entry);
       it->second = *entry;
+      changed = true;
     }
   }
 
@@ -64,27 +95,54 @@ void SnapshotManager::reconcile(const sdn::StatsReply& reply, sim::Time now) {
               " vanished"});
       record(now, reply.sw, FlowUpdateKind::Removed, it->second);
       it = table.erase(it);
+      changed = true;
     } else {
       ++it;
     }
   }
 
+  if (changed) bump(reply.sw);
   meters_[reply.sw] = reply.meters;
 }
 
 std::map<sdn::SwitchId, std::vector<FlowEntry>> SnapshotManager::table_dump()
     const {
   std::map<sdn::SwitchId, std::vector<FlowEntry>> out;
-  for (const auto& [sw, table] : tables_) {
-    std::vector<FlowEntry> entries;
-    entries.reserve(table.size());
-    for (const auto& [_, e] : table) entries.push_back(e);
-    std::sort(entries.begin(), entries.end(),
-              [](const FlowEntry& a, const FlowEntry& b) {
-                if (a.priority != b.priority) return a.priority > b.priority;
-                return a.id > b.id;
-              });
-    out[sw] = std::move(entries);
+  for (const auto& [sw, table] : tables_) out[sw] = sorted_entries(table);
+  return out;
+}
+
+std::vector<FlowEntry> SnapshotManager::table(sdn::SwitchId sw) const {
+  const auto it = tables_.find(sw);
+  if (it == tables_.end()) return {};
+  return sorted_entries(it->second);
+}
+
+std::vector<sdn::SwitchId> SnapshotManager::switch_ids() const {
+  std::vector<sdn::SwitchId> out;
+  out.reserve(tables_.size());
+  for (const auto& [sw, _] : tables_) out.push_back(sw);
+  return out;
+}
+
+const FlowEntry* SnapshotManager::find_entry(sdn::SwitchId sw,
+                                             sdn::FlowEntryId id) const {
+  const auto table_it = tables_.find(sw);
+  if (table_it == tables_.end()) return nullptr;
+  const auto it = table_it->second.find(id);
+  return it == table_it->second.end() ? nullptr : &it->second;
+}
+
+std::uint64_t SnapshotManager::table_epoch(sdn::SwitchId sw) const {
+  const auto it = table_epochs_.find(sw);
+  return it == table_epochs_.end() ? 0 : it->second;
+}
+
+std::vector<sdn::SwitchId> SnapshotManager::dirty_since(
+    std::uint64_t since) const {
+  std::vector<sdn::SwitchId> out;
+  for (const auto& [sw, e] : table_epochs_) {
+    if (e > since) out.push_back(sw);
   }
   return out;
 }

@@ -3,6 +3,21 @@
 // maintained passively from flow-monitor events, reconciled actively from
 // randomized stats polls, with a change history that defends against
 // short-term reconfiguration attacks.
+//
+// Change clock: the view carries a monotonically increasing epoch plus a
+// per-switch table epoch so that consumers (CompiledModelCache in
+// rvaas/engine.hpp) can recompile only the switches that actually changed.
+// The clock is content-sensitive by design:
+//   - a switch's FIRST appearance in the view bumps its epoch, even with an
+//     empty table ("switch now known" is itself a view change, so every
+//     switch in switch_ids() has a nonzero epoch),
+//   - after that, apply_update() bumps iff the switch's table content
+//     changes (a re-delivered identical entry or a Removed for an unknown
+//     id is a no-op),
+//   - reconcile() bumps once iff it adopts at least one difference (a poll
+//     that agrees with the view is free),
+//   - meter updates and history-limit eviction never touch table epochs
+//     (meters and history are outside the compiled model's inputs).
 
 #include <deque>
 #include <map>
@@ -43,8 +58,45 @@ class SnapshotManager {
   void reconcile(const sdn::StatsReply& reply, sim::Time now);
 
   /// Entries per switch in match order (priority desc, id desc), the input
-  /// to transfer-function compilation.
+  /// to transfer-function compilation. Prefer table() per dirty switch on
+  /// hot paths — this copies every table.
   std::map<sdn::SwitchId, std::vector<sdn::FlowEntry>> table_dump() const;
+
+  /// Entries of one switch in match order — the per-switch input to
+  /// incremental transfer-function compilation. Empty if the switch is
+  /// unknown or its table is empty.
+  std::vector<sdn::FlowEntry> table(sdn::SwitchId sw) const;
+
+  /// Switches present in the view, sorted ascending.
+  std::vector<sdn::SwitchId> switch_ids() const;
+
+  /// Entry lookup without dumping the whole table (nullptr if absent).
+  const sdn::FlowEntry* find_entry(sdn::SwitchId sw,
+                                   sdn::FlowEntryId id) const;
+
+  /// Monotonic change clock: bumped once per adopted table-content change
+  /// (see the header comment for exactly when that is).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Epoch at which `sw`'s table content last changed (0 = never changed).
+  std::uint64_t table_epoch(sdn::SwitchId sw) const;
+
+  /// The per-switch change clocks backing the dirty set.
+  const std::map<sdn::SwitchId, std::uint64_t>& table_epochs() const {
+    return table_epochs_;
+  }
+
+  /// The dirty set relative to `since`: switches whose table content changed
+  /// after epoch `since` — exactly what a consumer that compiled at epoch
+  /// `since` must recompile. Sorted ascending.
+  std::vector<sdn::SwitchId> dirty_since(std::uint64_t since) const;
+
+  /// Identity of this view instance: a copy takes a fresh id (diverging
+  /// twins must never share an identity, or a cache keyed on (instance,
+  /// epoch) could serve one twin's compilation for the other at equal
+  /// epoch numbers); a move transfers the id with the content and
+  /// re-identifies the moved-from side. Caches key on (instance_id, epoch).
+  std::uint64_t instance_id() const { return instance_id_.value; }
 
   /// Latest meter configuration seen per switch (from stats polls).
   const std::map<sdn::SwitchId,
@@ -78,8 +130,36 @@ class SnapshotManager {
   std::size_t approx_memory_bytes() const;
 
  private:
+  static std::uint64_t next_instance_id();
+
+  /// Identity token implementing the instance_id() semantics above, so the
+  /// manager itself keeps all-defaulted special members (a future data
+  /// member cannot be forgotten in a hand-written copy).
+  struct InstanceId {
+    std::uint64_t value = next_instance_id();
+
+    InstanceId() = default;
+    InstanceId(const InstanceId&) {}  // fresh value via the default init
+    InstanceId& operator=(const InstanceId& other) {
+      if (this != &other) value = next_instance_id();
+      return *this;
+    }
+    InstanceId(InstanceId&& other) noexcept : value(other.value) {
+      other.value = next_instance_id();
+    }
+    InstanceId& operator=(InstanceId&& other) noexcept {
+      if (this != &other) {
+        value = other.value;
+        other.value = next_instance_id();
+      }
+      return *this;
+    }
+  };
+
   void record(sim::Time t, sdn::SwitchId sw, sdn::FlowUpdateKind kind,
               const sdn::FlowEntry& entry);
+  /// Marks `sw`'s table content as changed now.
+  void bump(sdn::SwitchId sw) { table_epochs_[sw] = ++epoch_; }
 
   std::map<sdn::SwitchId, std::map<sdn::FlowEntryId, sdn::FlowEntry>> tables_;
   std::map<sdn::SwitchId,
@@ -90,6 +170,9 @@ class SnapshotManager {
   std::size_t history_limit_;
   std::uint64_t events_applied_ = 0;
   std::uint64_t polls_applied_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::map<sdn::SwitchId, std::uint64_t> table_epochs_;
+  InstanceId instance_id_;
 };
 
 }  // namespace rvaas::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/ensure.hpp"
@@ -94,10 +95,93 @@ std::string Table::to_string() const {
 
 void Table::print() const { std::fputs(to_string().c_str(), stdout); }
 
+namespace {
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n  {" : ",\n  {");
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) os << ", ";
+      append_json_string(os, header_[c]);
+      os << ": ";
+      append_json_string(os, rows_[r][c]);
+    }
+    os << '}';
+  }
+  os << "\n]";
+  return os.str();
+}
+
 std::string Table::fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);
   return buf;
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      args.json = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json FILE]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+bool write_json_tables(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const Table*>>& sections) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("{\n", f);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    std::fprintf(f, "\"%s\": %s%s\n", sections[i].first.c_str(),
+                 sections[i].second->to_json().c_str(),
+                 i + 1 < sections.size() ? "," : "");
+  }
+  std::fputs("}\n", f);
+  // A short write (e.g. disk full) must not masquerade as success — the
+  // whole point of the file is a trustworthy CI artifact.
+  const bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace rvaas::util

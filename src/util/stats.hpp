@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rvaas::util {
@@ -46,11 +47,31 @@ class Table {
   std::string to_string() const;
   void print() const;
 
+  /// JSON array of row objects keyed by the header (all values as strings) —
+  /// the machine-readable form the benches emit under --json for CI
+  /// artifacts.
+  std::string to_json() const;
+
   static std::string fmt(double v, int precision = 2);
 
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Shared CLI of the self-contained bench mains.
+struct BenchArgs {
+  bool smoke = false;  ///< tiny topology, one iteration (the CI mode)
+  std::string json;    ///< --json FILE target; empty = no JSON output
+
+  /// Parses [--smoke] [--json FILE]; exits with usage on anything else.
+  static BenchArgs parse(int argc, char** argv);
+};
+
+/// Writes the sections as one JSON object, `{"name": <table-json>, ...}`.
+/// Returns false (with a message on stderr) on I/O failure.
+bool write_json_tables(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const Table*>>& sections);
 
 }  // namespace rvaas::util

@@ -36,8 +36,8 @@ struct FederationFixture {
     cb.seed = 32;
     b = std::make_unique<ScenarioRuntime>(std::move(cb));
 
-    fed.add_domain(ProviderId(1), a->rvaas(), a->network().topology());
-    fed.add_domain(ProviderId(2), b->rvaas(), b->network().topology());
+    fed.add_domain(ProviderId(1), a->rvaas());
+    fed.add_domain(ProviderId(2), b->rvaas());
     fed.add_peering(ProviderId(1), kBorderA, ProviderId(2), kIngressB);
   }
 
@@ -90,7 +90,7 @@ TEST(Federation, SingleDomainQueryStopsAtBorder) {
   FederationFixture f;
   // Without peering knowledge the border port is just a dark endpoint.
   Federation lonely;
-  lonely.add_domain(ProviderId(1), f.a->rvaas(), f.a->network().topology());
+  lonely.add_domain(ProviderId(1), f.a->rvaas());
   f.install_cross_domain_path();
 
   const auto result = lonely.reachable(
@@ -172,7 +172,7 @@ TEST(Federation, ConstraintPropagatesAcrossDomains) {
 TEST(Federation, DuplicateDomainRejected) {
   FederationFixture f;
   EXPECT_THROW(
-      f.fed.add_domain(ProviderId(1), f.a->rvaas(), f.a->network().topology()),
+      f.fed.add_domain(ProviderId(1), f.a->rvaas()),
       util::InvariantViolation);
   EXPECT_THROW(f.fed.add_peering(ProviderId(1), {SwitchId(1), PortNo(0)},
                                  ProviderId(9), {SwitchId(1), PortNo(0)}),

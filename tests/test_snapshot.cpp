@@ -154,6 +154,196 @@ TEST(Snapshot, MemoryEstimateGrowsWithState) {
   EXPECT_GT(snap.approx_memory_bytes(), empty);
 }
 
+// --- Change clock (epoch / dirty set) bookkeeping --------------------------
+// The documented contract (snapshot.hpp): epochs bump once per adopted
+// table-content change and only then — identical re-deliveries, agreeing
+// polls, meter updates and history eviction are all epoch-neutral.
+
+TEST(SnapshotEpoch, ApplyUpdateBumpsPerContentChange) {
+  SnapshotManager snap;
+  EXPECT_EQ(snap.epoch(), 0u);
+  EXPECT_EQ(snap.table_epoch(SwitchId(1)), 0u);
+
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+  EXPECT_EQ(snap.epoch(), 1u);
+  EXPECT_EQ(snap.table_epoch(SwitchId(1)), 1u);
+
+  snap.apply_update({SwitchId(2), FlowUpdateKind::Added, entry(1)}, 11);
+  EXPECT_EQ(snap.epoch(), 2u);
+  EXPECT_EQ(snap.table_epoch(SwitchId(1)), 1u);
+  EXPECT_EQ(snap.table_epoch(SwitchId(2)), 2u);
+
+  FlowEntry modified = entry(1);
+  modified.actions = {sdn::drop()};
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Modified, modified}, 12);
+  EXPECT_EQ(snap.epoch(), 3u);
+  EXPECT_EQ(snap.table_epoch(SwitchId(1)), 3u);
+
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Removed, modified}, 13);
+  EXPECT_EQ(snap.epoch(), 4u);
+}
+
+TEST(SnapshotEpoch, NoOpUpdatesDoNotBump) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+  ASSERT_EQ(snap.epoch(), 1u);
+
+  // Identical re-delivery: content unchanged.
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 11);
+  EXPECT_EQ(snap.epoch(), 1u);
+
+  // Removal of an id we never had, on a known switch: content unchanged
+  // (but the event still counts and is recorded in history).
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Removed, entry(9)}, 12);
+  EXPECT_EQ(snap.epoch(), 1u);
+  EXPECT_EQ(snap.events_applied(), 3u);
+  EXPECT_EQ(snap.history().size(), 3u);
+}
+
+TEST(SnapshotEpoch, FirstAppearanceBumpsEvenWithoutContent) {
+  SnapshotManager snap;
+  // A Removed for an id we never saw, on a switch we never saw: the table
+  // stays empty, but the switch's first appearance is itself a view change
+  // (every switch in switch_ids() must have a nonzero epoch, so consumers'
+  // dirty sets are complete).
+  snap.apply_update({SwitchId(5), FlowUpdateKind::Removed, entry(1)}, 1);
+  EXPECT_EQ(snap.epoch(), 1u);
+  EXPECT_EQ(snap.table_epoch(SwitchId(5)), 1u);
+  EXPECT_EQ(snap.switch_ids().size(), 1u);
+
+  // Repeating it on the now-known switch is a plain no-op.
+  snap.apply_update({SwitchId(5), FlowUpdateKind::Removed, entry(1)}, 2);
+  EXPECT_EQ(snap.epoch(), 1u);
+
+  // Same for reconcile: an empty agreeing dump for an unknown switch bumps
+  // once (first appearance), then never again.
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(6);
+  snap.reconcile(reply, 3);
+  EXPECT_EQ(snap.epoch(), 2u);
+  snap.reconcile(reply, 4);
+  EXPECT_EQ(snap.epoch(), 2u);
+}
+
+TEST(SnapshotEpoch, AgreeingReconcileDoesNotBump) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+  ASSERT_EQ(snap.epoch(), 1u);
+
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(1);
+  reply.entries = {entry(1)};
+  snap.reconcile(reply, 50);
+  EXPECT_EQ(snap.epoch(), 1u);
+  EXPECT_EQ(snap.table_epoch(SwitchId(1)), 1u);
+}
+
+TEST(SnapshotEpoch, AdoptingReconcileBumpsOnce) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(2)}, 11);
+  ASSERT_EQ(snap.epoch(), 2u);
+
+  // The poll disagrees three ways at once: entry 1 modified, entry 2
+  // vanished, entry 3 unknown — still one adopted-change bump.
+  FlowEntry changed = entry(1);
+  changed.actions = {sdn::drop()};
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(1);
+  reply.entries = {changed, entry(3)};
+  snap.reconcile(reply, 100);
+
+  EXPECT_EQ(snap.discrepancies().size(), 3u);
+  EXPECT_EQ(snap.epoch(), 3u);
+  EXPECT_EQ(snap.table_epoch(SwitchId(1)), 3u);
+}
+
+TEST(SnapshotEpoch, MeterOnlyReconcileDoesNotBump) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 10);
+  ASSERT_EQ(snap.epoch(), 1u);
+
+  sdn::StatsReply reply;
+  reply.sw = SwitchId(1);
+  reply.entries = {entry(1)};
+  reply.meters = {{sdn::MeterId(1), sdn::MeterConfig{1000, 100}}};
+  snap.reconcile(reply, 50);
+
+  // Meters are outside the compiled model's inputs: stored, but no bump.
+  EXPECT_EQ(snap.meters().at(SwitchId(1)).size(), 1u);
+  EXPECT_EQ(snap.epoch(), 1u);
+}
+
+TEST(SnapshotEpoch, HistoryEvictionDoesNotBump) {
+  SnapshotManager snap(/*history_limit=*/5);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(i)}, i);
+  }
+  // Exactly one bump per content change, no extra bumps from the 15
+  // evictions the small history limit forced.
+  EXPECT_EQ(snap.epoch(), 20u);
+  EXPECT_EQ(snap.history().size(), 5u);
+}
+
+TEST(SnapshotEpoch, DirtySinceIsTheChangedSwitchSet) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 1);
+  snap.apply_update({SwitchId(2), FlowUpdateKind::Added, entry(1)}, 2);
+  const std::uint64_t mark = snap.epoch();
+
+  EXPECT_TRUE(snap.dirty_since(mark).empty());
+  ASSERT_EQ(snap.dirty_since(0).size(), 2u);
+
+  snap.apply_update({SwitchId(2), FlowUpdateKind::Added, entry(2)}, 3);
+  const auto dirty = snap.dirty_since(mark);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], SwitchId(2));
+}
+
+TEST(SnapshotEpoch, CopyForksIdentityMoveTransfersIt) {
+  SnapshotManager a;
+  a.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1)}, 1);
+  const std::uint64_t a_id = a.instance_id();
+
+  SnapshotManager b = a;  // copy: same state, new identity
+  const std::uint64_t b_id = b.instance_id();
+  EXPECT_NE(b_id, a_id);
+  EXPECT_EQ(b.epoch(), a.epoch());
+
+  // Move: the identity travels with the content (its cache association
+  // stays valid), and the moved-from side is re-identified.
+  SnapshotManager c = std::move(b);
+  EXPECT_EQ(c.instance_id(), b_id);
+  EXPECT_NE(b.instance_id(), b_id);
+  EXPECT_NE(b.instance_id(), a_id);
+}
+
+// --- Per-switch accessors ---------------------------------------------------
+
+TEST(Snapshot, PerSwitchTableMatchesTableDump) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(1, 5)}, 1);
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(2, 9)}, 2);
+  snap.apply_update({SwitchId(3), FlowUpdateKind::Added, entry(7, 1)}, 3);
+
+  const auto dump = snap.table_dump();
+  for (const SwitchId sw : snap.switch_ids()) {
+    EXPECT_EQ(snap.table(sw), dump.at(sw));
+  }
+  EXPECT_TRUE(snap.table(SwitchId(99)).empty());
+}
+
+TEST(Snapshot, FindEntryPointLookup) {
+  SnapshotManager snap;
+  snap.apply_update({SwitchId(1), FlowUpdateKind::Added, entry(4)}, 1);
+
+  const sdn::FlowEntry* found = snap.find_entry(SwitchId(1), sdn::FlowEntryId(4));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, sdn::FlowEntryId(4));
+  EXPECT_EQ(snap.find_entry(SwitchId(1), sdn::FlowEntryId(5)), nullptr);
+  EXPECT_EQ(snap.find_entry(SwitchId(2), sdn::FlowEntryId(4)), nullptr);
+}
+
 TEST(Snapshot, MetersStoredFromPolls) {
   SnapshotManager snap;
   sdn::StatsReply reply;

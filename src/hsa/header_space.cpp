@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/fnv.hpp"
+
 namespace rvaas::hsa {
 
 namespace {
@@ -147,24 +149,50 @@ std::optional<sdn::HeaderFields> HeaderSpace::sample(util::Rng& rng) const {
 void HeaderSpace::compact() {
   // Pass 1: drop empty cubes.
   std::vector<Cube> nonempty;
+  nonempty.reserve(cubes_.size());
   for (Cube& c : cubes_) {
     if (!c.is_empty()) nonempty.push_back(std::move(c));
   }
   // Pass 2: drop cubes subsumed by a *diff-free* sibling. Ties (equal bases)
-  // keep the earlier cube.
+  // keep the earlier cube. Only diff-free cubes can subsume, so collect the
+  // candidates once: the common post-shadowing shape (every cube carrying
+  // diffs) skips the scan entirely instead of paying O(n^2) subset tests.
+  std::vector<std::size_t> plain;
+  for (std::size_t j = 0; j < nonempty.size(); ++j) {
+    if (nonempty[j].diffs.empty()) plain.push_back(j);
+  }
+  if (plain.empty()) {
+    cubes_ = std::move(nonempty);
+    return;
+  }
   std::vector<Cube> kept;
+  kept.reserve(nonempty.size());
   for (std::size_t i = 0; i < nonempty.size(); ++i) {
     bool subsumed = false;
-    for (std::size_t j = 0; j < nonempty.size() && !subsumed; ++j) {
-      if (i == j || !nonempty[j].diffs.empty()) continue;
+    for (const std::size_t j : plain) {
+      if (i == j) continue;
       if (!nonempty[i].base.subset_of(nonempty[j].base)) continue;
       const bool equal = nonempty[j].base.subset_of(nonempty[i].base) &&
                          nonempty[i].diffs.empty();
-      subsumed = !equal || j < i;
+      if (!equal || j < i) {
+        subsumed = true;
+        break;
+      }
     }
     if (!subsumed) kept.push_back(std::move(nonempty[i]));
   }
   cubes_ = std::move(kept);
+}
+
+std::uint64_t HeaderSpace::fingerprint() const {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  for (const Cube& c : cubes_) {
+    // Cube delimiter: ({a}, {b}) must not collide with ({a, b}).
+    h = util::fnv1a_mix(h, 0x9e3779b97f4a7c15ull);
+    h = util::fnv1a_mix(h, c.base.hash_value());
+    for (const Wildcard& d : c.diffs) h = util::fnv1a_mix(h, d.hash_value());
+  }
+  return h;
 }
 
 std::size_t HeaderSpace::diff_count() const {

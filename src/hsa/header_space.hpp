@@ -15,6 +15,9 @@ struct Cube {
   std::vector<Wildcard> diffs;
 
   bool is_empty() const;
+
+  /// Structural (not semantic) equality: same base, same diff list.
+  bool operator==(const Cube&) const = default;
 };
 
 class HeaderSpace {
@@ -50,6 +53,16 @@ class HeaderSpace {
 
   /// Drops empty cubes and cubes subsumed by diff-free siblings.
   void compact();
+
+  /// Structural equality of the cube lists. Two spaces built by the same
+  /// deterministic computation compare equal; semantically equal spaces with
+  /// different cube structure do not (sufficient for cache keys, which only
+  /// need "same query" to collide).
+  bool operator==(const HeaderSpace&) const = default;
+
+  /// Order-sensitive structural hash of the cube list, the cheap half of a
+  /// cache key (ReachCache re-checks operator== on fingerprint matches).
+  std::uint64_t fingerprint() const;
 
   const std::vector<Cube>& cubes() const { return cubes_; }
   std::size_t cube_count() const { return cubes_.size(); }

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
+#include <unordered_map>
 
 #include "util/ensure.hpp"
 
@@ -11,32 +11,63 @@ namespace rvaas::hsa {
 using sdn::PortRef;
 using sdn::SwitchId;
 
+namespace {
+
+/// Sorts and uniques in place — one sort instead of a node-based set.
+template <class T>
+void sort_unique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
 std::vector<sdn::HostId> ReachabilityResult::reached_hosts() const {
-  std::set<sdn::HostId> seen;
+  std::vector<sdn::HostId> out;
+  out.reserve(endpoints.size());
   for (const auto& e : endpoints) {
-    if (e.host) seen.insert(*e.host);
+    if (e.host) out.push_back(*e.host);
   }
-  return {seen.begin(), seen.end()};
+  sort_unique(out);
+  return out;
 }
 
 std::vector<PortRef> ReachabilityResult::reached_ports() const {
-  std::set<PortRef> seen;
-  for (const auto& e : endpoints) seen.insert(e.egress);
-  return {seen.begin(), seen.end()};
+  std::vector<PortRef> out;
+  out.reserve(endpoints.size());
+  for (const auto& e : endpoints) out.push_back(e.egress);
+  sort_unique(out);
+  return out;
 }
 
 std::vector<SwitchId> ReachabilityResult::traversed_switches() const {
-  std::set<SwitchId> seen;
+  std::vector<SwitchId> out;
   for (const auto& e : endpoints) {
-    for (const SwitchId sw : e.path) seen.insert(sw);
+    out.insert(out.end(), e.path.begin(), e.path.end());
   }
   for (const auto& c : controller_hits) {
-    for (const SwitchId sw : c.path) seen.insert(sw);
+    out.insert(out.end(), c.path.begin(), c.path.end());
   }
   for (const auto& l : loops) {
-    for (const SwitchId sw : l.path) seen.insert(sw);
+    out.insert(out.end(), l.path.begin(), l.path.end());
   }
-  return {seen.begin(), seen.end()};
+  sort_unique(out);
+  return out;
+}
+
+bool ReachabilityResult::depends_on(std::span<const SwitchId> dirty) const {
+  // Both sides sorted: a two-pointer sweep finds any common switch.
+  auto a = footprint.begin();
+  auto b = dirty.begin();
+  while (a != footprint.end() && b != dirty.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
 }
 
 ReachabilityResult NetworkModel::reach(PortRef ingress, const HeaderSpace& hs,
@@ -56,7 +87,13 @@ ReachabilityResult NetworkModel::reach(PortRef ingress, const HeaderSpace& hs,
   // Dominance pruning: spaces already explored per (switch, in-port). A new
   // space is narrowed by what was seen; only the new part continues. This
   // bounds the walk even through loops (each visit strictly grows coverage).
-  std::map<PortRef, std::vector<Wildcard>> visited;
+  // The hottest associative lookup of the BFS inner loop — hashed, not
+  // ordered (PortRef hashes in sdn/types.hpp).
+  std::unordered_map<PortRef, std::vector<Wildcard>> visited;
+
+  // Switches the walk consulted; becomes result.footprint (deduped at the
+  // end — no per-visit tree walk in the inner loop).
+  std::vector<SwitchId> touched;
 
   while (!queue.empty()) {
     WorkItem item = std::move(queue.front());
@@ -85,6 +122,10 @@ ReachabilityResult NetworkModel::reach(PortRef ingress, const HeaderSpace& hs,
       visited[item.in].push_back(cube);
     }
 
+    // The walk is about to consult this switch's transfer function (present
+    // or not): the result now depends on its table content.
+    touched.push_back(item.in.sw);
+
     const auto tf_it = transfer_->find(item.in.sw);
     if (tf_it == transfer_->end()) continue;  // switch absent from snapshot
 
@@ -111,6 +152,8 @@ ReachabilityResult NetworkModel::reach(PortRef ingress, const HeaderSpace& hs,
       }
     }
   }
+  sort_unique(touched);
+  result.footprint = std::move(touched);
   return result;
 }
 
@@ -120,15 +163,37 @@ ReachabilityResult NetworkModel::reach_from_host(sdn::HostId host) const {
   return reach(ports.front(), HeaderSpace::all());
 }
 
+std::vector<ReachabilityResult> NetworkModel::reach_all(
+    std::span<const PortRef> ingresses, const HeaderSpace& hs,
+    util::ThreadPool& pool, std::size_t max_depth) const {
+  std::vector<ReachabilityResult> out(ingresses.size());
+  pool.parallel_for(ingresses.size(), [&](std::size_t i) {
+    out[i] = reach(ingresses[i], hs, max_depth);
+  });
+  return out;
+}
+
 std::vector<PortRef> NetworkModel::sources_reaching(
     PortRef target, const HeaderSpace& hs) const {
-  std::vector<PortRef> sources;
+  util::ThreadPool inline_pool(0);
+  return sources_reaching(target, hs, inline_pool);
+}
+
+std::vector<PortRef> NetworkModel::sources_reaching(
+    PortRef target, const HeaderSpace& hs, util::ThreadPool& pool) const {
+  std::vector<PortRef> candidates;
   for (const PortRef ap : topo_->all_access_points()) {
     if (ap == target) continue;
-    const ReachabilityResult r = reach(ap, hs);
-    const auto ports = r.reached_ports();
+    candidates.push_back(ap);
+  }
+  const std::vector<ReachabilityResult> results =
+      reach_all(candidates, hs, pool);
+
+  std::vector<PortRef> sources;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto ports = results[i].reached_ports();
     if (std::binary_search(ports.begin(), ports.end(), target)) {
-      sources.push_back(ap);
+      sources.push_back(candidates[i]);
     }
   }
   return sources;

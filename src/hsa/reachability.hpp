@@ -7,10 +7,12 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "hsa/transfer.hpp"
 #include "sdn/topology.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rvaas::hsa {
 
@@ -23,6 +25,8 @@ struct ReachedEndpoint {
   /// The flow entries that carried this subspace, hop by hop (enables
   /// meter/fairness attribution).
   std::vector<std::pair<sdn::SwitchId, sdn::FlowEntryId>> rules;
+
+  bool operator==(const ReachedEndpoint&) const = default;
 };
 
 /// A subspace punted to the control plane.
@@ -31,12 +35,16 @@ struct ControllerHit {
   std::uint64_t cookie = 0;
   HeaderSpace space;
   std::vector<sdn::SwitchId> path;
+
+  bool operator==(const ControllerHit&) const = default;
 };
 
 /// A forwarding loop: the space re-entered a switch already on its path.
 struct LoopFinding {
   std::vector<sdn::SwitchId> path;  ///< ends at the repeated switch
   HeaderSpace space;
+
+  bool operator==(const LoopFinding&) const = default;
 };
 
 struct ReachabilityResult {
@@ -44,6 +52,13 @@ struct ReachabilityResult {
   std::vector<ControllerHit> controller_hits;
   std::vector<LoopFinding> loops;
   std::size_t steps = 0;  ///< rule applications (cost metric for benches)
+  /// Dependency footprint: every switch whose (possibly absent) transfer
+  /// function the traversal consulted, sorted ascending. A configuration
+  /// change confined to switches OUTSIDE this set cannot alter the result —
+  /// the invalidation rule of core::ReachCache (rvaas/engine.hpp). Recorded
+  /// whenever a work item survives dominance pruning at a port; fully pruned
+  /// re-visits are covered by the earlier visit that seeded the pruning.
+  std::vector<sdn::SwitchId> footprint;
 
   /// Unique hosts reachable (sorted).
   std::vector<sdn::HostId> reached_hosts() const;
@@ -51,6 +66,11 @@ struct ReachabilityResult {
   std::vector<sdn::PortRef> reached_ports() const;
   /// Union of all traversed switches (sorted).
   std::vector<sdn::SwitchId> traversed_switches() const;
+
+  /// true iff the sorted footprint shares a switch with `dirty` (sorted).
+  bool depends_on(std::span<const sdn::SwitchId> dirty) const;
+
+  bool operator==(const ReachabilityResult&) const = default;
 };
 
 /// The logical network model: trusted wiring plan + per-switch transfer
@@ -85,11 +105,22 @@ class NetworkModel {
   /// Convenience: reach from a host's first access point with full space.
   ReachabilityResult reach_from_host(sdn::HostId host) const;
 
+  /// All-pairs building block: one independent reach() per ingress, fanned
+  /// out over `pool` (the model is immutable, so runs share it freely).
+  /// Results are positionally identical to sequential reach() calls.
+  std::vector<ReachabilityResult> reach_all(
+      std::span<const sdn::PortRef> ingresses, const HeaderSpace& hs,
+      util::ThreadPool& pool, std::size_t max_depth = 64) const;
+
   /// Inverse reachability: which access points can send traffic (within
   /// `hs`) that arrives at `target`? Computed by forward reach from every
-  /// access point (sound; cost = |access points| reach runs).
+  /// access point (sound; cost = |access points| reach runs, fanned out
+  /// over `pool` in the overload).
   std::vector<sdn::PortRef> sources_reaching(sdn::PortRef target,
                                              const HeaderSpace& hs) const;
+  std::vector<sdn::PortRef> sources_reaching(sdn::PortRef target,
+                                             const HeaderSpace& hs,
+                                             util::ThreadPool& pool) const;
 
   const sdn::Topology& topology() const { return *topo_; }
   const NetworkTransfer& transfer() const { return *transfer_; }

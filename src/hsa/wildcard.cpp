@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/ensure.hpp"
+#include "util/fnv.hpp"
 
 namespace rvaas::hsa {
 
@@ -92,6 +93,12 @@ bool Wildcard::subset_of(const Wildcard& other) const {
     if ((words_[w] & other.words_[w]) != words_[w]) return false;
   }
   return true;
+}
+
+std::uint64_t Wildcard::hash_value() const {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  for (const std::uint64_t w : words_) h = util::fnv1a_mix(h, w);
+  return h;
 }
 
 bool Wildcard::contains(const sdn::HeaderFields& h) const {

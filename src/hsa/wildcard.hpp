@@ -56,6 +56,11 @@ class Wildcard {
 
   bool operator==(const Wildcard&) const = default;
 
+  /// FNV-1a over the ternary words; the hash ingredient of
+  /// HeaderSpace::fingerprint() (cache keys re-check exact equality, so a
+  /// collision only costs a compare).
+  std::uint64_t hash_value() const;
+
   /// true iff the concrete header lies in this cube.
   bool contains(const sdn::HeaderFields& h) const;
 

@@ -6,6 +6,7 @@
 
 #include "hsa/transfer.hpp"
 #include "util/ensure.hpp"
+#include "util/fnv.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rvaas::core {
@@ -69,6 +70,117 @@ CompiledModelCache::Stats CompiledModelCache::stats() const {
   return stats_;
 }
 
+std::size_t ReachCache::KeyHash::operator()(const Key& k) const noexcept {
+  std::uint64_t h = k.space_fingerprint;
+  h = util::fnv1a_mix(h, std::hash<sdn::PortRef>{}(k.ingress));
+  h = util::fnv1a_mix(h, k.max_depth);
+  return static_cast<std::size_t>(h);
+}
+
+void ReachCache::validate(const SnapshotManager& snap) {
+  // Identity check: a different view instance — or an epoch that moved
+  // backwards, which only a moved-from view being reused can produce —
+  // cannot be patched by a dirty set.
+  if (snap.instance_id() != snapshot_id_ || snap.epoch() < validated_epoch_) {
+    if (snapshot_id_ != 0) ++stats_.full_clears;
+    entries_.clear();
+    entry_count_ = 0;
+    snapshot_id_ = snap.instance_id();
+    validated_epoch_ = snap.epoch();
+    return;
+  }
+  if (snap.epoch() == validated_epoch_) return;
+
+  // Epoch advanced: drop exactly the entries whose traversal consulted a
+  // switch that changed since they were computed. Everything else is still
+  // byte-identical to a recomputation and stays.
+  const std::vector<SwitchId> dirty = snap.dirty_since(validated_epoch_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto& bucket = it->second;
+    std::erase_if(bucket, [&](const Entry& e) {
+      const bool stale = e.result->depends_on(dirty);
+      if (stale) {
+        ++stats_.entries_invalidated;
+        --entry_count_;
+      }
+      return stale;
+    });
+    it = bucket.empty() ? entries_.erase(it) : std::next(it);
+  }
+  validated_epoch_ = snap.epoch();
+}
+
+ReachCache::ResultPtr ReachCache::reach(const hsa::NetworkModel& model,
+                                        const SnapshotManager& snap,
+                                        sdn::PortRef ingress,
+                                        const hsa::HeaderSpace& hs,
+                                        std::size_t max_depth) {
+  std::unique_lock lock(mu_);
+  ++stats_.lookups;
+  validate(snap);
+  const std::uint64_t id_token = snapshot_id_;
+  const std::uint64_t epoch_token = validated_epoch_;
+
+  const Key key{ingress, hs.fingerprint(), max_depth};
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    for (const Entry& e : it->second) {
+      if (e.hs == hs) {
+        ++stats_.hits;
+        return e.result;
+      }
+    }
+  }
+  ++stats_.misses;
+
+  // Compute outside the lock so concurrent misses (run_batch, reach_all)
+  // traverse in parallel; the model is immutable.
+  lock.unlock();
+  auto result =
+      std::make_shared<const hsa::ReachabilityResult>(
+          model.reach(ingress, hs, max_depth));
+  lock.lock();
+
+  // Only store a result that is still current: the snapshot may have churned
+  // (or been swapped) while we computed, and another thread may have raced
+  // us to the same key (first insert wins; the results are identical).
+  if (snapshot_id_ != id_token || validated_epoch_ != epoch_token) {
+    return result;
+  }
+  // Capacity bound: clients choose the constraint spaces, so without a cap
+  // distinct entries would accumulate forever on a stable snapshot. A flush
+  // only costs future misses.
+  if (entry_count_ >= kMaxEntries) {
+    entries_.clear();
+    entry_count_ = 0;
+    ++stats_.capacity_flushes;
+  }
+  auto& bucket = entries_[key];
+  for (const Entry& e : bucket) {
+    if (e.hs == hs) return e.result;
+  }
+  bucket.push_back(Entry{hs, result});
+  ++entry_count_;
+  return result;
+}
+
+void ReachCache::invalidate() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+  entry_count_ = 0;
+  snapshot_id_ = 0;
+  validated_epoch_ = 0;
+}
+
+std::size_t ReachCache::size() const {
+  std::lock_guard lock(mu_);
+  return entry_count_;
+}
+
+ReachCache::Stats ReachCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
 hsa::NetworkModel QueryEngine::model(const SnapshotManager& snap) const {
   return cache_->model(*topo_, snap);
 }
@@ -76,6 +188,35 @@ hsa::NetworkModel QueryEngine::model(const SnapshotManager& snap) const {
 hsa::NetworkModel QueryEngine::model_uncached(
     const SnapshotManager& snap) const {
   return hsa::NetworkModel::from_tables(*topo_, snap.table_dump());
+}
+
+ReachCache::ResultPtr QueryEngine::reach(const hsa::NetworkModel& model,
+                                         const SnapshotManager& snap,
+                                         sdn::PortRef ingress,
+                                         const hsa::HeaderSpace& hs) const {
+  return reach_cache_->reach(model, snap, ingress, hs, config_.max_depth);
+}
+
+std::vector<QueryEngine::IngressReach> QueryEngine::reach_all(
+    const SnapshotManager& snap, const hsa::HeaderSpace& hs,
+    util::ThreadPool& pool) const {
+  // One L1 compilation serves the whole sweep; per-ingress traversals then
+  // fan out, each landing in (or served from) the L2 cache.
+  const hsa::NetworkModel compiled = model(snap);
+  const std::vector<PortRef> ingresses = topo_->all_access_points();
+  std::vector<IngressReach> out(ingresses.size());
+  pool.parallel_for(ingresses.size(), [&](std::size_t i) {
+    out[i] = IngressReach{ingresses[i],
+                          reach(compiled, snap, ingresses[i], hs)};
+  });
+  return out;
+}
+
+std::vector<QueryEngine::IngressReach> QueryEngine::reach_all(
+    const SnapshotManager& snap, const hsa::HeaderSpace& hs,
+    std::size_t threads) const {
+  util::ThreadPool pool(threads <= 1 ? 0 : threads - 1);
+  return reach_all(snap, hs, pool);
 }
 
 hsa::HeaderSpace QueryEngine::constraint_space(const sdn::Match& constraint) {
@@ -102,18 +243,23 @@ ReachComputation QueryEngine::from_reach_result(
 }
 
 ReachComputation QueryEngine::reachable_endpoints(
-    const hsa::NetworkModel& model, PortRef from,
+    const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
     const hsa::HeaderSpace& hs) const {
-  return from_reach_result(model.reach(from, hs, config_.max_depth), from);
+  const ReachCache::ResultPtr r = reach(model, snap, from, hs);
+  return from_reach_result(*r, from);
 }
 
 ReachComputation QueryEngine::reaching_sources(const hsa::NetworkModel& model,
+                                               const SnapshotManager& snap,
                                                PortRef target,
                                                const hsa::HeaderSpace& hs) const {
   ReachComputation out;
   for (const PortRef ap : topo_->all_access_points()) {
     if (ap == target) continue;
-    const hsa::ReachabilityResult r = model.reach(ap, hs, config_.max_depth);
+    // Hold the ResultPtr: the cache may not retain a result computed during
+    // concurrent churn, and a reference into the temporary would dangle.
+    const ReachCache::ResultPtr rp = reach(model, snap, ap, hs);
+    const hsa::ReachabilityResult& r = *rp;
     out.loops += r.loops.size();
     for (const auto& e : r.endpoints) {
       if (e.egress != target) continue;
@@ -130,10 +276,13 @@ ReachComputation QueryEngine::reaching_sources(const hsa::NetworkModel& model,
 }
 
 ReachComputation QueryEngine::isolation(const hsa::NetworkModel& model,
+                                        const SnapshotManager& snap,
                                         PortRef request_point,
                                         const hsa::HeaderSpace& hs) const {
-  ReachComputation forward = reachable_endpoints(model, request_point, hs);
-  const ReachComputation backward = reaching_sources(model, request_point, hs);
+  ReachComputation forward =
+      reachable_endpoints(model, snap, request_point, hs);
+  const ReachComputation backward =
+      reaching_sources(model, snap, request_point, hs);
 
   std::set<PortRef> seen;
   for (const EndpointInfo& e : forward.endpoints) seen.insert(e.access_point);
@@ -156,9 +305,10 @@ ReachComputation QueryEngine::isolation(const hsa::NetworkModel& model,
 }
 
 std::vector<std::string> QueryEngine::geo_jurisdictions(
-    const hsa::NetworkModel& model, PortRef from, const hsa::HeaderSpace& hs,
-    const GeoProvider& geo) const {
-  const hsa::ReachabilityResult r = model.reach(from, hs, config_.max_depth);
+    const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
+    const hsa::HeaderSpace& hs, const GeoProvider& geo) const {
+  const ReachCache::ResultPtr rp = reach(model, snap, from, hs);
+  const hsa::ReachabilityResult& r = *rp;
   std::vector<std::vector<SwitchId>> paths;
   for (const auto& e : r.endpoints) paths.push_back(e.path);
   for (const auto& c : r.controller_hits) paths.push_back(c.path);
@@ -167,14 +317,15 @@ std::vector<std::string> QueryEngine::geo_jurisdictions(
 }
 
 QueryEngine::PathLengthReport QueryEngine::path_length(
-    const hsa::NetworkModel& model, PortRef from, PortRef peer_ap,
-    std::uint32_t peer_ip) const {
+    const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
+    PortRef peer_ap, std::uint32_t peer_ip) const {
   PathLengthReport report;
 
   hsa::Wildcard cube;
   cube.set_field(sdn::Field::IpDst, peer_ip);
-  const hsa::ReachabilityResult r =
-      model.reach(from, hsa::HeaderSpace(cube), config_.max_depth);
+  const ReachCache::ResultPtr rp =
+      reach(model, snap, from, hsa::HeaderSpace(cube));
+  const hsa::ReachabilityResult& r = *rp;
 
   std::uint32_t best = ~std::uint32_t{0};
   for (const auto& e : r.endpoints) {
@@ -193,7 +344,8 @@ QueryEngine::PathLengthReport QueryEngine::path_length(
 std::vector<FairnessMetric> QueryEngine::fairness(
     const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
     const hsa::HeaderSpace& hs) const {
-  const hsa::ReachabilityResult r = model.reach(from, hs, config_.max_depth);
+  const ReachCache::ResultPtr rp = reach(model, snap, from, hs);
+  const hsa::ReachabilityResult& r = *rp;
 
   // Exact attribution: the reach result records which flow entries carried
   // each delivered subspace; collect the meters of exactly those rules
@@ -225,9 +377,10 @@ std::vector<FairnessMetric> QueryEngine::fairness(
 }
 
 std::vector<TransferSummaryEntry> QueryEngine::transfer_summary(
-    const hsa::NetworkModel& model, PortRef from,
+    const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
     const hsa::HeaderSpace& hs) const {
-  const hsa::ReachabilityResult r = model.reach(from, hs, config_.max_depth);
+  const ReachCache::ResultPtr rp = reach(model, snap, from, hs);
+  const hsa::ReachabilityResult& r = *rp;
   std::map<PortRef, std::uint32_t> cubes;
   for (const auto& e : r.endpoints) {
     if (e.egress == from) continue;  // hairpin back to the requester
@@ -252,27 +405,28 @@ QueryEngine::Answer QueryEngine::answer(const hsa::NetworkModel& model,
   bool has_endpoints = false;
   switch (query.kind) {
     case QueryKind::ReachableEndpoints:
-      reach = reachable_endpoints(model, ctx.from, hs);
+      reach = reachable_endpoints(model, snap, ctx.from, hs);
       has_endpoints = true;
       break;
     case QueryKind::ReachingSources:
-      reach = reaching_sources(model, ctx.from, hs);
+      reach = reaching_sources(model, snap, ctx.from, hs);
       has_endpoints = true;
       break;
     case QueryKind::Isolation:
-      reach = isolation(model, ctx.from, hs);
+      reach = isolation(model, snap, ctx.from, hs);
       has_endpoints = true;
       break;
     case QueryKind::Geo:
       util::ensure(ctx.geo != nullptr, "geo query without a geo provider");
-      out.reply.jurisdictions = geo_jurisdictions(model, ctx.from, hs, *ctx.geo);
+      out.reply.jurisdictions =
+          geo_jurisdictions(model, snap, ctx.from, hs, *ctx.geo);
       break;
     case QueryKind::PathLength: {
       if (query.peer && ctx.addressing != nullptr) {
         const auto peer_ports = topo_->host_ports(*query.peer);
         if (!peer_ports.empty()) {
           const PathLengthReport report =
-              path_length(model, ctx.from, peer_ports.front(),
+              path_length(model, snap, ctx.from, peer_ports.front(),
                           ctx.addressing->of(*query.peer).ip);
           out.reply.path_found = report.found;
           out.reply.installed_path_length = report.installed;
@@ -285,7 +439,8 @@ QueryEngine::Answer QueryEngine::answer(const hsa::NetworkModel& model,
       out.reply.fairness = fairness(model, snap, ctx.from, hs);
       break;
     case QueryKind::TransferSummary:
-      out.reply.transfer_summary = transfer_summary(model, ctx.from, hs);
+      out.reply.transfer_summary =
+          transfer_summary(model, snap, ctx.from, hs);
       break;
   }
 

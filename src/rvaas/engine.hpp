@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 
 #include "controlplane/routing.hpp"
 #include "hsa/reachability.hpp"
@@ -66,6 +67,84 @@ class CompiledModelCache {
   Stats stats_;
 };
 
+/// The second cache tier of the verification pipeline (L2; the
+/// CompiledModelCache above is L1): memoizes ReachabilityResults keyed by
+/// (ingress port, header-space structure, traversal depth) together with the
+/// dependency footprint the traversal recorded. On snapshot churn, only
+/// entries whose footprint intersects the dirty switches are dropped — a
+/// change confined to switches a traversal never consulted cannot alter its
+/// result — so steady-state reverification costs O(affected ingresses)
+/// instead of O(network). Thread-safe; misses compute outside the lock, so
+/// concurrent lookups (run_batch, reach_all) parallelize.
+class ReachCache {
+ public:
+  using ResultPtr = std::shared_ptr<const hsa::ReachabilityResult>;
+
+  /// Capacity bound: clients control the query constraint, so distinct
+  /// header spaces would otherwise accumulate without limit on a stable
+  /// snapshot. Overflow flushes the tier (entries are pure recomputations —
+  /// a flush costs misses, never correctness).
+  static constexpr std::size_t kMaxEntries = 1 << 14;
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;    ///< served from cache
+    std::uint64_t misses = 0;  ///< computed (and, when still current, stored)
+    std::uint64_t entries_invalidated = 0;  ///< evicted by footprint overlap
+    std::uint64_t full_clears = 0;  ///< snapshot identity changes
+    std::uint64_t capacity_flushes = 0;  ///< kMaxEntries overflows
+
+    double hit_rate() const {
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups);
+    }
+  };
+
+  /// The cached result for (ingress, hs, max_depth) under `snap`'s current
+  /// state, computing it on `model` first if absent. `model` must be the
+  /// compilation of `snap`'s current state (what QueryEngine::model returns);
+  /// results are always identical to a direct model.reach() call.
+  ResultPtr reach(const hsa::NetworkModel& model, const SnapshotManager& snap,
+                  sdn::PortRef ingress, const hsa::HeaderSpace& hs,
+                  std::size_t max_depth);
+
+  /// Drops every entry.
+  void invalidate();
+
+  std::size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Key {
+    sdn::PortRef ingress;
+    std::uint64_t space_fingerprint = 0;
+    std::size_t max_depth = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    hsa::HeaderSpace hs;  ///< exact key half (fingerprints may collide)
+    ResultPtr result;
+  };
+
+  /// Syncs the cache to `snap`'s change clock: clears on identity change,
+  /// evicts footprint-dirty entries on epoch advance. Caller holds mu_.
+  void validate(const SnapshotManager& snap);
+
+  mutable std::mutex mu_;
+  /// Fingerprint-keyed buckets; entries within a bucket disambiguate by
+  /// structural HeaderSpace equality.
+  std::unordered_map<Key, std::vector<Entry>, KeyHash> entries_;
+  std::size_t entry_count_ = 0;       ///< total entries across buckets
+  std::uint64_t snapshot_id_ = 0;     ///< 0 = nothing cached yet
+  std::uint64_t validated_epoch_ = 0; ///< snapshot epoch entries are valid at
+  Stats stats_;
+};
+
 struct EngineConfig {
   ConfidentialityPolicy policy = ConfidentialityPolicy::EndpointsOnly;
   std::size_t max_depth = 64;
@@ -99,8 +178,40 @@ class QueryEngine {
   /// (the baseline for bench_incremental and the equivalence tests).
   hsa::NetworkModel model_uncached(const SnapshotManager& snap) const;
 
-  /// Counters of the engine's model cache.
+  /// Counters of the engine's model cache (L1).
   CompiledModelCache::Stats cache_stats() const { return cache_->stats(); }
+
+  /// Counters of the engine's reachability result cache (L2).
+  ReachCache::Stats reach_stats() const { return reach_cache_->stats(); }
+
+  /// Cached reachability (the L2 tier): serves (ingress, hs) from the
+  /// ReachCache when no dirty switch intersects the stored footprint,
+  /// computing on `model` otherwise. Every query path below funnels its
+  /// traversals through here.
+  ReachCache::ResultPtr reach(const hsa::NetworkModel& model,
+                              const SnapshotManager& snap,
+                              sdn::PortRef ingress,
+                              const hsa::HeaderSpace& hs) const;
+
+  /// One ingress of an all-pairs sweep.
+  struct IngressReach {
+    sdn::PortRef ingress;
+    ReachCache::ResultPtr result;
+  };
+
+  /// All-pairs reachability: one reach per access point within `hs`, fanned
+  /// out over `pool` and served through / stored into the ReachCache, so a
+  /// sweep leaves every per-ingress result warm for the single-query, batch
+  /// and federation paths. Results are positionally identical to sequential
+  /// engine.reach() calls per access point.
+  std::vector<IngressReach> reach_all(const SnapshotManager& snap,
+                                      const hsa::HeaderSpace& hs,
+                                      util::ThreadPool& pool) const;
+
+  /// As above with a per-call pool (<= 1 runs sequentially inline).
+  std::vector<IngressReach> reach_all(const SnapshotManager& snap,
+                                      const hsa::HeaderSpace& hs,
+                                      std::size_t threads) const;
 
   /// Converts a client constraint into a header space.
   static hsa::HeaderSpace constraint_space(const sdn::Match& constraint);
@@ -109,21 +220,25 @@ class QueryEngine {
   /// requester's own access point is excluded (hairpin routes back to the
   /// client are not a disclosure).
   ReachComputation reachable_endpoints(const hsa::NetworkModel& model,
+                                       const SnapshotManager& snap,
                                        sdn::PortRef from,
                                        const hsa::HeaderSpace& hs) const;
 
   /// Which access points have installed routes reaching `target`?
   ReachComputation reaching_sources(const hsa::NetworkModel& model,
+                                    const SnapshotManager& snap,
                                     sdn::PortRef target,
                                     const hsa::HeaderSpace& hs) const;
 
   /// Union of both directions (the §IV.B.1 isolation check).
   ReachComputation isolation(const hsa::NetworkModel& model,
+                             const SnapshotManager& snap,
                              sdn::PortRef request_point,
                              const hsa::HeaderSpace& hs) const;
 
   /// Jurisdictions any traffic in `hs` from `from` may cross.
   std::vector<std::string> geo_jurisdictions(const hsa::NetworkModel& model,
+                                             const SnapshotManager& snap,
                                              sdn::PortRef from,
                                              const hsa::HeaderSpace& hs,
                                              const GeoProvider& geo) const;
@@ -136,7 +251,8 @@ class QueryEngine {
   /// Length of the installed route from `from` to the host at `peer_ap`,
   /// against the topology optimum.
   PathLengthReport path_length(const hsa::NetworkModel& model,
-                               sdn::PortRef from, sdn::PortRef peer_ap,
+                               const SnapshotManager& snap, sdn::PortRef from,
+                               sdn::PortRef peer_ap,
                                std::uint32_t peer_ip) const;
 
   /// Meter-based fairness metrics for traffic in `hs` from `from`:
@@ -152,8 +268,8 @@ class QueryEngine {
   /// Compact representation of the client's transfer function: egress ports
   /// with the cube count of the traffic subspace reaching them.
   std::vector<TransferSummaryEntry> transfer_summary(
-      const hsa::NetworkModel& model, sdn::PortRef from,
-      const hsa::HeaderSpace& hs) const;
+      const hsa::NetworkModel& model, const SnapshotManager& snap,
+      sdn::PortRef from, const hsa::HeaderSpace& hs) const;
 
   /// Renders paths for FullPaths mode (E5 leakage strawman).
   static std::vector<std::string> render_paths(
@@ -205,9 +321,11 @@ class QueryEngine {
 
   const sdn::Topology* topo_;
   EngineConfig config_;
-  /// Heap-held so the engine stays movable (the cache owns a mutex).
+  /// Heap-held so the engine stays movable (the caches own mutexes).
   mutable std::unique_ptr<CompiledModelCache> cache_ =
       std::make_unique<CompiledModelCache>();
+  mutable std::unique_ptr<ReachCache> reach_cache_ =
+      std::make_unique<ReachCache>();
 };
 
 }  // namespace rvaas::core

@@ -55,13 +55,15 @@ void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
 
   // Each domain's RVaaS answers from its own snapshot — domains never see
   // each other's configuration, only endpoint answers (confidentiality).
-  // Compiled through the domain engine's incremental cache, shared with the
-  // domain's own query paths.
-  const hsa::NetworkModel model =
-      dom.rvaas->engine().model(dom.rvaas->snapshot());
-  const hsa::ReachabilityResult reach = model.reach(ingress, hs);
+  // Compiled through the domain engine's incremental model cache (L1) and
+  // traversed through its reach cache (L2), both shared with the domain's
+  // own query paths — a federated walk re-entering an unchanged domain at
+  // the same ingress is a cache hit.
+  const QueryEngine& engine = dom.rvaas->engine();
+  const hsa::NetworkModel model = engine.model(dom.rvaas->snapshot());
+  const auto reach = engine.reach(model, dom.rvaas->snapshot(), ingress, hs);
 
-  for (const auto& endpoint : reach.endpoints) {
+  for (const auto& endpoint : reach->endpoints) {
     const auto peering_it = peerings_.find({domain, endpoint.egress});
     if (peering_it == peerings_.end()) {
       FederatedEndpoint fe;

@@ -1,0 +1,17 @@
+#pragma once
+// FNV-1a 64-bit hashing, shared by the structural fingerprints (hsa) and
+// cache keys (rvaas) so the constants live in exactly one place.
+
+#include <cstdint>
+
+namespace rvaas::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// One FNV-1a absorption step over a 64-bit word.
+constexpr std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
+}  // namespace rvaas::util

@@ -75,7 +75,7 @@ TEST(Engine, ReachableEndpointsBasic) {
   QueryEngine engine = f.engine();
   const auto model = engine.model(f.snap);
   const auto reach = engine.reachable_endpoints(
-      model, {SwitchId(1), PortNo(1)}, hsa::HeaderSpace::all());
+      model, f.snap, {SwitchId(1), PortNo(1)}, hsa::HeaderSpace::all());
 
   ASSERT_EQ(reach.endpoints.size(), 1u);
   EXPECT_EQ(reach.endpoints[0].access_point,
@@ -93,7 +93,7 @@ TEST(Engine, DarkEndpointMarked) {
   QueryEngine engine = f.engine();
   const auto model = engine.model(f.snap);
   const auto reach = engine.reachable_endpoints(
-      model, {SwitchId(1), PortNo(1)}, hsa::HeaderSpace::all());
+      model, f.snap, {SwitchId(1), PortNo(1)}, hsa::HeaderSpace::all());
   ASSERT_EQ(reach.endpoints.size(), 1u);
   EXPECT_TRUE(reach.endpoints[0].dark);
   EXPECT_TRUE(reach.to_authenticate.empty());  // nobody to probe
@@ -105,7 +105,7 @@ TEST(Engine, ReachingSourcesFindsSenders) {
   QueryEngine engine = f.engine();
   const auto model = engine.model(f.snap);
   const auto sources = engine.reaching_sources(
-      model, {SwitchId(3), PortNo(1)}, hsa::HeaderSpace::all());
+      model, f.snap, {SwitchId(3), PortNo(1)}, hsa::HeaderSpace::all());
   ASSERT_EQ(sources.endpoints.size(), 1u);
   EXPECT_EQ(sources.endpoints[0].access_point,
             (PortRef{SwitchId(1), PortNo(1)}));
@@ -119,7 +119,7 @@ TEST(Engine, IsolationUnionsBothDirections) {
              {sdn::output(PortNo(0))});
   QueryEngine engine = f.engine();
   const auto model = engine.model(f.snap);
-  const auto iso = engine.isolation(model, {SwitchId(1), PortNo(1)},
+  const auto iso = engine.isolation(model, f.snap, {SwitchId(1), PortNo(1)},
                                     hsa::HeaderSpace::all());
   // Endpoints: h11's AP (forward) + h12's AP (backward source).
   ASSERT_EQ(iso.endpoints.size(), 2u);
@@ -138,7 +138,7 @@ TEST(Engine, GeoJurisdictionsAlongPath) {
   const auto model = engine.model(f.snap);
   const DisclosedGeo geo(f.topo);
   const auto jurisdictions = engine.geo_jurisdictions(
-      model, {SwitchId(1), PortNo(1)}, hsa::HeaderSpace::all(), geo);
+      model, f.snap, {SwitchId(1), PortNo(1)}, hsa::HeaderSpace::all(), geo);
   EXPECT_EQ(jurisdictions, (std::vector<std::string>{"DE", "FR", "US"}));
 }
 
@@ -147,7 +147,8 @@ TEST(Engine, PathLengthOptimalAndDetour) {
   f.install_line_routing();
   QueryEngine engine = f.engine();
   const auto model = engine.model(f.snap);
-  const auto report = engine.path_length(model, {SwitchId(1), PortNo(1)},
+  const auto report = engine.path_length(model, f.snap,
+                                         {SwitchId(1), PortNo(1)},
                                          {SwitchId(3), PortNo(1)},
                                          /*peer_ip=*/0);
   // ip 0 is matched by the wildcard line rules.
@@ -208,7 +209,7 @@ TEST(Engine, TransferSummaryCountsCubes) {
   QueryEngine engine = f.engine();
   const auto model = engine.model(f.snap);
   const auto summary = engine.transfer_summary(
-      model, {SwitchId(1), PortNo(1)}, hsa::HeaderSpace::all());
+      model, f.snap, {SwitchId(1), PortNo(1)}, hsa::HeaderSpace::all());
   ASSERT_EQ(summary.size(), 2u);
   for (const auto& entry : summary) EXPECT_GE(entry.cube_count, 1u);
 }
@@ -226,7 +227,7 @@ TEST(Engine, ConstraintSpaceRestrictsQueries) {
   const auto hs = QueryEngine::constraint_space(
       Match().exact(Field::IpProto, sdn::kIpProtoUdp));
   const auto reach =
-      engine.reachable_endpoints(model, {SwitchId(1), PortNo(1)}, hs);
+      engine.reachable_endpoints(model, f.snap, {SwitchId(1), PortNo(1)}, hs);
   EXPECT_TRUE(reach.endpoints.empty());
 }
 

@@ -163,6 +163,42 @@ TEST(HeaderSpace, CompactDropsEmptyAndSubsumedCubes) {
   EXPECT_TRUE(hs.contains(header(5, 0)));
 }
 
+TEST(HeaderSpace, FingerprintAndEqualityFollowStructure) {
+  const HeaderSpace a = HeaderSpace::all().subtract(vlan_cube(5));
+  const HeaderSpace b = HeaderSpace::all().subtract(vlan_cube(5));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Different structure -> different fingerprint (and !=), even when the
+  // denoted sets differ only slightly or not at all.
+  const HeaderSpace c = HeaderSpace::all().subtract(vlan_cube(4));
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_NE(HeaderSpace::all(), HeaderSpace());
+  EXPECT_NE(HeaderSpace::all().fingerprint(), HeaderSpace().fingerprint());
+
+  // Cube boundaries matter: {base, diff} as one cube != two plain cubes.
+  const HeaderSpace two =
+      HeaderSpace(vlan_cube(1)).union_with(HeaderSpace(vlan_cube(2)));
+  const HeaderSpace one(vlan_cube(1));
+  EXPECT_NE(two.fingerprint(), one.fingerprint());
+}
+
+TEST(HeaderSpace, CompactSkipsScanWithoutDiffFreeSubsumers) {
+  // Every cube carries diffs: nothing can subsume, everything survives.
+  HeaderSpace hs = HeaderSpace(vlan_cube(1)).subtract(proto_cube(1));
+  hs = hs.union_with(HeaderSpace(vlan_cube(2)).subtract(proto_cube(2)));
+  hs.compact();
+  EXPECT_EQ(hs.cube_count(), 2u);
+
+  // A diff-free superset still swallows a diff-carrying subset.
+  HeaderSpace mixed = HeaderSpace(vlan_cube(1)).subtract(proto_cube(1));
+  mixed = mixed.union_with(HeaderSpace(vlan_cube(1)));
+  mixed.compact();
+  EXPECT_EQ(mixed.cube_count(), 1u);
+  EXPECT_TRUE(mixed.cubes()[0].diffs.empty());
+}
+
 TEST(HeaderSpace, DiffCountTracksLaziness) {
   HeaderSpace hs = HeaderSpace::all().subtract(vlan_cube(1)).subtract(vlan_cube(2));
   EXPECT_EQ(hs.diff_count(), 2u);

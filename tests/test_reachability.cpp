@@ -181,6 +181,33 @@ TEST(Reachability, SourcesReachingTarget) {
   EXPECT_EQ(sources, (std::vector<PortRef>{{SwitchId(1), PortNo(1)}}));
 }
 
+TEST(Reachability, FootprintCoversConsultedSwitches) {
+  LineNet f;
+  // Forward line only: h10 -> h11. All three switches are consulted.
+  f.add(SwitchId(1), 5, Match().in_port(PortNo(1)), {sdn::output(PortNo(0))});
+  f.add(SwitchId(2), 5, Match().in_port(PortNo(0)), {sdn::output(PortNo(1))});
+  f.add(SwitchId(3), 5, Match().in_port(PortNo(0)), {sdn::output(PortNo(1))});
+
+  const NetworkModel model =
+      NetworkModel::from_tables(f.net->topology(), dump_tables(*f.net));
+  const ReachabilityResult r = model.reach_from_host(HostId(10));
+  EXPECT_EQ(r.footprint,
+            (std::vector<SwitchId>{SwitchId(1), SwitchId(2), SwitchId(3)}));
+  // The footprint is a superset of the delivering paths' switches.
+  for (const SwitchId sw : r.traversed_switches()) {
+    EXPECT_TRUE(std::binary_search(r.footprint.begin(), r.footprint.end(), sw));
+  }
+
+  // Injecting at h11 against a forward-only configuration consults only s3
+  // (the space dies there) — s1/s2 changes can never matter.
+  const ReachabilityResult dead = model.reach_from_host(HostId(11));
+  EXPECT_TRUE(dead.endpoints.empty());
+  EXPECT_EQ(dead.footprint, (std::vector<SwitchId>{SwitchId(3)}));
+  EXPECT_TRUE(dead.depends_on(std::vector<SwitchId>{SwitchId(3)}));
+  EXPECT_FALSE(
+      dead.depends_on(std::vector<SwitchId>{SwitchId(1), SwitchId(2)}));
+}
+
 TEST(Reachability, EmptySnapshotReachesNothing) {
   LineNet f;
   const NetworkModel model =

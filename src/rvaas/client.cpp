@@ -78,6 +78,47 @@ std::uint64_t ClientAgent::send_query(const Query& query, Callback callback,
   return id;
 }
 
+std::uint64_t ClientAgent::subscribe(const Property& property,
+                                     MonitorCallback callback,
+                                     NotifyPolicy policy) {
+  util::ensure(rvaas_box_pub_.has_value(),
+               "client has not established trust in RVaaS");
+  SubscribeRequest request;
+  request.subscription_id = next_request_id_++;
+  request.client = host_;
+  request.policy = policy;
+  request.property = property;
+  // The request-id counter doubles as the per-client freshness clock (it
+  // only ever advances).
+  request.freshness = next_request_id_++;
+
+  ++stats_.subscribes_sent;
+  stats_.crypto_ops += 2;  // sign + seal
+  net_->host_send(host_, access_point_,
+                  inband::make_subscribe_packet(address_, request, key_,
+                                                *rvaas_box_pub_, rng_));
+  subscriptions_[request.subscription_id] =
+      Subscription{property, std::move(callback), 0};
+  return request.subscription_id;
+}
+
+void ClientAgent::unsubscribe(std::uint64_t subscription_id) {
+  if (subscriptions_.erase(subscription_id) == 0) return;
+  util::ensure(rvaas_box_pub_.has_value(),
+               "client has not established trust in RVaaS");
+  SubscribeRequest request;
+  request.subscription_id = subscription_id;
+  request.client = host_;
+  request.unsubscribe = true;
+  request.freshness = next_request_id_++;
+
+  ++stats_.unsubscribes_sent;
+  stats_.crypto_ops += 2;  // sign + seal
+  net_->host_send(host_, access_point_,
+                  inband::make_subscribe_packet(address_, request, key_,
+                                                *rvaas_box_pub_, rng_));
+}
+
 void ClientAgent::on_packet(sdn::PortRef at, const sdn::Packet& packet) {
   const auto tag = inband::classify(packet);
   if (!tag) return;
@@ -95,6 +136,47 @@ void ClientAgent::on_packet(sdn::PortRef at, const sdn::Packet& packet) {
     ++stats_.auth_requests_answered;
     ++stats_.crypto_ops;  // sign
     net_->host_send(host_, at, inband::make_auth_reply(address_, reply, key_));
+    return;
+  }
+
+  if (*tag == inband::Tag::Notify) {
+    if (!rvaas_key_) return;
+    ++stats_.crypto_ops;  // open + verify
+    const auto opened = inband::open_notify(packet, box_, *rvaas_key_);
+    if (!opened) {
+      ++stats_.bad_notifications;
+      return;
+    }
+    const Notification& n = opened->notification;
+    const auto it = subscriptions_.find(n.subscription_id);
+    if (it == subscriptions_.end()) return;  // unsubscribed / never ours
+    Subscription& sub = it->second;
+    if (!opened->signature_ok || n.sequence <= sub.last_sequence ||
+        n.property_fingerprint != sub.property.fingerprint()) {
+      // Forged, tampered, replayed/reordered, or answering a different
+      // property than the one subscribed: never surface it.
+      ++stats_.bad_notifications;
+      return;
+    }
+    sub.last_sequence = n.sequence;
+    ++stats_.notifications_received;
+    if (n.kind == NotificationKind::ViolationAlert) {
+      ++stats_.alerts_received;
+    } else {
+      ++stats_.all_clears_received;
+    }
+
+    MonitorEvent event;
+    event.subscription_id = n.subscription_id;
+    event.signature_ok = opened->signature_ok;
+    event.kind = n.kind;
+    event.sequence = n.sequence;
+    event.epoch = n.epoch;
+    event.reply = n.reply;
+    event.verdict = evaluate_reply(n.reply, sub.property.expect);
+    // Copy out: the callback may unsubscribe (destroying `sub`) from inside.
+    const MonitorCallback callback = sub.callback;
+    callback(event);
     return;
   }
 

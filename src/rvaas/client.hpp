@@ -52,6 +52,31 @@ class ClientAgent {
   std::uint64_t send_query(const Query& query, Callback callback,
                            sim::Time timeout = 50 * sim::kMillisecond);
 
+  /// One verified push from the RVaaS monitor.
+  struct MonitorEvent {
+    std::uint64_t subscription_id = 0;
+    bool signature_ok = false;
+    NotificationKind kind = NotificationKind::AllClear;
+    std::uint64_t sequence = 0;
+    std::uint64_t epoch = 0;
+    QueryReply reply;
+    /// Client-side re-check of the pushed reply against the subscribed
+    /// expectation (trust, but verify the verdict locally).
+    Verdict verdict;
+  };
+  using MonitorCallback = std::function<void(const MonitorEvent&)>;
+
+  /// Registers a standing subscription: RVaaS re-verifies the property on
+  /// every configuration change it observes and pushes signed
+  /// ViolationAlert/AllClear notifications; the first push is the baseline
+  /// state (the subscribe acknowledgement). Returns the subscription id.
+  std::uint64_t subscribe(const Property& property, MonitorCallback callback,
+                          NotifyPolicy policy = NotifyPolicy::VerdictEdges);
+
+  /// Stops a subscription (fire-and-forget; the local callback is dropped
+  /// immediately, so a notification already in flight is ignored).
+  void unsubscribe(std::uint64_t subscription_id);
+
   struct Stats {
     std::uint64_t queries_sent = 0;
     std::uint64_t replies_received = 0;
@@ -59,6 +84,14 @@ class ClientAgent {
     std::uint64_t timeouts = 0;
     std::uint64_t auth_requests_answered = 0;
     std::uint64_t crypto_ops = 0;  ///< asymmetric operations (E9)
+
+    // Push verification:
+    std::uint64_t subscribes_sent = 0;
+    std::uint64_t unsubscribes_sent = 0;
+    std::uint64_t notifications_received = 0;
+    std::uint64_t bad_notifications = 0;  ///< bad box/signature or replayed
+    std::uint64_t alerts_received = 0;
+    std::uint64_t all_clears_received = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -80,7 +113,13 @@ class ClientAgent {
     Callback callback;
     sim::EventId timeout{};
   };
+  struct Subscription {
+    Property property;
+    MonitorCallback callback;
+    std::uint64_t last_sequence = 0;  ///< replay guard
+  };
   std::map<std::uint64_t, PendingQuery> pending_;
+  std::map<std::uint64_t, Subscription> subscriptions_;
   std::uint64_t next_request_id_;
   Stats stats_;
 };

@@ -26,7 +26,9 @@ RvaasController::RvaasController(sdn::ControllerId id, sdn::Network& net,
       channel_key_(crypto::SigningKey::generate(rng_)),
       engine_(net.topology(),
               EngineConfig{config_.policy, config_.max_reach_depth}),
-      snapshot_(config_.history_limit) {}
+      snapshot_(config_.history_limit),
+      monitor_(engine_),
+      monitor_pool_(config_.monitor_threads) {}
 
 enclave::Quote RvaasController::quote() const {
   return ias_->quote(enclave_,
@@ -78,6 +80,7 @@ void RvaasController::bootstrap() {
 
   if (config_.polling != PollingMode::Disabled) schedule_poll();
   if (config_.enable_link_prober) schedule_probe();
+  if (config_.reverify_period > 0) schedule_reverify();
 }
 
 void RvaasController::schedule_poll() {
@@ -97,8 +100,20 @@ void RvaasController::poll_all_switches() {
     ++stats_.polls_sent;
     handle_->request_stats(sw, [this](const sdn::StatsReply& reply) {
       snapshot_.reconcile(reply, net_->loop().now());
+      // A poll that diverged from the passive view bumped the epoch; wake
+      // the subscriptions whose footprint the adopted change touches.
+      schedule_monitor_sweep();
     });
   }
+}
+
+void RvaasController::schedule_reverify() {
+  net_->loop().schedule_after(config_.reverify_period, [this] {
+    // Full sweep: catches drift the change clock cannot see (meter
+    // updates, endpoints that stopped answering authentication).
+    run_monitor_sweep(/*force_all=*/true);
+    schedule_reverify();
+  });
 }
 
 void RvaasController::schedule_probe() {
@@ -125,6 +140,7 @@ void RvaasController::probe_all_links() {
 
 void RvaasController::on_flow_update(const sdn::FlowUpdate& msg) {
   snapshot_.apply_update(msg, net_->loop().now());
+  schedule_monitor_sweep();
 }
 
 void RvaasController::on_packet_in(const sdn::PacketIn& msg) {
@@ -145,6 +161,9 @@ void RvaasController::on_packet_in(const sdn::PacketIn& msg) {
   switch (*tag) {
     case inband::Tag::Request:
       handle_request(msg);
+      return;
+    case inband::Tag::Subscribe:
+      handle_subscribe(msg);
       return;
     case inband::Tag::AuthReply:
       handle_auth_reply(msg);
@@ -172,10 +191,11 @@ void RvaasController::handle_request(const sdn::PacketIn& msg) {
   pending.request = *request;
   pending.request_point = PortRef{msg.sw, msg.in_port};
 
-  // Logical verification on the current snapshot. QueryEngine::answer is the
-  // single dispatch for the logical step, shared with the batch path.
+  // Logical verification on the current snapshot, through the single
+  // per-kind dispatch (QueryEngine::evaluate) shared with the batch,
+  // federation and monitor paths.
   const hsa::NetworkModel model = engine_.model(snapshot_);
-  QueryEngine::BatchContext ctx;
+  QueryEngine::EvalContext ctx;
   ctx.from = pending.request_point;
   ctx.geo = geo_.get();
   ctx.addressing = addressing_;
@@ -183,11 +203,100 @@ void RvaasController::handle_request(const sdn::PacketIn& msg) {
       engine_.answer(model, snapshot_, request->query, ctx);
   pending.reply = std::move(answer.reply);
   pending.reply.request_id = request->request_id;
-  for (const PortRef ap : answer.to_authenticate) {
+
+  track_pending(std::move(pending), answer.to_authenticate);
+}
+
+void RvaasController::handle_subscribe(const sdn::PacketIn& msg) {
+  ++stats_.crypto_ops;  // unseal
+  const auto opened = inband::open_subscribe(msg.packet, enclave_);
+  if (!opened) {
+    ++stats_.bad_requests;
+    return;
+  }
+  const auto& [request_value, signature] = *opened;
+  const SubscribeRequest* request = &request_value;
+  const auto client_it = clients_.find(request->client);
+  if (client_it == clients_.end()) {
+    ++stats_.bad_requests;
+    return;
+  }
+  // (Un)subscribing mutates controller state, so unlike a query it must be
+  // authentic AND fresh: anyone can seal to the public enclave element, and
+  // a replayed Subscribe would reset the notification sequence, silencing
+  // the client's replay guard against future alerts.
+  ++stats_.crypto_ops;  // signature verification
+  if (!client_it->second.key.verify(request->signing_payload(), signature)) {
+    ++stats_.bad_requests;
+    return;
+  }
+  auto& last_freshness = subscribe_freshness_[request->client];
+  if (request->freshness <= last_freshness) {
+    ++stats_.bad_requests;  // replayed or reordered
+    return;
+  }
+  last_freshness = request->freshness;
+
+  if (request->unsubscribe) {
+    ++stats_.unsubscribes_received;
+    const PropertyMonitor::Key key{request->client, request->subscription_id};
+    if (!monitor_.unsubscribe(key.first, key.second)) {
+      ++stats_.bad_requests;
+      return;
+    }
+    // Drop an evaluation still waiting on authentication, if any.
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      if (const auto pit = pending_.find(it->second); pit != pending_.end()) {
+        net_->loop().cancel(pit->second.timeout);
+        pending_.erase(pit);
+      }
+      inflight_.erase(it);
+    }
+    return;
+  }
+
+  // A subscription the engine cannot evaluate must be rejected up front: a
+  // stored Geo property without a geo provider would throw inside every
+  // subsequent sweep (a persistent crash, not a one-shot bad request).
+  if (request->property.kind == QueryKind::Geo && geo_ == nullptr) {
+    ++stats_.bad_requests;
+    return;
+  }
+  const bool replacing =
+      monitor_.find(request->client, request->subscription_id) != nullptr;
+  if (!replacing && monitor_.active_for(request->client) >=
+                        config_.max_subscriptions_per_client) {
+    ++stats_.bad_requests;
+    return;
+  }
+  ++stats_.subscribes_received;
+
+  PropertyMonitor::Subscription sub;
+  sub.id = request->subscription_id;
+  sub.client = request->client;
+  sub.request_point = PortRef{msg.sw, msg.in_port};
+  sub.property = request->property;
+  sub.policy = request->policy;
+  monitor_.subscribe(std::move(sub));
+
+  // The next sweep evaluates the newcomer and pushes its baseline
+  // notification (the subscribe acknowledgement).
+  schedule_monitor_sweep();
+}
+
+void RvaasController::track_pending(PendingQuery pending,
+                                    std::span<const PortRef> targets) {
+  pending.expected.reserve(targets.size());
+  pending.nonces.reserve(targets.size());
+  for (const PortRef ap : targets) {
     pending.expected[ap] = std::nullopt;
   }
 
-  const std::uint64_t request_id = request->request_id;
+  const std::uint64_t request_id =
+      pending.subscription ? next_eval_id_++ : pending.request.request_id;
+  if (pending.subscription) {
+    inflight_[*pending.subscription] = request_id;
+  }
   auto [it, inserted] = pending_.emplace(request_id, std::move(pending));
   util::ensure(inserted, "duplicate pending query");
 
@@ -195,15 +304,21 @@ void RvaasController::handle_request(const sdn::PacketIn& msg) {
     finalize(request_id);
     return;
   }
-  dispatch_auth_requests(it->second);
+  dispatch_auth_requests(it->second, request_id, targets);
   it->second.timeout = net_->loop().schedule_after(
       config_.auth_timeout, [this, request_id] { finalize(request_id); });
 }
 
-void RvaasController::dispatch_auth_requests(PendingQuery& pending) {
-  for (const auto& [ap, _] : pending.expected) {
+void RvaasController::dispatch_auth_requests(
+    PendingQuery& pending, std::uint64_t request_id,
+    std::span<const PortRef> targets) {
+  // Driven off the ordered target list, not the (unordered) expected map,
+  // so the probe order — and with it the simulation schedule — stays
+  // deterministic. `request_id` is the pending_ key (an internal id for
+  // subscription wakeups), which auth replies echo back.
+  for (const PortRef ap : targets) {
     inband::AuthRequest req;
-    req.request_id = pending.request.request_id;
+    req.request_id = request_id;
     req.nonce = rng_.next_u64();
     req.target = ap;
     pending.nonces[req.nonce] = ap;
@@ -275,8 +390,90 @@ void RvaasController::finalize(std::uint64_t request_id) {
   }
   pending.reply.auth.responded = responded;
 
+  if (pending.subscription) {
+    inflight_.erase(*pending.subscription);
+    const PropertyMonitor::Decision decision =
+        monitor_.commit(*pending.subscription, pending.reply);
+    if (decision.push != PropertyMonitor::Push::None) {
+      send_notification(pending, decision);
+    }
+    pending_.erase(it);
+    return;
+  }
+
   send_reply(pending);
   pending_.erase(it);
+}
+
+void RvaasController::send_notification(
+    const PendingQuery& pending, const PropertyMonitor::Decision& decision) {
+  const auto client_it = clients_.find(pending.request.client);
+  if (client_it == clients_.end()) return;
+
+  Notification notification;
+  notification.subscription_id = pending.subscription->second;
+  notification.sequence = decision.sequence;
+  notification.kind = decision.push == PropertyMonitor::Push::ViolationAlert
+                          ? NotificationKind::ViolationAlert
+                          : NotificationKind::AllClear;
+  notification.epoch = pending.evaluated_epoch;
+  notification.property_fingerprint = pending.property_fingerprint;
+  notification.reply = pending.reply;
+
+  stats_.crypto_ops += 2;  // sign + seal
+  ++stats_.notifications_sent;
+  sdn::PacketOut out;
+  out.sw = pending.request_point.sw;
+  out.actions = {sdn::output(pending.request_point.port)};
+  out.packet = inband::make_notify_packet(
+      notification, enclave_, client_it->second.box_public, rng_);
+  handle_->packet_out(out);
+}
+
+void RvaasController::schedule_monitor_sweep() {
+  if (monitor_.active() == 0 || sweep_scheduled_) return;
+  if (snapshot_.epoch() == last_swept_epoch_ && !monitor_.has_unevaluated()) {
+    return;
+  }
+  sweep_scheduled_ = true;
+  // Deferred to the next event at the same instant: a burst of flow
+  // updates (or a poll adopting many diffs) coalesces into one sweep.
+  net_->loop().schedule_after(0, [this] {
+    sweep_scheduled_ = false;
+    run_monitor_sweep(/*force_all=*/false);
+  });
+}
+
+void RvaasController::run_monitor_sweep(bool force_all) {
+  if (monitor_.active() == 0) return;
+  ++stats_.monitor_sweeps;
+  last_swept_epoch_ = snapshot_.epoch();
+
+  QueryEngine::EvalContext ctx;
+  ctx.geo = geo_.get();
+  ctx.addressing = addressing_;
+  std::vector<PropertyMonitor::Wakeup> wakeups =
+      monitor_.sweep(snapshot_, ctx, monitor_pool_, force_all);
+
+  for (PropertyMonitor::Wakeup& w : wakeups) {
+    // A newer evaluation supersedes one still waiting on authentication.
+    if (const auto it = inflight_.find(w.key); it != inflight_.end()) {
+      if (const auto pit = pending_.find(it->second); pit != pending_.end()) {
+        net_->loop().cancel(pit->second.timeout);
+        pending_.erase(pit);
+      }
+      inflight_.erase(it);
+    }
+
+    PendingQuery pending;
+    pending.request.client = w.key.first;
+    pending.request_point = w.request_point;
+    pending.reply = std::move(w.evaluation.reply);
+    pending.subscription = w.key;
+    pending.evaluated_epoch = w.epoch;
+    pending.property_fingerprint = w.property_fingerprint;
+    track_pending(std::move(pending), w.evaluation.to_authenticate);
+  }
 }
 
 void RvaasController::send_reply(const PendingQuery& pending) {

@@ -8,11 +8,13 @@
 // to answer client routing-verification queries.
 
 #include <memory>
+#include <unordered_map>
 
 #include "enclave/attestation.hpp"
 #include "rvaas/engine.hpp"
 #include "rvaas/inband.hpp"
 #include "rvaas/link_prober.hpp"
+#include "rvaas/monitor.hpp"
 #include "sdn/network.hpp"
 
 namespace rvaas::core {
@@ -33,6 +35,16 @@ struct RvaasConfig {
   sim::Time probe_period = 100 * sim::kMillisecond;
   std::string enclave_name = "rvaas";
   std::string enclave_version = "1.0";
+
+  /// Extra worker threads for the monitor's re-evaluation sweeps (0 = the
+  /// sweep runs inline on the event-loop thread).
+  std::size_t monitor_threads = 0;
+  /// Timer-driven full re-verification of every subscription, catching
+  /// drift outside the snapshot's change clock (meter updates, auth
+  /// responders dying). 0 = disabled; churn-triggered sweeps always run.
+  sim::Time reverify_period = 0;
+  /// Resource bound: Subscribe beyond this per client is a bad request.
+  std::size_t max_subscriptions_per_client = 64;
 };
 
 class RvaasController : public sdn::Controller {
@@ -68,6 +80,8 @@ class RvaasController : public sdn::Controller {
   /// The query engine answering this controller's logical steps; exposes the
   /// incremental model cache's counters (cache_stats) to benches/monitoring.
   const QueryEngine& engine() const { return engine_; }
+  /// The push-verification registry (subscription + wakeup counters).
+  const PropertyMonitor& monitor() const { return monitor_; }
   const std::vector<WiringAlarm>& wiring_alarms() const {
     return wiring_alarms_;
   }
@@ -87,29 +101,58 @@ class RvaasController : public sdn::Controller {
     std::uint64_t probes_sent = 0;
     std::uint64_t crypto_ops = 0;  ///< asymmetric operations (E9)
     std::uint64_t reach_steps = 0; ///< HSA rule applications (E4/E7)
+
+    // Push verification:
+    std::uint64_t subscribes_received = 0;
+    std::uint64_t unsubscribes_received = 0;
+    std::uint64_t monitor_sweeps = 0;       ///< churn/timer sweep runs
+    std::uint64_t notifications_sent = 0;   ///< alerts + all-clears pushed
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  /// An evaluation awaiting its in-band authentication round-trip — a
+  /// one-shot query (subscription == nullopt) or a subscription wakeup.
   struct PendingQuery {
     QueryRequest request;
     sdn::PortRef request_point{};
     QueryReply reply;
     /// access point -> responded-with-valid-signature host
-    std::map<sdn::PortRef, std::optional<sdn::HostId>> expected;
-    std::map<std::uint64_t, sdn::PortRef> nonces;  ///< nonce -> target
+    std::unordered_map<sdn::PortRef, std::optional<sdn::HostId>> expected;
+    std::unordered_map<std::uint64_t, sdn::PortRef> nonces;  ///< nonce -> target
     sim::EventId timeout{};
+    /// Set for subscription wakeups: finalize pushes through the monitor
+    /// instead of answering a request.
+    std::optional<PropertyMonitor::Key> subscription;
+    std::uint64_t evaluated_epoch = 0;  ///< snapshot epoch of the evaluation
+    std::uint64_t property_fingerprint = 0;  ///< pinned in the notification
   };
 
   void schedule_poll();
   void schedule_probe();
+  void schedule_reverify();
   void poll_all_switches();
   void probe_all_links();
   void handle_request(const sdn::PacketIn& msg);
+  void handle_subscribe(const sdn::PacketIn& msg);
   void handle_auth_reply(const sdn::PacketIn& msg);
-  void dispatch_auth_requests(PendingQuery& pending);
+  /// Begins the auth round-trip for an evaluation already inserted into
+  /// pending_ under `request_id`; `targets` fixes the (deterministic)
+  /// dispatch order.
+  void dispatch_auth_requests(PendingQuery& pending, std::uint64_t request_id,
+                              std::span<const sdn::PortRef> targets);
+  /// Registers the evaluation under a fresh internal id and runs the auth
+  /// round-trip (or finalizes immediately when nothing needs probing).
+  void track_pending(PendingQuery pending,
+                     std::span<const sdn::PortRef> targets);
   void finalize(std::uint64_t request_id);
   void send_reply(const PendingQuery& pending);
+  void send_notification(const PendingQuery& pending,
+                         const PropertyMonitor::Decision& decision);
+
+  /// Churn hook: coalesces same-instant epoch advances into one sweep event.
+  void schedule_monitor_sweep();
+  void run_monitor_sweep(bool force_all);
 
   sdn::ControllerId id_;
   sdn::Network* net_;
@@ -132,6 +175,22 @@ class RvaasController : public sdn::Controller {
   std::map<std::uint64_t, PendingQuery> pending_;
   std::vector<WiringAlarm> wiring_alarms_;
   Stats stats_;
+
+  // Push verification. The monitor holds the subscription registry; the
+  // pool fans its re-evaluation sweeps out (0 extra threads by default).
+  PropertyMonitor monitor_;
+  util::ThreadPool monitor_pool_;
+  bool sweep_scheduled_ = false;
+  std::uint64_t last_swept_epoch_ = 0;
+  /// Internal request-id space for subscription evaluations; disjoint from
+  /// client request ids (those carry the client host in the high word).
+  std::uint64_t next_eval_id_ = 0xe4a1'0000'0000'0000ull;
+  /// Subscription -> in-flight pending id, so a newer wakeup supersedes an
+  /// evaluation still waiting on authentication.
+  std::map<PropertyMonitor::Key, std::uint64_t> inflight_;
+  /// Highest SubscribeRequest::freshness accepted per client (replay guard
+  /// for the state-mutating subscription channel).
+  std::map<sdn::HostId, std::uint64_t> subscribe_freshness_;
 };
 
 }  // namespace rvaas::core

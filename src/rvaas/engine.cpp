@@ -197,6 +197,17 @@ ReachCache::ResultPtr QueryEngine::reach(const hsa::NetworkModel& model,
   return reach_cache_->reach(model, snap, ingress, hs, config_.max_depth);
 }
 
+ReachCache::ResultPtr QueryEngine::reach_tracked(
+    const hsa::NetworkModel& model, const SnapshotManager& snap,
+    PortRef ingress, const hsa::HeaderSpace& hs,
+    std::vector<SwitchId>* fp) const {
+  ReachCache::ResultPtr r = reach(model, snap, ingress, hs);
+  if (fp != nullptr) {
+    fp->insert(fp->end(), r->footprint.begin(), r->footprint.end());
+  }
+  return r;
+}
+
 std::vector<QueryEngine::IngressReach> QueryEngine::reach_all(
     const SnapshotManager& snap, const hsa::HeaderSpace& hs,
     util::ThreadPool& pool) const {
@@ -244,21 +255,23 @@ ReachComputation QueryEngine::from_reach_result(
 
 ReachComputation QueryEngine::reachable_endpoints(
     const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
-    const hsa::HeaderSpace& hs) const {
-  const ReachCache::ResultPtr r = reach(model, snap, from, hs);
+    const hsa::HeaderSpace& hs, std::vector<SwitchId>* footprint) const {
+  const ReachCache::ResultPtr r =
+      reach_tracked(model, snap, from, hs, footprint);
   return from_reach_result(*r, from);
 }
 
-ReachComputation QueryEngine::reaching_sources(const hsa::NetworkModel& model,
-                                               const SnapshotManager& snap,
-                                               PortRef target,
-                                               const hsa::HeaderSpace& hs) const {
+ReachComputation QueryEngine::reaching_sources(
+    const hsa::NetworkModel& model, const SnapshotManager& snap,
+    PortRef target, const hsa::HeaderSpace& hs,
+    std::vector<SwitchId>* footprint) const {
   ReachComputation out;
   for (const PortRef ap : topo_->all_access_points()) {
     if (ap == target) continue;
     // Hold the ResultPtr: the cache may not retain a result computed during
     // concurrent churn, and a reference into the temporary would dangle.
-    const ReachCache::ResultPtr rp = reach(model, snap, ap, hs);
+    const ReachCache::ResultPtr rp =
+        reach_tracked(model, snap, ap, hs, footprint);
     const hsa::ReachabilityResult& r = *rp;
     out.loops += r.loops.size();
     for (const auto& e : r.endpoints) {
@@ -278,11 +291,12 @@ ReachComputation QueryEngine::reaching_sources(const hsa::NetworkModel& model,
 ReachComputation QueryEngine::isolation(const hsa::NetworkModel& model,
                                         const SnapshotManager& snap,
                                         PortRef request_point,
-                                        const hsa::HeaderSpace& hs) const {
+                                        const hsa::HeaderSpace& hs,
+                                        std::vector<SwitchId>* footprint) const {
   ReachComputation forward =
-      reachable_endpoints(model, snap, request_point, hs);
+      reachable_endpoints(model, snap, request_point, hs, footprint);
   const ReachComputation backward =
-      reaching_sources(model, snap, request_point, hs);
+      reaching_sources(model, snap, request_point, hs, footprint);
 
   std::set<PortRef> seen;
   for (const EndpointInfo& e : forward.endpoints) seen.insert(e.access_point);
@@ -306,8 +320,10 @@ ReachComputation QueryEngine::isolation(const hsa::NetworkModel& model,
 
 std::vector<std::string> QueryEngine::geo_jurisdictions(
     const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
-    const hsa::HeaderSpace& hs, const GeoProvider& geo) const {
-  const ReachCache::ResultPtr rp = reach(model, snap, from, hs);
+    const hsa::HeaderSpace& hs, const GeoProvider& geo,
+    std::vector<SwitchId>* footprint) const {
+  const ReachCache::ResultPtr rp =
+      reach_tracked(model, snap, from, hs, footprint);
   const hsa::ReachabilityResult& r = *rp;
   std::vector<std::vector<SwitchId>> paths;
   for (const auto& e : r.endpoints) paths.push_back(e.path);
@@ -318,13 +334,14 @@ std::vector<std::string> QueryEngine::geo_jurisdictions(
 
 QueryEngine::PathLengthReport QueryEngine::path_length(
     const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
-    PortRef peer_ap, std::uint32_t peer_ip) const {
+    PortRef peer_ap, std::uint32_t peer_ip,
+    std::vector<SwitchId>* footprint) const {
   PathLengthReport report;
 
   hsa::Wildcard cube;
   cube.set_field(sdn::Field::IpDst, peer_ip);
   const ReachCache::ResultPtr rp =
-      reach(model, snap, from, hsa::HeaderSpace(cube));
+      reach_tracked(model, snap, from, hsa::HeaderSpace(cube), footprint);
   const hsa::ReachabilityResult& r = *rp;
 
   std::uint32_t best = ~std::uint32_t{0};
@@ -343,8 +360,9 @@ QueryEngine::PathLengthReport QueryEngine::path_length(
 
 std::vector<FairnessMetric> QueryEngine::fairness(
     const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
-    const hsa::HeaderSpace& hs) const {
-  const ReachCache::ResultPtr rp = reach(model, snap, from, hs);
+    const hsa::HeaderSpace& hs, std::vector<SwitchId>* footprint) const {
+  const ReachCache::ResultPtr rp =
+      reach_tracked(model, snap, from, hs, footprint);
   const hsa::ReachabilityResult& r = *rp;
 
   // Exact attribution: the reach result records which flow entries carried
@@ -378,8 +396,9 @@ std::vector<FairnessMetric> QueryEngine::fairness(
 
 std::vector<TransferSummaryEntry> QueryEngine::transfer_summary(
     const hsa::NetworkModel& model, const SnapshotManager& snap, PortRef from,
-    const hsa::HeaderSpace& hs) const {
-  const ReachCache::ResultPtr rp = reach(model, snap, from, hs);
+    const hsa::HeaderSpace& hs, std::vector<SwitchId>* footprint) const {
+  const ReachCache::ResultPtr rp =
+      reach_tracked(model, snap, from, hs, footprint);
   const hsa::ReachabilityResult& r = *rp;
   std::map<PortRef, std::uint32_t> cubes;
   for (const auto& e : r.endpoints) {
@@ -393,41 +412,50 @@ std::vector<TransferSummaryEntry> QueryEngine::transfer_summary(
   return out;
 }
 
-QueryEngine::Answer QueryEngine::answer(const hsa::NetworkModel& model,
-                                        const SnapshotManager& snap,
-                                        const Query& query,
-                                        const BatchContext& ctx) const {
-  Answer out;
-  out.reply.kind = query.kind;
-  const hsa::HeaderSpace hs = constraint_space(query.constraint);
+QueryEngine::Evaluation QueryEngine::evaluate(const hsa::NetworkModel& model,
+                                              const SnapshotManager& snap,
+                                              const Property& property,
+                                              const EvalContext& ctx) const {
+  Evaluation out;
+  out.reply.kind = property.kind;
+  const hsa::HeaderSpace hs = ctx.space_override != nullptr
+                                  ? *ctx.space_override
+                                  : constraint_space(property.constraint);
+  std::vector<SwitchId>* const fp = &out.footprint;
 
-  ReachComputation reach;
+  ReachComputation reach_comp;
   bool has_endpoints = false;
-  switch (query.kind) {
+  switch (property.kind) {
     case QueryKind::ReachableEndpoints:
-      reach = reachable_endpoints(model, snap, ctx.from, hs);
+      // The primary traversal is kept on the Evaluation: the federation
+      // path needs its per-endpoint egress subspaces to cross peerings.
+      out.primary_reach = reach_tracked(model, snap, ctx.from, hs, fp);
+      reach_comp = from_reach_result(
+          *out.primary_reach, ctx.exclude_requester
+                                  ? std::optional<PortRef>(ctx.from)
+                                  : std::nullopt);
       has_endpoints = true;
       break;
     case QueryKind::ReachingSources:
-      reach = reaching_sources(model, snap, ctx.from, hs);
+      reach_comp = reaching_sources(model, snap, ctx.from, hs, fp);
       has_endpoints = true;
       break;
     case QueryKind::Isolation:
-      reach = isolation(model, snap, ctx.from, hs);
+      reach_comp = isolation(model, snap, ctx.from, hs, fp);
       has_endpoints = true;
       break;
     case QueryKind::Geo:
       util::ensure(ctx.geo != nullptr, "geo query without a geo provider");
       out.reply.jurisdictions =
-          geo_jurisdictions(model, snap, ctx.from, hs, *ctx.geo);
+          geo_jurisdictions(model, snap, ctx.from, hs, *ctx.geo, fp);
       break;
     case QueryKind::PathLength: {
-      if (query.peer && ctx.addressing != nullptr) {
-        const auto peer_ports = topo_->host_ports(*query.peer);
+      if (property.peer && ctx.addressing != nullptr) {
+        const auto peer_ports = topo_->host_ports(*property.peer);
         if (!peer_ports.empty()) {
           const PathLengthReport report =
               path_length(model, snap, ctx.from, peer_ports.front(),
-                          ctx.addressing->of(*query.peer).ip);
+                          ctx.addressing->of(*property.peer).ip, fp);
           out.reply.path_found = report.found;
           out.reply.installed_path_length = report.installed;
           out.reply.optimal_path_length = report.optimal;
@@ -436,26 +464,45 @@ QueryEngine::Answer QueryEngine::answer(const hsa::NetworkModel& model,
       break;
     }
     case QueryKind::Fairness:
-      out.reply.fairness = fairness(model, snap, ctx.from, hs);
+      out.reply.fairness = fairness(model, snap, ctx.from, hs, fp);
       break;
     case QueryKind::TransferSummary:
       out.reply.transfer_summary =
-          transfer_summary(model, snap, ctx.from, hs);
+          transfer_summary(model, snap, ctx.from, hs, fp);
       break;
   }
 
   if (has_endpoints) {
-    out.reply.endpoints = std::move(reach.endpoints);
+    out.reply.endpoints = std::move(reach_comp.endpoints);
     if (config_.policy == ConfidentialityPolicy::FullPaths) {
-      out.reply.disclosed_paths = render_paths(reach.paths);
+      out.reply.disclosed_paths = render_paths(reach_comp.paths);
     }
-    for (const PortRef ap : reach.to_authenticate) {
+    for (const PortRef ap : reach_comp.to_authenticate) {
       // Never probe the requester's own access point.
-      if (ap == ctx.from) continue;
+      if (ctx.exclude_requester && ap == ctx.from) continue;
       out.to_authenticate.push_back(ap);
     }
   }
+
+  // Canonicalize the union footprint (helpers append per-traversal sets).
+  std::sort(out.footprint.begin(), out.footprint.end());
+  out.footprint.erase(std::unique(out.footprint.begin(), out.footprint.end()),
+                      out.footprint.end());
   return out;
+}
+
+QueryEngine::Evaluation QueryEngine::evaluate(const SnapshotManager& snap,
+                                              const Property& property,
+                                              const EvalContext& ctx) const {
+  return evaluate(model(snap), snap, property, ctx);
+}
+
+QueryEngine::Answer QueryEngine::answer(const hsa::NetworkModel& model,
+                                        const SnapshotManager& snap,
+                                        const Query& query,
+                                        const EvalContext& ctx) const {
+  Evaluation eval = evaluate(model, snap, Property::from_query(query), ctx);
+  return Answer{std::move(eval.reply), std::move(eval.to_authenticate)};
 }
 
 std::vector<QueryReply> QueryEngine::run_batch(const SnapshotManager& snap,

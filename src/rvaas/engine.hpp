@@ -218,30 +218,31 @@ class QueryEngine {
 
   /// Which endpoints can traffic in `hs` injected at `from` reach? The
   /// requester's own access point is excluded (hairpin routes back to the
-  /// client are not a disclosure).
-  ReachComputation reachable_endpoints(const hsa::NetworkModel& model,
-                                       const SnapshotManager& snap,
-                                       sdn::PortRef from,
-                                       const hsa::HeaderSpace& hs) const;
+  /// client are not a disclosure). When `footprint` is non-null, the
+  /// dependency footprints of every traversal consulted are appended to it
+  /// (unsorted; evaluate() canonicalizes).
+  ReachComputation reachable_endpoints(
+      const hsa::NetworkModel& model, const SnapshotManager& snap,
+      sdn::PortRef from, const hsa::HeaderSpace& hs,
+      std::vector<sdn::SwitchId>* footprint = nullptr) const;
 
   /// Which access points have installed routes reaching `target`?
-  ReachComputation reaching_sources(const hsa::NetworkModel& model,
-                                    const SnapshotManager& snap,
-                                    sdn::PortRef target,
-                                    const hsa::HeaderSpace& hs) const;
+  ReachComputation reaching_sources(
+      const hsa::NetworkModel& model, const SnapshotManager& snap,
+      sdn::PortRef target, const hsa::HeaderSpace& hs,
+      std::vector<sdn::SwitchId>* footprint = nullptr) const;
 
   /// Union of both directions (the §IV.B.1 isolation check).
-  ReachComputation isolation(const hsa::NetworkModel& model,
-                             const SnapshotManager& snap,
-                             sdn::PortRef request_point,
-                             const hsa::HeaderSpace& hs) const;
+  ReachComputation isolation(
+      const hsa::NetworkModel& model, const SnapshotManager& snap,
+      sdn::PortRef request_point, const hsa::HeaderSpace& hs,
+      std::vector<sdn::SwitchId>* footprint = nullptr) const;
 
   /// Jurisdictions any traffic in `hs` from `from` may cross.
-  std::vector<std::string> geo_jurisdictions(const hsa::NetworkModel& model,
-                                             const SnapshotManager& snap,
-                                             sdn::PortRef from,
-                                             const hsa::HeaderSpace& hs,
-                                             const GeoProvider& geo) const;
+  std::vector<std::string> geo_jurisdictions(
+      const hsa::NetworkModel& model, const SnapshotManager& snap,
+      sdn::PortRef from, const hsa::HeaderSpace& hs, const GeoProvider& geo,
+      std::vector<sdn::SwitchId>* footprint = nullptr) const;
 
   struct PathLengthReport {
     bool found = false;
@@ -252,47 +253,86 @@ class QueryEngine {
   /// against the topology optimum.
   PathLengthReport path_length(const hsa::NetworkModel& model,
                                const SnapshotManager& snap, sdn::PortRef from,
-                               sdn::PortRef peer_ap,
-                               std::uint32_t peer_ip) const;
+                               sdn::PortRef peer_ap, std::uint32_t peer_ip,
+                               std::vector<sdn::SwitchId>* footprint =
+                                   nullptr) const;
 
   /// Meter-based fairness metrics for traffic in `hs` from `from`:
   ///   min-rate-bps       — tightest meter on any of the client's paths
   ///                        (uint64 max if unmetered),
   ///   metered-switches   — how many traversed switches meter this traffic,
   ///   paths              — number of distinct egress spaces considered.
-  std::vector<FairnessMetric> fairness(const hsa::NetworkModel& model,
-                                       const SnapshotManager& snap,
-                                       sdn::PortRef from,
-                                       const hsa::HeaderSpace& hs) const;
+  std::vector<FairnessMetric> fairness(
+      const hsa::NetworkModel& model, const SnapshotManager& snap,
+      sdn::PortRef from, const hsa::HeaderSpace& hs,
+      std::vector<sdn::SwitchId>* footprint = nullptr) const;
 
   /// Compact representation of the client's transfer function: egress ports
   /// with the cube count of the traffic subspace reaching them.
   std::vector<TransferSummaryEntry> transfer_summary(
       const hsa::NetworkModel& model, const SnapshotManager& snap,
-      sdn::PortRef from, const hsa::HeaderSpace& hs) const;
+      sdn::PortRef from, const hsa::HeaderSpace& hs,
+      std::vector<sdn::SwitchId>* footprint = nullptr) const;
 
   /// Renders paths for FullPaths mode (E5 leakage strawman).
   static std::vector<std::string> render_paths(
       const std::vector<std::vector<sdn::SwitchId>>& paths);
 
-  /// Per-client context for the logical step of a query: where the request
-  /// entered the network, plus the optional providers some query kinds need.
-  struct BatchContext {
+  /// Per-evaluation context: where the request entered the network, the
+  /// optional providers some query kinds need, and internal knobs used by
+  /// the federation path.
+  struct EvalContext {
     sdn::PortRef from{};
     const GeoProvider* geo = nullptr;                     ///< Geo queries
     const control::HostAddressing* addressing = nullptr;  ///< PathLength
+    /// Pre-built constraint space overriding the property's Match (federated
+    /// crossing spaces are multi-cube and have no Match representation).
+    const hsa::HeaderSpace* space_override = nullptr;
+    /// Exclude `from` from endpoint answers (hairpins back to the requester
+    /// are not a disclosure). Federation keeps hairpins: a border ingress is
+    /// not the requester.
+    bool exclude_requester = true;
   };
+  /// Historical name from the batch-only days; same structure.
+  using BatchContext = EvalContext;
 
-  /// The logical step of one query: everything the engine can compute from
-  /// the snapshot alone. `to_authenticate` lists the access points the
+  /// The logical step of verifying one Property: everything the engine can
+  /// compute from the snapshot alone — THE single per-QueryKind dispatch.
+  /// One-shot queries, batches, federated subqueries and the push monitor
+  /// all funnel through here. `to_authenticate` lists the access points the
   /// caller (the controller) still has to probe in-band; it never includes
-  /// `ctx.from` and is empty for query kinds without endpoint answers.
+  /// `ctx.from` (unless ctx.exclude_requester is off) and is empty for query
+  /// kinds without endpoint answers.
+  struct Evaluation {
+    QueryReply reply;
+    std::vector<sdn::PortRef> to_authenticate;
+    /// Union dependency footprint of every reach the evaluation consulted
+    /// (sorted ascending): a configuration change confined to switches
+    /// outside this set cannot alter the reply. The monitor's wakeup filter.
+    /// Note meters are outside the change clock, so a Fairness evaluation
+    /// can change without its footprint going dirty — the timer-driven
+    /// re-verification sweep covers that.
+    std::vector<sdn::SwitchId> footprint;
+    /// The primary traversal for endpoint-style kinds (null otherwise);
+    /// carries the per-endpoint egress subspaces the federation path needs
+    /// to continue a walk across a peering.
+    ReachCache::ResultPtr primary_reach;
+  };
+  Evaluation evaluate(const hsa::NetworkModel& model,
+                      const SnapshotManager& snap, const Property& property,
+                      const EvalContext& ctx) const;
+  /// As above, compiling the snapshot through the L1 cache first.
+  Evaluation evaluate(const SnapshotManager& snap, const Property& property,
+                      const EvalContext& ctx) const;
+
+  /// The logical step of one query, without expectation/footprint baggage —
+  /// a thin adapter over evaluate() kept for the one-shot and batch paths.
   struct Answer {
     QueryReply reply;
     std::vector<sdn::PortRef> to_authenticate;
   };
   Answer answer(const hsa::NetworkModel& model, const SnapshotManager& snap,
-                const Query& query, const BatchContext& ctx) const;
+                const Query& query, const EvalContext& ctx) const;
 
   /// Batch path: compiles the snapshot's network model ONCE and answers all
   /// queries against that immutable model, fanned out over `threads` threads
@@ -318,6 +358,13 @@ class QueryEngine {
  private:
   ReachComputation from_reach_result(const hsa::ReachabilityResult& r,
                                      std::optional<sdn::PortRef> exclude) const;
+
+  /// reach() plus footprint accumulation (append-only; callers sort+unique).
+  ReachCache::ResultPtr reach_tracked(const hsa::NetworkModel& model,
+                                      const SnapshotManager& snap,
+                                      sdn::PortRef ingress,
+                                      const hsa::HeaderSpace& hs,
+                                      std::vector<sdn::SwitchId>* fp) const;
 
   const sdn::Topology* topo_;
   EngineConfig config_;

@@ -29,12 +29,14 @@ std::optional<Tag> classify(const sdn::Packet& packet) {
     switch (tag) {
       case Tag::Request:
       case Tag::AuthReply:
+      case Tag::Subscribe:
         if (packet.hdr.l4_dst != sdn::kPortRvaasRequest) return std::nullopt;
         return tag;
       case Tag::AuthRequest:
         if (packet.hdr.l4_dst != sdn::kPortRvaasAuth) return std::nullopt;
         return tag;
       case Tag::Reply:
+      case Tag::Notify:
         if (packet.hdr.l4_dst != sdn::kPortRvaasReply) return std::nullopt;
         return tag;
     }
@@ -203,6 +205,94 @@ std::optional<OpenedReply> open_reply(const sdn::Packet& packet,
     const crypto::Signature sig = crypto::Signature::deserialize(sig_reader);
     pr.expect_done();
     out.signature_ok = rvaas_key.verify(out.reply.signing_payload(), sig);
+    return out;
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+sdn::Packet make_subscribe_packet(const control::HostAddress& src,
+                                  const SubscribeRequest& request,
+                                  const crypto::SigningKey& client_key,
+                                  const crypto::BigUInt& rvaas_box_pub,
+                                  util::Rng& rng) {
+  // Sign, then seal (the signature rides inside the box, hidden from the
+  // provider along with the subscription itself).
+  util::ByteWriter plain;
+  request.serialize(plain);
+  plain.put_bytes(client_key.sign(request.signing_payload()).serialize());
+  const crypto::SealedBox box =
+      crypto::BoxSealer(rvaas_box_pub).seal(rng, plain.data());
+
+  sdn::Packet p = base_udp_packet(src.eth, src.ip, sdn::kPortRvaasRequest);
+  util::ByteWriter w;
+  w.put_u32(static_cast<std::uint32_t>(Tag::Subscribe));
+  w.put_bytes(box.serialize());
+  p.payload = w.take();
+  return p;
+}
+
+std::optional<std::pair<SubscribeRequest, crypto::Signature>> open_subscribe(
+    const sdn::Packet& packet, const enclave::Enclave& enclave) {
+  if (classify(packet) != Tag::Subscribe) return std::nullopt;
+  try {
+    util::ByteReader r(packet.payload);
+    r.get_u32();  // tag
+    util::ByteReader box_reader(r.get_bytes());
+    const crypto::SealedBox box = crypto::SealedBox::deserialize(box_reader);
+    const auto plain = enclave.open(box);
+    if (!plain) return std::nullopt;
+    util::ByteReader pr(*plain);
+    SubscribeRequest req = SubscribeRequest::deserialize(pr);
+    util::ByteReader sig_reader(pr.get_bytes());
+    const crypto::Signature sig = crypto::Signature::deserialize(sig_reader);
+    pr.expect_done();
+    return std::make_pair(std::move(req), sig);
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+sdn::Packet make_notify_packet(const Notification& notification,
+                               const enclave::Enclave& enclave,
+                               const crypto::BigUInt& client_box_pub,
+                               util::Rng& rng) {
+  // Sign, then seal — same envelope as a query reply, so the provider can
+  // neither read nor forge an alert (nor tell one from a reply).
+  util::ByteWriter inner;
+  notification.serialize(inner);
+  inner.put_bytes(enclave.sign(notification.signing_payload()).serialize());
+  const crypto::SealedBox box =
+      crypto::BoxSealer(client_box_pub).seal(rng, inner.data());
+
+  sdn::Packet p = base_udp_packet(0, 0, sdn::kPortRvaasReply);
+  util::ByteWriter w;
+  w.put_u32(static_cast<std::uint32_t>(Tag::Notify));
+  w.put_bytes(box.serialize());
+  p.payload = w.take();
+  return p;
+}
+
+std::optional<OpenedNotification> open_notify(
+    const sdn::Packet& packet, const crypto::BoxOpener& client_box,
+    const crypto::VerifyKey& rvaas_key) {
+  if (classify(packet) != Tag::Notify) return std::nullopt;
+  try {
+    util::ByteReader r(packet.payload);
+    r.get_u32();  // tag
+    util::ByteReader box_reader(r.get_bytes());
+    const crypto::SealedBox box = crypto::SealedBox::deserialize(box_reader);
+    const auto plain = client_box.open(box);
+    if (!plain) return std::nullopt;
+
+    util::ByteReader pr(*plain);
+    OpenedNotification out;
+    out.notification = Notification::deserialize(pr);
+    util::ByteReader sig_reader(pr.get_bytes());
+    const crypto::Signature sig = crypto::Signature::deserialize(sig_reader);
+    pr.expect_done();
+    out.signature_ok =
+        rvaas_key.verify(out.notification.signing_payload(), sig);
     return out;
   } catch (const util::DecodeError&) {
     return std::nullopt;

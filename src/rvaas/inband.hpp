@@ -17,10 +17,12 @@
 namespace rvaas::core::inband {
 
 enum class Tag : std::uint32_t {
-  Request = 0x52565131,    // "RVQ1"
+  Request = 0x52565131,      // "RVQ1"
   AuthRequest = 0x52564131,  // "RVA1"
   AuthReply = 0x52565231,    // "RVR1"
   Reply = 0x52565031,        // "RVP1"
+  Subscribe = 0x52565331,    // "RVS1" — standing subscription (un)register
+  Notify = 0x52564e31,       // "RVN1" — pushed ViolationAlert / AllClear
 };
 
 /// Classifies an in-band packet by UDP port + payload tag.
@@ -88,5 +90,41 @@ struct OpenedReply {
 std::optional<OpenedReply> open_reply(const sdn::Packet& packet,
                                       const crypto::BoxOpener& client_box,
                                       const crypto::VerifyKey& rvaas_key);
+
+// --- subscription management (client -> RVaaS, signed then sealed) ---
+// Rides the request port (the magic-header intercept already punts it to
+// the controller); the provider cannot tell a subscription from a query.
+// The client signature travels inside the box: (un)subscribing mutates
+// controller state, so the enclave verifies it against the enrollment
+// registry before acting (see SubscribeRequest in rvaas/query.hpp).
+
+sdn::Packet make_subscribe_packet(const control::HostAddress& src,
+                                  const SubscribeRequest& request,
+                                  const crypto::SigningKey& client_key,
+                                  const crypto::BigUInt& rvaas_box_pub,
+                                  util::Rng& rng);
+
+/// Opens a subscribe/unsubscribe inside the enclave; nullopt on
+/// tamper/garbage. The signature is returned for the controller to check
+/// against the claimed client's enrolled key (like parse_auth_reply, the
+/// identity must be read before the right key is known).
+std::optional<std::pair<SubscribeRequest, crypto::Signature>> open_subscribe(
+    const sdn::Packet& packet, const enclave::Enclave& enclave);
+
+// --- push notification (RVaaS -> client, signed then sealed) ---
+
+sdn::Packet make_notify_packet(const Notification& notification,
+                               const enclave::Enclave& enclave,
+                               const crypto::BigUInt& client_box_pub,
+                               util::Rng& rng);
+
+struct OpenedNotification {
+  Notification notification;
+  bool signature_ok = false;
+};
+
+std::optional<OpenedNotification> open_notify(
+    const sdn::Packet& packet, const crypto::BoxOpener& client_box,
+    const crypto::VerifyKey& rvaas_key);
 
 }  // namespace rvaas::core::inband

@@ -1,0 +1,186 @@
+#include "rvaas/monitor.hpp"
+
+#include <algorithm>
+
+namespace rvaas::core {
+
+using sdn::SwitchId;
+
+namespace {
+
+/// Two-pointer intersection test over sorted switch-id vectors.
+bool intersects(const std::vector<SwitchId>& a, const std::vector<SwitchId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void PropertyMonitor::subscribe(Subscription sub) {
+  ++stats_.subscribes;
+  const Key key{sub.client, sub.id};
+  const auto it = subs_.find(key);
+  if (it != subs_.end()) {
+    // A retransmitted subscribe for the identical property is idempotent:
+    // keep the evaluation and push state so the client neither gets a
+    // duplicate baseline nor loses footprint confinement. Exact equality,
+    // not fingerprints — a hash collision must not leave a new property
+    // silently unmonitored.
+    if (it->second.property == sub.property &&
+        it->second.policy == sub.policy) {
+      it->second.request_point = sub.request_point;
+      return;
+    }
+    // A genuine replacement re-evaluates from scratch, but the notification
+    // sequence must keep increasing — the client's replay guard remembers
+    // the old high-water mark.
+    sub.sequence = it->second.sequence;
+  }
+  subs_[key] = std::move(sub);
+}
+
+bool PropertyMonitor::unsubscribe(sdn::HostId client, std::uint64_t id) {
+  if (subs_.erase(Key{client, id}) == 0) return false;
+  ++stats_.unsubscribes;
+  return true;
+}
+
+const PropertyMonitor::Subscription* PropertyMonitor::find(
+    sdn::HostId client, std::uint64_t id) const {
+  const auto it = subs_.find(Key{client, id});
+  return it == subs_.end() ? nullptr : &it->second;
+}
+
+bool PropertyMonitor::has_unevaluated() const {
+  for (const auto& [key, sub] : subs_) {
+    if (!sub.evaluated) return true;
+  }
+  return false;
+}
+
+std::size_t PropertyMonitor::active_for(sdn::HostId client) const {
+  std::size_t n = 0;
+  for (const auto& [key, sub] : subs_) n += (key.first == client) ? 1 : 0;
+  return n;
+}
+
+std::vector<PropertyMonitor::Wakeup> PropertyMonitor::sweep(
+    const SnapshotManager& snap, const QueryEngine::EvalContext& base_ctx,
+    util::ThreadPool& pool, bool force_all) {
+  ++stats_.sweeps;
+  const std::uint64_t epoch = snap.epoch();
+
+  // Select: never-evaluated subscriptions always wake; the rest wake iff a
+  // switch dirtied since their own evaluation intersects their footprint.
+  // dirty_since() is an O(#switches) scan, so its results are memoized per
+  // distinct evaluated_epoch — subscriptions interleave epochs in Key
+  // order, and a burst registered together must cost one scan, not one
+  // each.
+  std::vector<Subscription*> affected;
+  std::map<std::uint64_t, std::vector<SwitchId>> dirty_by_epoch;
+  for (auto& [key, sub] : subs_) {
+    if (force_all || !sub.evaluated) {
+      affected.push_back(&sub);
+      continue;
+    }
+    if (sub.evaluated_epoch >= epoch) {
+      ++stats_.skipped;
+      continue;
+    }
+    auto dirty_it = dirty_by_epoch.find(sub.evaluated_epoch);
+    if (dirty_it == dirty_by_epoch.end()) {
+      dirty_it = dirty_by_epoch
+                     .emplace(sub.evaluated_epoch,
+                              snap.dirty_since(sub.evaluated_epoch))
+                     .first;
+    }
+    if (intersects(sub.footprint, dirty_it->second)) {
+      affected.push_back(&sub);
+    } else {
+      ++stats_.skipped;
+    }
+  }
+  if (affected.empty()) return {};
+
+  // One L1 compilation serves the whole sweep; per-subscription evaluations
+  // are pure and fan out over the pool (the engine caches lock internally).
+  const hsa::NetworkModel model = engine_->model(snap);
+  std::vector<Wakeup> out(affected.size());
+  pool.parallel_for(affected.size(), [&](std::size_t i) {
+    Subscription& sub = *affected[i];
+    QueryEngine::EvalContext ctx = base_ctx;
+    ctx.from = sub.request_point;
+    Wakeup w;
+    w.key = Key{sub.client, sub.id};
+    w.request_point = sub.request_point;
+    w.evaluation = engine_->evaluate(model, snap, sub.property, ctx);
+    w.evaluation.reply.request_id = sub.id;
+    w.epoch = epoch;
+    w.property_fingerprint = sub.property.fingerprint();
+    out[i] = std::move(w);
+  });
+
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    Subscription& sub = *affected[i];
+    // Moved, not copied: the registry is the footprint's home from here on
+    // (wakeup consumers read it through find(), not the Evaluation).
+    sub.footprint = std::move(out[i].evaluation.footprint);
+    sub.evaluated_epoch = epoch;
+    sub.evaluated = true;
+  }
+  stats_.wakeups += affected.size();
+  return out;
+}
+
+PropertyMonitor::Decision PropertyMonitor::commit(
+    const Key& key, const QueryReply& final_reply) {
+  const auto it = subs_.find(key);
+  if (it == subs_.end()) return {};  // unsubscribed while in flight
+  Subscription& sub = it->second;
+
+  const Verdict verdict = evaluate_reply(final_reply, sub.property.expect);
+
+  // The first committed outcome is always news (the baseline push doubles
+  // as the subscribe acknowledgement); afterwards the policy decides.
+  bool push = !sub.last_ok.has_value();
+  util::Bytes payload;
+  if (sub.policy == NotifyPolicy::EveryChange) {
+    util::ByteWriter w;
+    final_reply.serialize(w);
+    payload = w.take();
+    push = push || payload != sub.last_payload;
+  } else if (!push) {
+    push = *sub.last_ok != verdict.ok;
+  }
+  if (!push) {
+    ++stats_.suppressed;
+    return {};
+  }
+
+  if (sub.policy == NotifyPolicy::EveryChange) {
+    sub.last_payload = std::move(payload);
+  }
+  sub.last_ok = verdict.ok;
+  ++sub.sequence;
+  Decision decision;
+  decision.push = verdict.ok ? Push::AllClear : Push::ViolationAlert;
+  decision.sequence = sub.sequence;
+  if (verdict.ok) {
+    ++stats_.all_clears;
+  } else {
+    ++stats_.alerts;
+  }
+  return decision;
+}
+
+}  // namespace rvaas::core

@@ -1,0 +1,129 @@
+#pragma once
+// Push-style continuous verification (the paper's §IV monitoring loop turned
+// client-facing): clients register standing Property subscriptions; on every
+// snapshot epoch advance the monitor intersects the dirty switches with each
+// subscription's dependency footprint and re-evaluates only the affected
+// ones, fanned out over a thread pool. The controller completes each wakeup
+// with the usual in-band authentication round-trip and pushes a signed
+// ViolationAlert/AllClear notification when commit() says the outcome is
+// news to the client.
+//
+// The monitor is pure logic over the QueryEngine (no I/O, no event loop):
+// the controller (rvaas/controller.hpp) owns packet dispatch and drives
+// sweep()/commit() from its churn hooks and re-verification timer.
+
+#include <map>
+#include <optional>
+
+#include "rvaas/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rvaas::core {
+
+class PropertyMonitor {
+ public:
+  /// Subscription identity: (client, client-chosen id). Ids from different
+  /// clients never collide with each other.
+  using Key = std::pair<sdn::HostId, std::uint64_t>;
+
+  struct Subscription {
+    std::uint64_t id = 0;          ///< client-chosen, scopes notifications
+    sdn::HostId client{};
+    sdn::PortRef request_point{};  ///< where Subscribe entered; alerts return there
+    Property property;
+    NotifyPolicy policy = NotifyPolicy::VerdictEdges;
+
+    /// Union dependency footprint of the last evaluation (sorted). Churn
+    /// confined to switches outside it cannot change the reply.
+    std::vector<sdn::SwitchId> footprint;
+    /// Snapshot epoch of the last evaluation; meaningless until `evaluated`.
+    std::uint64_t evaluated_epoch = 0;
+    bool evaluated = false;
+
+    /// Verdict of the last pushed notification; nullopt = nothing pushed
+    /// yet (the first commit always pushes the baseline).
+    std::optional<bool> last_ok;
+    /// Serialized reply of the last push (EveryChange comparison only).
+    util::Bytes last_payload;
+    /// Pushes so far; the next notification carries sequence + 1.
+    std::uint64_t sequence = 0;
+  };
+
+  struct Stats {
+    std::uint64_t subscribes = 0;
+    std::uint64_t unsubscribes = 0;
+    std::uint64_t sweeps = 0;        ///< sweep() calls
+    std::uint64_t wakeups = 0;       ///< subscription re-evaluations run
+    std::uint64_t skipped = 0;       ///< footprint-disjoint (no re-evaluation)
+    std::uint64_t alerts = 0;        ///< ViolationAlert pushes decided
+    std::uint64_t all_clears = 0;    ///< AllClear pushes decided
+    std::uint64_t suppressed = 0;    ///< commits with nothing new to push
+  };
+
+  explicit PropertyMonitor(const QueryEngine& engine) : engine_(&engine) {}
+
+  /// Registers (or, under an existing (client, id), replaces) a standing
+  /// subscription. A retransmission with an identical property fingerprint
+  /// and policy is idempotent (state kept); a genuine replacement resets
+  /// the evaluation/push state but carries the notification sequence
+  /// forward, so the client's replay guard keeps working.
+  void subscribe(Subscription sub);
+
+  /// Removes a subscription; false if unknown.
+  bool unsubscribe(sdn::HostId client, std::uint64_t id);
+
+  const Subscription* find(sdn::HostId client, std::uint64_t id) const;
+  std::size_t active() const { return subs_.size(); }
+  std::size_t active_for(sdn::HostId client) const;
+  /// true while some subscription has never been evaluated — a sweep is due
+  /// even without an epoch advance (the baseline notification).
+  bool has_unevaluated() const;
+
+  /// One re-evaluated subscription, ready for the controller to authenticate
+  /// and (maybe) push. `evaluation.footprint` is moved into the registry
+  /// (read it back through find()); the property fingerprint travels in the
+  /// Notification so the client can pin what was verified.
+  struct Wakeup {
+    Key key;
+    sdn::PortRef request_point{};
+    QueryEngine::Evaluation evaluation;
+    std::uint64_t epoch = 0;  ///< snapshot epoch the evaluation saw
+    std::uint64_t property_fingerprint = 0;
+  };
+
+  /// The churn hook: re-evaluates every subscription whose footprint
+  /// intersects the switches dirtied since its own last evaluation (plus any
+  /// never evaluated; `force_all` re-evaluates everything — the timer-driven
+  /// sweep that catches drift outside the change clock, e.g. meters and dead
+  /// auth responders). Evaluations fan out over `pool` and are pure; wakeups
+  /// come back in ascending Key order, so downstream auth dispatch is
+  /// deterministic. `base_ctx` supplies geo/addressing; `from` is set per
+  /// subscription. Reply request_ids are set to the subscription id.
+  std::vector<Wakeup> sweep(const SnapshotManager& snap,
+                            const QueryEngine::EvalContext& base_ctx,
+                            util::ThreadPool& pool, bool force_all = false);
+
+  enum class Push : std::uint8_t { None, ViolationAlert, AllClear };
+  struct Decision {
+    Push push = Push::None;
+    std::uint64_t sequence = 0;  ///< valid when push != None
+  };
+
+  /// Final step of a wakeup, after authentication filled in the reply:
+  /// verdict against the stored Expectation, compared with the last pushed
+  /// state under the subscription's NotifyPolicy. Updates push bookkeeping
+  /// when a notification is due. No-op Decision for unknown subscriptions
+  /// (unsubscribed while the evaluation was in flight).
+  Decision commit(const Key& key, const QueryReply& final_reply);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const QueryEngine* engine_;
+  /// Ordered registry: sweep order (and with it notification order under
+  /// simultaneous churn) is deterministic.
+  std::map<Key, Subscription> subs_;
+  Stats stats_;
+};
+
+}  // namespace rvaas::core

@@ -30,14 +30,27 @@ FederatedResult Federation::reachable(ProviderId start, sdn::PortRef ingress,
                                       std::uint32_t max_domains) const {
   FederatedResult out;
   const hsa::HeaderSpace hs(hsa::match_to_cube(constraint));
-  reach_in_domain(start, ingress, hs, max_domains, {}, out);
+  std::vector<ProviderId> visited;
+  reach_in_domain(start, ingress, hs, max_domains, visited, out);
+
+  // Dedupe: branches of the walk that re-enter a domain (or several raw
+  // subspaces exiting at one access point) would otherwise repeat the same
+  // (provider, access point) answer. First occurrence order is kept.
+  std::vector<FederatedEndpoint> unique;
+  unique.reserve(out.endpoints.size());
+  for (FederatedEndpoint& e : out.endpoints) {
+    if (std::find(unique.begin(), unique.end(), e) == unique.end()) {
+      unique.push_back(std::move(e));
+    }
+  }
+  out.endpoints = std::move(unique);
   return out;
 }
 
 void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
                                  const hsa::HeaderSpace& hs,
                                  std::uint32_t depth_left,
-                                 std::vector<ProviderId> visited,
+                                 std::vector<ProviderId>& visited,
                                  FederatedResult& out) const {
   if (depth_left == 0) {
     out.depth_exceeded = true;
@@ -55,27 +68,38 @@ void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
 
   // Each domain's RVaaS answers from its own snapshot — domains never see
   // each other's configuration, only endpoint answers (confidentiality).
-  // Compiled through the domain engine's incremental model cache (L1) and
-  // traversed through its reach cache (L2), both shared with the domain's
-  // own query paths — a federated walk re-entering an unchanged domain at
-  // the same ingress is a cache hit.
+  // The subquery runs through the domain engine's single per-kind dispatch
+  // (QueryEngine::evaluate), so it shares the incremental model cache (L1)
+  // and reach cache (L2) with the domain's own query paths — a federated
+  // walk re-entering an unchanged domain at the same ingress is a cache
+  // hit. The crossing space is multi-cube, hence space_override; a border
+  // ingress is not a requester, hence no hairpin exclusion.
   const QueryEngine& engine = dom.rvaas->engine();
-  const hsa::NetworkModel model = engine.model(dom.rvaas->snapshot());
-  const auto reach = engine.reach(model, dom.rvaas->snapshot(), ingress, hs);
+  Property property;
+  property.kind = QueryKind::ReachableEndpoints;
+  QueryEngine::EvalContext ctx;
+  ctx.from = ingress;
+  ctx.space_override = &hs;
+  ctx.exclude_requester = false;
+  const QueryEngine::Evaluation eval =
+      engine.evaluate(dom.rvaas->snapshot(), property, ctx);
 
-  for (const auto& endpoint : reach->endpoints) {
+  // Terminal endpoints of this domain, from the evaluated reply.
+  for (const EndpointInfo& info : eval.reply.endpoints) {
+    if (peerings_.contains({domain, info.access_point})) continue;
+    FederatedEndpoint fe;
+    fe.provider = domain;
+    fe.info.access_point = info.access_point;
+    fe.info.dark = info.dark;
+    out.endpoints.push_back(fe);
+  }
+
+  // Border crossings continue with each raw egress subspace, as signed
+  // server-to-server subqueries.
+  for (const auto& endpoint : eval.primary_reach->endpoints) {
     const auto peering_it = peerings_.find({domain, endpoint.egress});
-    if (peering_it == peerings_.end()) {
-      FederatedEndpoint fe;
-      fe.provider = domain;
-      fe.info.access_point = endpoint.egress;
-      fe.info.dark = !endpoint.host.has_value();
-      out.endpoints.push_back(fe);
-      continue;
-    }
+    if (peering_it == peerings_.end()) continue;
 
-    // Cross into the peer domain with the egress header space, as a signed
-    // server-to-server subquery.
     const Peering& peering = peering_it->second;
     util::ByteWriter w;
     w.put_string("rvaas-federated-subquery-v1");
@@ -89,6 +113,7 @@ void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
     reach_in_domain(peering.to, peering.ingress, endpoint.space,
                     depth_left - 1, visited, out);
   }
+  visited.pop_back();
 }
 
 }  // namespace rvaas::core

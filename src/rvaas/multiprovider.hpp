@@ -14,9 +14,13 @@ using ProviderId = util::StrongId<struct ProviderIdTag>;
 struct FederatedEndpoint {
   ProviderId provider{};
   EndpointInfo info;
+
+  bool operator==(const FederatedEndpoint&) const = default;
 };
 
 struct FederatedResult {
+  /// Deduplicated: a domain reached through several branches of the walk
+  /// reports each (provider, access point) once.
   std::vector<FederatedEndpoint> endpoints;
   std::uint32_t subqueries = 0;  ///< server-to-server calls made
   std::uint32_t domains_visited = 0;
@@ -52,9 +56,11 @@ class Federation {
     sdn::PortRef ingress;
   };
 
+  /// `visited` is the provider chain of the current walk branch, maintained
+  /// by reference with push/pop backtracking (no per-recursion copies).
   void reach_in_domain(ProviderId domain, sdn::PortRef ingress,
                        const hsa::HeaderSpace& hs, std::uint32_t depth_left,
-                       std::vector<ProviderId> visited,
+                       std::vector<ProviderId>& visited,
                        FederatedResult& out) const;
 
   /// Simulated secure server-to-server call: the caller signs the subquery,

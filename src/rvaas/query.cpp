@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/ensure.hpp"
+#include "util/fnv.hpp"
 
 namespace rvaas::core {
 
@@ -164,6 +165,120 @@ QueryReply QueryReply::deserialize(util::ByteReader& r) {
 util::Bytes QueryReply::signing_payload() const {
   util::ByteWriter w;
   w.put_string("rvaas-reply-v1");
+  serialize(w);
+  return w.take();
+}
+
+void Expectation::serialize(util::ByteWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(allowed_endpoints.size()));
+  for (const sdn::HostId h : allowed_endpoints) w.put_u32(h.value);
+  w.put_u32(static_cast<std::uint32_t>(allowed_jurisdictions.size()));
+  for (const std::string& j : allowed_jurisdictions) w.put_string(j);
+  w.put_bool(require_full_auth);
+  w.put_bool(require_optimal_path);
+}
+
+Expectation Expectation::deserialize(util::ByteReader& r) {
+  Expectation e;
+  const auto ne = r.get_u32();
+  for (std::uint32_t i = 0; i < ne; ++i) {
+    e.allowed_endpoints.push_back(sdn::HostId(r.get_u32()));
+  }
+  const auto nj = r.get_u32();
+  for (std::uint32_t i = 0; i < nj; ++i) {
+    e.allowed_jurisdictions.push_back(r.get_string());
+  }
+  e.require_full_auth = r.get_bool();
+  e.require_optimal_path = r.get_bool();
+  return e;
+}
+
+void Property::serialize(util::ByteWriter& w) const {
+  query().serialize(w);
+  expect.serialize(w);
+}
+
+Property Property::deserialize(util::ByteReader& r) {
+  const Query q = Query::deserialize(r);
+  return from_query(q, Expectation::deserialize(r));
+}
+
+std::uint64_t Property::fingerprint() const {
+  util::ByteWriter w;
+  serialize(w);
+  std::uint64_t h = util::kFnvOffsetBasis;
+  for (const std::uint8_t byte : w.data()) h = util::fnv1a_mix(h, byte);
+  return h;
+}
+
+void SubscribeRequest::serialize(util::ByteWriter& w) const {
+  w.put_u64(subscription_id);
+  w.put_u32(client.value);
+  w.put_bool(unsubscribe);
+  w.put_u8(static_cast<std::uint8_t>(policy));
+  property.serialize(w);
+  w.put_u64(freshness);
+}
+
+SubscribeRequest SubscribeRequest::deserialize(util::ByteReader& r) {
+  SubscribeRequest req;
+  req.subscription_id = r.get_u64();
+  req.client = sdn::HostId(r.get_u32());
+  req.unsubscribe = r.get_bool();
+  const auto policy = r.get_u8();
+  if (policy > static_cast<std::uint8_t>(NotifyPolicy::EveryChange)) {
+    throw util::DecodeError("bad notify policy");
+  }
+  req.policy = static_cast<NotifyPolicy>(policy);
+  req.property = Property::deserialize(r);
+  req.freshness = r.get_u64();
+  return req;
+}
+
+util::Bytes SubscribeRequest::signing_payload() const {
+  util::ByteWriter w;
+  w.put_string("rvaas-subscribe-v1");
+  serialize(w);
+  return w.take();
+}
+
+const char* to_string(NotificationKind kind) {
+  switch (kind) {
+    case NotificationKind::ViolationAlert:
+      return "violation-alert";
+    case NotificationKind::AllClear:
+      return "all-clear";
+  }
+  return "unknown";
+}
+
+void Notification::serialize(util::ByteWriter& w) const {
+  w.put_u64(subscription_id);
+  w.put_u64(sequence);
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_u64(epoch);
+  w.put_u64(property_fingerprint);
+  reply.serialize(w);
+}
+
+Notification Notification::deserialize(util::ByteReader& r) {
+  Notification n;
+  n.subscription_id = r.get_u64();
+  n.sequence = r.get_u64();
+  const auto kind = r.get_u8();
+  if (kind > static_cast<std::uint8_t>(NotificationKind::AllClear)) {
+    throw util::DecodeError("bad notification kind");
+  }
+  n.kind = static_cast<NotificationKind>(kind);
+  n.epoch = r.get_u64();
+  n.property_fingerprint = r.get_u64();
+  n.reply = QueryReply::deserialize(r);
+  return n;
+}
+
+util::Bytes Notification::signing_payload() const {
+  util::ByteWriter w;
+  w.put_string("rvaas-notify-v1");
   serialize(w);
   return w.take();
 }

@@ -57,6 +57,8 @@ struct EndpointInfo {
   /// The verified identity (only when authenticated).
   std::optional<sdn::HostId> authenticated_as;
 
+  bool operator==(const EndpointInfo&) const = default;
+
   void serialize(util::ByteWriter& w) const;
   static EndpointInfo deserialize(util::ByteReader& r);
 };
@@ -121,6 +123,11 @@ struct Expectation {
   bool require_full_auth = true;
   /// Require the installed path to be length-optimal (PathLength).
   bool require_optimal_path = false;
+
+  bool operator==(const Expectation&) const = default;
+
+  void serialize(util::ByteWriter& w) const;
+  static Expectation deserialize(util::ByteReader& r);
 };
 
 struct Verdict {
@@ -130,5 +137,104 @@ struct Verdict {
 
 /// Client-side check of a (signature-verified) reply against expectations.
 Verdict evaluate_reply(const QueryReply& reply, const Expectation& expect);
+
+// --- properties and continuous verification (push model) ---
+
+/// The normalized unit of verification: what a client wants checked (a query
+/// shape) together with what it expects the answer to look like. One-shot
+/// queries verify a Property once; subscriptions (rvaas/monitor.hpp) keep
+/// verifying it on every configuration change. The per-kind evaluation
+/// dispatch lives in exactly one place — QueryEngine::evaluate — for both.
+struct Property {
+  QueryKind kind = QueryKind::ReachableEndpoints;
+  /// Field-level constraint on the traffic the property is about.
+  sdn::Match constraint;
+  /// Target peer for PathLength.
+  std::optional<sdn::HostId> peer;
+  /// What the client expects; violations flip the verdict.
+  Expectation expect;
+
+  bool operator==(const Property&) const = default;
+
+  /// The query shape of this property (what the engine evaluates).
+  Query query() const { return Query{kind, constraint, peer}; }
+  static Property from_query(const Query& q, Expectation expect = {}) {
+    return Property{q.kind, q.constraint, q.peer, std::move(expect)};
+  }
+
+  void serialize(util::ByteWriter& w) const;
+  static Property deserialize(util::ByteReader& r);
+
+  /// Stable 64-bit identity of the property (FNV-1a over the serialized
+  /// form): equal properties always fingerprint equally, across processes.
+  std::uint64_t fingerprint() const;
+};
+
+/// When the monitor pushes a notification for a subscribed property.
+enum class NotifyPolicy : std::uint8_t {
+  /// Push only when the verdict against the expectation flips (plus one
+  /// baseline notification right after subscribing).
+  VerdictEdges = 0,
+  /// Push whenever the re-evaluated reply content changes at all (a
+  /// continuous audit log; the byte-identity tests run under this policy).
+  EveryChange,
+};
+
+/// What a client sends (inside a sealed box) to start or stop a standing
+/// subscription. `subscription_id` is chosen by the client and scopes all
+/// notifications for this property; re-subscribing under the same id
+/// replaces the previous property.
+///
+/// Unlike a one-shot query (an idempotent read), (un)subscribing mutates
+/// server-side state, so the request is SIGNED by the client's enrolled key
+/// and carries a per-client monotonic `freshness` counter: the provider can
+/// neither forge a subscription change (sealing uses the public enclave
+/// element — anyone can seal) nor replay a recorded one to reset it.
+struct SubscribeRequest {
+  std::uint64_t subscription_id = 0;
+  sdn::HostId client{};
+  bool unsubscribe = false;
+  NotifyPolicy policy = NotifyPolicy::VerdictEdges;
+  Property property;  ///< ignored for unsubscribe
+  /// Strictly increasing per client; the controller rejects non-advancing
+  /// values (replay guard for the state-mutating channel).
+  std::uint64_t freshness = 0;
+
+  void serialize(util::ByteWriter& w) const;
+  static SubscribeRequest deserialize(util::ByteReader& r);
+  /// Canonical byte string covered by the client signature.
+  util::Bytes signing_payload() const;
+};
+
+enum class NotificationKind : std::uint8_t {
+  ViolationAlert = 0,  ///< the property's verdict is (now) violated
+  AllClear,            ///< the property's verdict is (again) satisfied
+};
+
+const char* to_string(NotificationKind kind);
+
+/// A push from RVaaS to a subscribed client: the full re-evaluated reply
+/// (byte-identical to what a cold one-shot query at the same snapshot would
+/// return, with request_id = subscription_id), signed by the enclave and
+/// sealed to the client like any reply.
+struct Notification {
+  std::uint64_t subscription_id = 0;
+  /// Per-subscription push counter, strictly increasing (replay guard).
+  std::uint64_t sequence = 0;
+  NotificationKind kind = NotificationKind::AllClear;
+  /// Snapshot epoch the evaluation saw (the client can order notifications
+  /// against other observations of the same provider).
+  std::uint64_t epoch = 0;
+  /// Property::fingerprint() of what was verified: the client pins it
+  /// against its own subscription record, so a signed notification can
+  /// never be mistaken for an answer to a different property.
+  std::uint64_t property_fingerprint = 0;
+  QueryReply reply;
+
+  void serialize(util::ByteWriter& w) const;
+  static Notification deserialize(util::ByteReader& r);
+  /// Canonical byte string covered by the RVaaS signature.
+  util::Bytes signing_payload() const;
+};
 
 }  // namespace rvaas::core

@@ -127,6 +127,20 @@ TEST(Federation, RecursiveQueryCrossesDomains) {
   EXPECT_TRUE(found_remote);
 }
 
+TEST(Federation, EndpointsDeduplicated) {
+  FederationFixture f;
+  f.install_cross_domain_path();
+
+  const auto result = f.fed.reachable(ProviderId(1), {SwitchId(1), PortNo(2)},
+                                      sdn::Match());
+  for (std::size_t i = 0; i < result.endpoints.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.endpoints.size(); ++j) {
+      EXPECT_FALSE(result.endpoints[i] == result.endpoints[j])
+          << "duplicate federated endpoint at " << i << "/" << j;
+    }
+  }
+}
+
 TEST(Federation, DepthLimitReported) {
   FederationFixture f;
   f.install_cross_domain_path();

@@ -1,5 +1,7 @@
 #include "attacks/attacks.hpp"
 
+#include <limits>
+
 #include "util/ensure.hpp"
 
 namespace rvaas::attacks {
@@ -22,7 +24,32 @@ control::HostAddress rogue_address(PortRef port) {
       HostId(0x00900000u | (port.sw.value << 8) | port.port.value));
 }
 
+sdn::FlowMod delete_mod(sdn::FlowEntryId id) {
+  FlowMod del;
+  del.command = sdn::FlowModCommand::Delete;
+  del.target = id;
+  return del;
+}
+
 }  // namespace
+
+void Attack::inject(ProviderController& provider, SwitchId sw,
+                    const sdn::FlowMod& mod) {
+  // The sink is shared with the callback: the flow-mod result arrives a
+  // control-channel round trip later, possibly after the attack object died.
+  auto sink = installed_;
+  provider.handle().flow_mod(
+      sw, mod, [sink, sw](SwitchId, const sdn::FlowModResult& result) {
+        if (result.ok() && result.id) sink->emplace_back(sw, *result.id);
+      });
+}
+
+void Attack::revert(ProviderController& provider, sdn::Network& /*net*/) {
+  for (const auto& [sw, id] : *installed_) {
+    provider.handle().flow_mod(sw, delete_mod(id));
+  }
+  installed_->clear();
+}
 
 std::optional<AttackRecord> ExfiltrationAttack::launch(
     ProviderController& provider, sdn::Network& net) {
@@ -55,10 +82,10 @@ std::optional<AttackRecord> ExfiltrationAttack::launch(
       mod.actions.push_back(sdn::DecTtlAction{});
       mod.actions.push_back(sdn::output(route.path.hops.front().out.port));
     }
-    provider.handle().flow_mod(victim_ap.sw, mod);
+    inject(provider, victim_ap.sw, mod);
 
     AttackRecord record;
-    record.name = "exfiltration";
+    record.name = name();
     record.victim = victim_;
     record.rogue_ports = {hidden};
     return record;
@@ -95,7 +122,7 @@ std::optional<AttackRecord> JoinAttack::launch(ProviderController& provider,
       mod.actions = {sdn::PushVlanAction{tenant->vlan}, sdn::DecTtlAction{},
                      sdn::output(route->hops.front().out.port)};
     }
-    provider.handle().flow_mod(victim_ap.sw, mod);
+    inject(provider, victim_ap.sw, mod);
   }
   // Core + egress along the route.
   for (std::size_t i = 0; i < route->hops.size(); ++i) {
@@ -113,7 +140,7 @@ std::optional<AttackRecord> JoinAttack::launch(ProviderController& provider,
       mod.actions = {sdn::DecTtlAction{}, sdn::PopVlanAction{},
                      sdn::output(attacker_port_.port)};
     }
-    provider.handle().flow_mod(sw, mod);
+    inject(provider, sw, mod);
   }
 
   // Reverse direction: let the attacker inject into the tenant. The
@@ -134,11 +161,11 @@ std::optional<AttackRecord> JoinAttack::launch(ProviderController& provider,
     } else {
       mod.actions.push_back(sdn::output(route->hops.back().in.port));
     }
-    provider.handle().flow_mod(attacker_port_.sw, mod);
+    inject(provider, attacker_port_.sw, mod);
   }
 
   AttackRecord record;
-  record.name = "join-attack";
+  record.name = name();
   record.victim = victim_;
   record.rogue_ports = {attacker_port_};
   return record;
@@ -176,7 +203,7 @@ std::optional<AttackRecord> GeoDiversionAttack::launch(
       mod.actions = {sdn::PushVlanAction{tenant->vlan}, sdn::DecTtlAction{},
                      sdn::output(route->hops.front().out.port)};
     }
-    provider.handle().flow_mod(route->ingress.sw, mod);
+    inject(provider, route->ingress.sw, mod);
   }
   for (std::size_t i = 0; i < route->hops.size(); ++i) {
     const SwitchId sw = route->hops[i].in.sw;
@@ -195,11 +222,11 @@ std::optional<AttackRecord> GeoDiversionAttack::launch(
       mod.actions = {sdn::DecTtlAction{}, sdn::PopVlanAction{},
                      sdn::output(route->egress.port)};
     }
-    provider.handle().flow_mod(sw, mod);
+    inject(provider, sw, mod);
   }
 
   AttackRecord record;
-  record.name = "geo-diversion";
+  record.name = name();
   record.victim = src_;
   record.detour = route->switches();
   return record;
@@ -234,51 +261,81 @@ std::optional<AttackRecord> IsolationBreachAttack::launch(
     if (!route || route->hops.empty()) return std::nullopt;
     mod.actions.push_back(sdn::output(route->hops.front().out.port));
   }
-  provider.handle().flow_mod(from_ap.sw, mod);
+  inject(provider, from_ap.sw, mod);
 
   AttackRecord record;
-  record.name = "isolation-breach";
+  record.name = name();
   record.victim = to_;
   record.rogue_ports = {from_ap};
   return record;
 }
 
-void ReconfigFlappingAttack::schedule_cycle(ProviderController& provider,
-                                            sdn::Network& net, SwitchId sw,
-                                            FlowMod rule, sim::Time stop_after) {
-  sim::EventLoop& loop = net.loop();
-  if (loop.now() + dwell_ > stop_after) return;
+void ReconfigFlappingAttack::try_install(
+    const std::shared_ptr<FlapState>& s) {
+  s->pending.reset();
+  sim::EventLoop& loop = s->net->loop();
+  if (s->stopped || loop.now() + s->dwell > s->stop_after) return;
 
   const sim::Time installed_at = loop.now();
-  provider.handle().flow_mod(
-      sw, rule,
-      [this, &provider, &net, sw, rule, stop_after, installed_at](
-          SwitchId, const sdn::FlowModResult& result) {
-        if (!result.ok()) return;
-        ++cycles_;
-        windows_.emplace_back(installed_at, installed_at + dwell_);
-        const sdn::FlowEntryId id = *result.id;
-        net.loop().schedule_after(dwell_, [this, &provider, &net, sw, rule,
-                                           stop_after, id] {
-          FlowMod del;
-          del.command = sdn::FlowModCommand::Delete;
-          del.target = id;
-          provider.handle().flow_mod(sw, del);
-          const sim::Time next =
-              windows_.back().first + period_;
-          if (next > net.loop().now()) {
-            net.loop().schedule_at(next, [this, &provider, &net, sw, rule,
-                                          stop_after] {
-              schedule_cycle(provider, net, sw, rule, stop_after);
-            });
-          }
-        });
+  s->provider->handle().flow_mod(
+      s->sw, s->rule,
+      [s, installed_at](SwitchId, const sdn::FlowModResult& result) {
+        if (!result.ok() || !result.id) return;
+        if (s->stopped) {
+          // Stopped while the install was in flight: the rule briefly hit
+          // the switch — remove it right away and record the sliver.
+          s->windows.emplace_back(installed_at, s->net->loop().now());
+          s->provider->handle().flow_mod(s->sw, delete_mod(*result.id));
+          return;
+        }
+        ++s->cycles;
+        s->windows.emplace_back(installed_at, installed_at + s->dwell);
+        s->current = *result.id;
+        s->pending = s->net->loop().schedule_after(
+            s->dwell, [s] { remove_current(s); });
       });
+}
+
+void ReconfigFlappingAttack::remove_current(
+    const std::shared_ptr<FlapState>& s) {
+  s->pending.reset();
+  if (!s->current) return;
+  s->provider->handle().flow_mod(s->sw, delete_mod(*s->current));
+  s->current.reset();
+
+  sim::EventLoop& loop = s->net->loop();
+  const sim::Time next = s->windows.back().first + s->period;
+  if (!s->stopped && next > loop.now()) {
+    s->pending = loop.schedule_at(next, [s] { try_install(s); });
+  }
+}
+
+void ReconfigFlappingAttack::stop_now(const std::shared_ptr<FlapState>& s) {
+  if (s->stopped) return;
+  s->stopped = true;
+  sim::EventLoop& loop = s->net->loop();
+  if (s->stop_event) {
+    loop.cancel(*s->stop_event);
+    s->stop_event.reset();
+  }
+  if (s->pending) {
+    loop.cancel(*s->pending);
+    s->pending.reset();
+  }
+  if (s->current) {
+    // A dwell straddling the deadline: delete the rule now and close the
+    // open window at the stop instant instead of its planned end.
+    s->provider->handle().flow_mod(s->sw, delete_mod(*s->current));
+    s->current.reset();
+    auto& window = s->windows.back();
+    window.second = std::min(window.second, loop.now());
+  }
 }
 
 std::optional<AttackRecord> ReconfigFlappingAttack::launch(
     ProviderController& provider, sdn::Network& net, sim::Time stop_after) {
   util::ensure(dwell_ < period_, "dwell must be shorter than the period");
+  if (state_ && !state_->stopped) return std::nullopt;  // already cycling
   const auto victim_ports = net.topology().host_ports(victim_);
   if (victim_ports.empty()) return std::nullopt;
   const PortRef victim_ap = victim_ports.front();
@@ -296,13 +353,38 @@ std::optional<AttackRecord> ReconfigFlappingAttack::launch(
     rule.actions = {sdn::drop()};
   }
 
-  schedule_cycle(provider, net, victim_ap.sw, rule, stop_after);
+  state_ = std::make_shared<FlapState>();
+  state_->provider = &provider;
+  state_->net = &net;
+  state_->sw = victim_ap.sw;
+  state_->rule = std::move(rule);
+  state_->dwell = dwell_;
+  state_->period = period_;
+  state_->stop_after = stop_after;
+  if (stop_after != std::numeric_limits<sim::Time>::max()) {
+    state_->stop_event = net.loop().schedule_at(
+        std::max(stop_after, net.loop().now()),
+        [s = state_] { stop_now(s); });
+  }
+  try_install(state_);
 
   AttackRecord record;
-  record.name = "reconfig-flapping";
+  record.name = name();
   record.victim = victim_;
   if (!dark.empty()) record.rogue_ports = {dark.front()};
   return record;
+}
+
+std::optional<AttackRecord> ReconfigFlappingAttack::launch(
+    ProviderController& provider, sdn::Network& net) {
+  // Unbounded: cycles until revert().
+  return launch(provider, net, std::numeric_limits<sim::Time>::max());
+}
+
+void ReconfigFlappingAttack::revert(ProviderController& provider,
+                                    sdn::Network& net) {
+  if (state_) stop_now(state_);
+  Attack::revert(provider, net);  // nothing recorded via inject(); harmless
 }
 
 std::optional<AttackRecord> QuerySuppressionAttack::launch(
@@ -317,10 +399,10 @@ std::optional<AttackRecord> QuerySuppressionAttack::launch(
                   .exact(Field::IpProto, sdn::kIpProtoUdp)
                   .exact(Field::L4Dst, sdn::kPortRvaasRequest);
   mod.actions = {sdn::drop()};
-  provider.handle().flow_mod(at_, mod);
+  inject(provider, at_, mod);
 
   AttackRecord record;
-  record.name = "query-suppression";
+  record.name = name();
   return record;
 }
 

@@ -7,34 +7,83 @@
 // keys).
 //
 // Each injector returns a ground-truth record so experiments can score
-// detection without peeking at detector internals.
+// detection without peeking at detector internals, and implements the
+// common Attack interface so schedules (src/testing) can install and remove
+// any attack class mid-run.
 
+#include <memory>
 #include <string>
 
 #include "controlplane/provider.hpp"
 
 namespace rvaas::attacks {
 
-/// Ground truth about an injected attack.
+/// Ground truth about an injected attack. The concrete (switch, entry)
+/// pairs live on the Attack object (installed() below) — flow-mod results
+/// are asynchronous, so they are not known when launch() returns.
 struct AttackRecord {
   std::string name;
   sdn::HostId victim{};                     ///< whose traffic is affected
   std::vector<sdn::PortRef> rogue_ports;    ///< illegitimate endpoints created
   std::vector<sdn::SwitchId> detour;        ///< switches traffic now crosses
-  std::vector<std::pair<sdn::SwitchId, sdn::FlowEntryId>> injected_entries;
+};
+
+/// Common interface over the six attack classes: install through the
+/// provider's authenticated channel, and remove again (the attacker covering
+/// its tracks, or a randomized schedule restoring the baseline mid-run).
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Installs the attack. Returns nullopt when the preconditions do not
+  /// hold (no dark port, unknown tenant, no route via the waypoint, ...);
+  /// a nullopt launch installs nothing and revert() is a no-op.
+  virtual std::optional<AttackRecord> launch(
+      control::ProviderController& provider, sdn::Network& net) = 0;
+
+  /// Deletes every rule the attack installed, through the same provider
+  /// channel. Idempotent. Flow-mod results are asynchronous (control-channel
+  /// round trip), so callers mutating mid-simulation should let the loop
+  /// settle between launch and revert — entries whose install result has not
+  /// landed yet cannot be deleted and would leak.
+  virtual void revert(control::ProviderController& provider,
+                      sdn::Network& net);
+
+  /// (switch, entry) pairs confirmed installed so far. Complete only after
+  /// the control-channel round trips settled.
+  const std::vector<std::pair<sdn::SwitchId, sdn::FlowEntryId>>& installed()
+      const {
+    return *installed_;
+  }
+
+ protected:
+  /// flow_mod through the provider, recording the installed entry id once
+  /// the asynchronous result lands. The recording sink is shared with the
+  /// in-flight callback, so destroying the attack first is safe.
+  void inject(control::ProviderController& provider, sdn::SwitchId sw,
+              const sdn::FlowMod& mod);
+
+ private:
+  std::shared_ptr<std::vector<std::pair<sdn::SwitchId, sdn::FlowEntryId>>>
+      installed_ = std::make_shared<
+          std::vector<std::pair<sdn::SwitchId, sdn::FlowEntryId>>>();
 };
 
 /// Clones a victim's flow to a hidden port: the classic exfiltration attack.
 /// Adds a higher-priority copy of the victim's ingress rule whose action list
 /// additionally outputs to a dark port on the same switch.
-class ExfiltrationAttack {
+class ExfiltrationAttack : public Attack {
  public:
   ExfiltrationAttack(sdn::HostId victim, sdn::HostId peer)
       : victim_(victim), peer_(peer) {}
 
+  const char* name() const override { return "exfiltration"; }
+
   /// Returns nullopt if no dark port exists on the victim's ingress switch.
   std::optional<AttackRecord> launch(control::ProviderController& provider,
-                                     sdn::Network& net);
+                                     sdn::Network& net) override;
 
  private:
   sdn::HostId victim_;
@@ -44,13 +93,15 @@ class ExfiltrationAttack {
 /// Join attack (§IV.B.1): secretly connect an attacker-controlled access
 /// point into a tenant's isolation domain by installing routes from the
 /// victim's header space toward the attacker's port.
-class JoinAttack {
+class JoinAttack : public Attack {
  public:
   JoinAttack(sdn::HostId victim, sdn::PortRef attacker_port)
       : victim_(victim), attacker_port_(attacker_port) {}
 
+  const char* name() const override { return "join-attack"; }
+
   std::optional<AttackRecord> launch(control::ProviderController& provider,
-                                     sdn::Network& net);
+                                     sdn::Network& net) override;
 
  private:
   sdn::HostId victim_;
@@ -59,13 +110,15 @@ class JoinAttack {
 
 /// Geo-diversion (§IV.B.2): reroute a victim flow through a waypoint switch
 /// in a different jurisdiction, leaving endpoints untouched.
-class GeoDiversionAttack {
+class GeoDiversionAttack : public Attack {
  public:
   GeoDiversionAttack(sdn::HostId src, sdn::HostId dst, sdn::SwitchId waypoint)
       : src_(src), dst_(dst), waypoint_(waypoint) {}
 
+  const char* name() const override { return "geo-diversion"; }
+
   std::optional<AttackRecord> launch(control::ProviderController& provider,
-                                     sdn::Network& net);
+                                     sdn::Network& net) override;
 
  private:
   sdn::HostId src_;
@@ -75,13 +128,15 @@ class GeoDiversionAttack {
 
 /// Isolation breach: route traffic from a host in tenant A to a host in
 /// tenant B (crossing isolation domains).
-class IsolationBreachAttack {
+class IsolationBreachAttack : public Attack {
  public:
   IsolationBreachAttack(sdn::HostId from, sdn::HostId to)
       : from_(from), to_(to) {}
 
+  const char* name() const override { return "isolation-breach"; }
+
   std::optional<AttackRecord> launch(control::ProviderController& provider,
-                                     sdn::Network& net);
+                                     sdn::Network& net) override;
 
  private:
   sdn::HostId from_;
@@ -91,42 +146,85 @@ class IsolationBreachAttack {
 /// Short-term reconfiguration ("flapping") attack (§IV.A): install a
 /// malicious rule, keep it for `dwell`, remove it, repeat every `period`.
 /// Tests the polling-discipline claim (experiment E3).
-class ReconfigFlappingAttack {
+class ReconfigFlappingAttack : public Attack {
  public:
   ReconfigFlappingAttack(sdn::HostId victim, sim::Time period, sim::Time dwell)
       : victim_(victim), period_(period), dwell_(dwell) {}
 
+  const char* name() const override { return "reconfig-flapping"; }
+
   /// Starts the install/remove cycle on the event loop; runs until
-  /// `stop_after` (simulated time). Returns the static description.
+  /// `stop_after` (simulated time). At `stop_after` the attack force-stops:
+  /// a rule whose dwell straddles the deadline is deleted and its window
+  /// closed at the deadline. One sliver remains inherent to the
+  /// asynchronous control channel: an install whose confirmation is still
+  /// in flight at the deadline is deleted the moment it lands, one control
+  /// round trip later, and its (sub-millisecond) window is recorded
+  /// truthfully — i.e. ending past `stop_after`. Returns the static
+  /// description.
   std::optional<AttackRecord> launch(control::ProviderController& provider,
                                      sdn::Network& net, sim::Time stop_after);
 
-  std::uint64_t cycles_run() const { return cycles_; }
-  /// Time windows [install, remove) during which the rule was present.
+  /// Attack-interface variant: cycles until revert().
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net) override;
+
+  /// Stops the cycle immediately: cancels the pending install/remove timer,
+  /// deletes the rule if currently installed, and closes the open window.
+  void revert(control::ProviderController& provider,
+              sdn::Network& net) override;
+
+  std::uint64_t cycles_run() const { return state_ ? state_->cycles : 0; }
+  /// true while the install/remove cycle is still scheduled (launched and
+  /// neither stop_after nor revert() has fired).
+  bool cycling() const { return state_ && !state_->stopped; }
+  /// Time windows [install, remove) during which the rule was present. All
+  /// windows are closed once the attack stopped (stop_after or revert()).
   const std::vector<std::pair<sim::Time, sim::Time>>& windows() const {
-    return windows_;
+    static const std::vector<std::pair<sim::Time, sim::Time>> kEmpty;
+    return state_ ? state_->windows : kEmpty;
   }
 
  private:
-  void schedule_cycle(control::ProviderController& provider, sdn::Network& net,
-                      sdn::SwitchId sw, sdn::FlowMod rule, sim::Time stop_after);
+  /// Cycle state, shared with in-flight control-channel callbacks and loop
+  /// events so the attack object may be destroyed while they are pending.
+  struct FlapState {
+    control::ProviderController* provider = nullptr;
+    sdn::Network* net = nullptr;
+    sdn::SwitchId sw{};
+    sdn::FlowMod rule;
+    sim::Time dwell = 0;
+    sim::Time period = 0;
+    sim::Time stop_after = 0;
+    bool stopped = false;
+    std::optional<sdn::FlowEntryId> current;  ///< rule installed right now
+    std::optional<sim::EventId> pending;      ///< next install/remove timer
+    std::optional<sim::EventId> stop_event;
+    std::uint64_t cycles = 0;
+    std::vector<std::pair<sim::Time, sim::Time>> windows;
+  };
+
+  static void try_install(const std::shared_ptr<FlapState>& s);
+  static void remove_current(const std::shared_ptr<FlapState>& s);
+  static void stop_now(const std::shared_ptr<FlapState>& s);
 
   sdn::HostId victim_;
   sim::Time period_;
   sim::Time dwell_;
-  std::uint64_t cycles_ = 0;
-  std::vector<std::pair<sim::Time, sim::Time>> windows_;
+  std::shared_ptr<FlapState> state_;
 };
 
 /// Query-suppression: hijack the RVaaS in-band request traffic (magic UDP
 /// port) with a higher-priority provider drop rule. RVaaS cannot prevent
 /// this; the client detects it by reply timeout.
-class QuerySuppressionAttack {
+class QuerySuppressionAttack : public Attack {
  public:
   explicit QuerySuppressionAttack(sdn::SwitchId at) : at_(at) {}
 
+  const char* name() const override { return "query-suppression"; }
+
   std::optional<AttackRecord> launch(control::ProviderController& provider,
-                                     sdn::Network& net);
+                                     sdn::Network& net) override;
 
  private:
   sdn::SwitchId at_;

@@ -77,6 +77,11 @@ class RvaasController : public sdn::Controller {
   enclave::Quote quote() const;
 
   const SnapshotManager& snapshot() const { return snapshot_; }
+  /// Restart/recovery simulation hook: the snapshot keeps its content but
+  /// takes a fresh identity, so every cache keyed on it (L1 compiled model,
+  /// L2 reachability) must detect the change and fully rebuild. Used by the
+  /// scenario fuzzer (src/testing) to stress cache identity handling.
+  void reset_snapshot_identity() { snapshot_.reset_identity(); }
   /// The query engine answering this controller's logical steps; exposes the
   /// incremental model cache's counters (cache_stats) to benches/monitoring.
   const QueryEngine& engine() const { return engine_; }

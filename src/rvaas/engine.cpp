@@ -1,6 +1,7 @@
 #include "rvaas/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <sstream>
 
@@ -14,10 +15,31 @@ namespace rvaas::core {
 using sdn::PortRef;
 using sdn::SwitchId;
 
+namespace {
+// TEST-ONLY fault switches (see test_fault_freeze_invalidation).
+std::atomic<bool> g_l1_invalidation_frozen{false};
+std::atomic<bool> g_l2_invalidation_frozen{false};
+}  // namespace
+
+void CompiledModelCache::test_fault_freeze_invalidation(bool on) {
+  g_l1_invalidation_frozen.store(on, std::memory_order_relaxed);
+}
+
+void ReachCache::test_fault_freeze_invalidation(bool on) {
+  g_l2_invalidation_frozen.store(on, std::memory_order_relaxed);
+}
+
 hsa::NetworkModel CompiledModelCache::model(const sdn::Topology& topo,
                                             const SnapshotManager& snap) {
   std::lock_guard lock(mu_);
   ++stats_.lookups;
+
+  // TEST-ONLY fault: serve the last compiled model without refreshing.
+  if (g_l1_invalidation_frozen.load(std::memory_order_relaxed) && transfer_ &&
+      snap.instance_id() == snapshot_id_) {
+    ++stats_.clean_hits;
+    return hsa::NetworkModel(topo, transfer_);
+  }
 
   // Identity check: a different view instance — or an epoch that moved
   // backwards, which only a moved-from view being reused can produce —
@@ -90,6 +112,13 @@ void ReachCache::validate(const SnapshotManager& snap) {
     return;
   }
   if (snap.epoch() == validated_epoch_) return;
+
+  // TEST-ONLY fault: pretend the epoch never advanced — stale entries
+  // survive the churn they should have been evicted by.
+  if (g_l2_invalidation_frozen.load(std::memory_order_relaxed)) {
+    validated_epoch_ = snap.epoch();
+    return;
+  }
 
   // Epoch advanced: drop exactly the entries whose traversal consulted a
   // switch that changed since they were computed. Everything else is still

@@ -57,6 +57,13 @@ class CompiledModelCache {
   /// Drops all compiled state (the next lookup is a full rebuild).
   void invalidate();
 
+  /// TEST-ONLY fault injection: while enabled, every instance stops
+  /// refreshing dirty switches and serves its last compiled model unchanged
+  /// — a deliberately broken invalidation path that the differential
+  /// oracles (src/testing/oracles.hpp) must catch. Never enable outside
+  /// tests; affects all instances process-wide.
+  static void test_fault_freeze_invalidation(bool on);
+
   Stats stats() const;
 
  private:
@@ -111,6 +118,12 @@ class ReachCache {
 
   /// Drops every entry.
   void invalidate();
+
+  /// TEST-ONLY fault injection: while enabled, snapshot churn no longer
+  /// evicts footprint-dirty entries — stale reachability results survive
+  /// and the differential oracles must catch them. Never enable outside
+  /// tests; affects all instances process-wide.
+  static void test_fault_freeze_invalidation(bool on);
 
   std::size_t size() const;
   Stats stats() const;

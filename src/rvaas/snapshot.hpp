@@ -98,6 +98,11 @@ class SnapshotManager {
   /// re-identifies the moved-from side. Caches key on (instance_id, epoch).
   std::uint64_t instance_id() const { return instance_id_.value; }
 
+  /// Re-identifies the view in place (content and epochs kept): what a
+  /// controller restart/recovery adopting a persisted view looks like to
+  /// the caches — everything keyed on the old identity must fully rebuild.
+  void reset_identity() { instance_id_ = InstanceId(); }
+
   /// Latest meter configuration seen per switch (from stats polls).
   const std::map<sdn::SwitchId,
                  std::vector<std::pair<sdn::MeterId, sdn::MeterConfig>>>&

@@ -1,0 +1,57 @@
+#pragma once
+// The adversarial scenario fuzzer (rvaas::fuzz): executes one deterministic
+// Schedule (schedule.hpp) on a fresh multi-tenant ScenarioRuntime —
+// interleaving all six attack classes, flow/meter churn, one-shot queries,
+// standing subscriptions and snapshot identity resets on the simulated
+// event loop — and checks the differential oracles (oracles.hpp) after
+// every step:
+//
+//   (a) warm engine (L1+L2 caches) ≡ fresh cold engine, all 7 query kinds
+//   (b) monitor push notifications ≡ cold one-shot queries, byte-identical
+//   (c) federation answers ≡ a flat engine over the merged topology
+//   (d) detector verdicts ≡ AttackRecord ground truth (no missed detection;
+//       query suppression detected via timeout)
+//
+// Every run is a pure function of the Schedule: a failure replays
+// bit-identically from its repro string, which is what the shrinker
+// (shrink.hpp) exploits.
+
+#include "testing/schedule.hpp"
+
+namespace rvaas::fuzz {
+
+struct FuzzFailure {
+  std::size_t step_index = 0;  ///< step after which the oracle tripped
+  std::string oracle;          ///< cached-vs-cold | monitor-vs-query |
+                               ///< federation-vs-flat | detection | liveness
+  std::string detail;
+};
+
+struct FuzzReport {
+  std::optional<FuzzFailure> failure;
+  std::size_t steps_run = 0;
+
+  // Coverage counters, so sweeps can assert the generator actually
+  // exercises the interesting paths.
+  std::uint64_t attacks_launched = 0;
+  std::uint64_t attacks_reverted = 0;
+  std::uint64_t churn_applied = 0;
+  std::uint64_t meter_mods = 0;
+  std::uint64_t queries_checked = 0;
+  std::uint64_t notifications_compared = 0;
+  std::uint64_t detection_checks = 0;
+  std::uint64_t federation_checks = 0;
+  std::uint64_t snapshot_resets = 0;
+
+  bool ok() const { return !failure.has_value(); }
+};
+
+/// Executes one schedule from scratch; returns the first oracle failure (if
+/// any) and coverage counters.
+FuzzReport run_schedule(const Schedule& schedule);
+
+/// Replays a repro string (Schedule::repro()). Throws InvariantViolation on
+/// malformed input — a repro that no longer parses is a bug, not a skip.
+FuzzReport replay(const std::string& repro);
+
+}  // namespace rvaas::fuzz

@@ -1,0 +1,165 @@
+#include "testing/oracles.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rvaas::fuzz {
+
+using core::Property;
+using core::QueryEngine;
+using core::QueryKind;
+using sdn::PortRef;
+using sdn::SwitchId;
+
+util::Bytes normalized_reply_bytes(core::QueryReply reply) {
+  reply.request_id = 0;
+  util::ByteWriter w;
+  reply.serialize(w);
+  return w.take();
+}
+
+std::optional<std::string> check_cached_vs_cold(
+    workload::ScenarioRuntime& runtime, sdn::HostId client,
+    sdn::HostId path_peer, const sdn::Match& constraint) {
+  const sdn::Topology& topo = runtime.network().topology();
+  const auto client_ports = topo.host_ports(client);
+  if (client_ports.empty()) return std::nullopt;
+
+  const core::RvaasController& rvaas = runtime.rvaas();
+  const core::SnapshotManager& snap = rvaas.snapshot();
+  const QueryEngine& warm = rvaas.engine();
+
+  // The cold reference: a fresh engine over the same wiring plan and
+  // config. Its caches start empty, so every result is a from-scratch
+  // compilation + traversal of the snapshot as it is right now.
+  const QueryEngine cold(topo, warm.config());
+  const core::DisclosedGeo geo(topo);
+
+  QueryEngine::EvalContext ctx;
+  ctx.from = client_ports.front();
+  ctx.geo = &geo;
+  ctx.addressing = &runtime.addressing();
+
+  for (const QueryKind kind :
+       {QueryKind::ReachableEndpoints, QueryKind::ReachingSources,
+        QueryKind::Isolation, QueryKind::Geo, QueryKind::PathLength,
+        QueryKind::Fairness, QueryKind::TransferSummary}) {
+    Property property;
+    property.kind = kind;
+    property.constraint = constraint;
+    if (kind == QueryKind::PathLength) property.peer = path_peer;
+
+    const QueryEngine::Evaluation warm_eval = warm.evaluate(snap, property, ctx);
+    const QueryEngine::Evaluation cold_eval = cold.evaluate(snap, property, ctx);
+
+    if (normalized_reply_bytes(warm_eval.reply) !=
+        normalized_reply_bytes(cold_eval.reply)) {
+      std::ostringstream os;
+      os << "cached-vs-cold: reply diverges for kind " << to_string(kind)
+         << " from client " << client.value << " (warm engine serves stale "
+         << "state the cold compilation does not)";
+      return os.str();
+    }
+    if (warm_eval.to_authenticate != cold_eval.to_authenticate) {
+      std::ostringstream os;
+      os << "cached-vs-cold: auth target list diverges for kind "
+         << to_string(kind) << " from client " << client.value;
+      return os.str();
+    }
+    if (warm_eval.footprint != cold_eval.footprint) {
+      std::ostringstream os;
+      os << "cached-vs-cold: dependency footprint diverges for kind "
+         << to_string(kind) << " from client " << client.value;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+struct FlatEndpoint {
+  PortRef access_point;
+  bool dark = false;
+
+  bool operator==(const FlatEndpoint&) const = default;
+  bool operator<(const FlatEndpoint& o) const {
+    if (access_point.sw != o.access_point.sw) {
+      return access_point.sw < o.access_point.sw;
+    }
+    if (access_point.port != o.access_point.port) {
+      return access_point.port < o.access_point.port;
+    }
+    return dark < o.dark;
+  }
+};
+
+std::string render(const std::vector<FlatEndpoint>& endpoints) {
+  std::ostringstream os;
+  for (const FlatEndpoint& e : endpoints) {
+    os << ' ' << e.access_point.sw.value << ':' << e.access_point.port.value
+       << (e.dark ? "(dark)" : "");
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> check_federation_vs_flat(
+    const FederationOracleInput& in) {
+  // Federated answer: walk the two domains through signed subqueries.
+  const core::FederatedResult fed = in.federation->reachable(
+      in.start, in.ingress, in.constraint, /*max_domains=*/4);
+
+  // Flat reference: one snapshot holding both domains' live tables (switch
+  // id spaces are disjoint by construction), one engine over the merged
+  // wiring plan where the peering is a physical link.
+  core::SnapshotManager flat_snap;
+  for (const core::SnapshotManager* snap : {in.snap_a, in.snap_b}) {
+    for (const SwitchId sw : snap->switch_ids()) {
+      for (const sdn::FlowEntry& entry : snap->table(sw)) {
+        flat_snap.apply_update({sw, sdn::FlowUpdateKind::Added, entry}, 0);
+      }
+    }
+  }
+  const core::QueryEngine flat_engine(
+      *in.flat_topo,
+      core::EngineConfig{core::ConfidentialityPolicy::EndpointsOnly,
+                         in.max_depth});
+  Property property;
+  property.kind = QueryKind::ReachableEndpoints;
+  property.constraint = in.constraint;
+  QueryEngine::EvalContext ctx;
+  ctx.from = in.ingress;
+  // A border ingress is not a requester: the federated walk keeps hairpins,
+  // so the flat reference must too.
+  ctx.exclude_requester = false;
+  const QueryEngine::Evaluation flat_eval =
+      flat_engine.evaluate(flat_snap, property, ctx);
+
+  std::vector<FlatEndpoint> federated;
+  federated.reserve(fed.endpoints.size());
+  for (const core::FederatedEndpoint& e : fed.endpoints) {
+    federated.push_back({e.info.access_point, e.info.dark});
+  }
+  std::vector<FlatEndpoint> flat;
+  flat.reserve(flat_eval.reply.endpoints.size());
+  for (const core::EndpointInfo& e : flat_eval.reply.endpoints) {
+    flat.push_back({e.access_point, e.dark});
+  }
+  std::sort(federated.begin(), federated.end());
+  federated.erase(std::unique(federated.begin(), federated.end()),
+                  federated.end());
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+
+  if (federated != flat) {
+    std::ostringstream os;
+    os << "federation-vs-flat: endpoint sets diverge; federated{"
+       << render(federated) << " } flat{" << render(flat) << " }";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace rvaas::fuzz

@@ -1,0 +1,60 @@
+#pragma once
+// Differential oracles for the adversarial scenario fuzzer. Each oracle
+// compares two independent computations of the same truth and reports a
+// human-readable divergence (nullopt = green):
+//
+//   (a) check_cached_vs_cold — the production engine with its warm L1
+//       (CompiledModelCache) and L2 (ReachCache) tiers against a fresh cold
+//       engine over the same snapshot: byte-identical replies, identical
+//       dependency footprints and auth target lists, for all 7 query kinds.
+//   (c) check_federation_vs_flat — a federated walk across two RVaaS
+//       domains against a single flat engine over the merged topology with
+//       both domains' tables replayed into one snapshot.
+//
+// Oracles (b) (monitor pushes vs cold one-shot queries) and (d) (detector
+// verdicts vs AttackRecord ground truth) need the harness's live tracking
+// state and live in fuzzer.cpp; the shared reply-normalization helper is
+// here so tests compare the exact bytes the oracles compare.
+
+#include <optional>
+#include <string>
+
+#include "rvaas/multiprovider.hpp"
+#include "workload/scenario.hpp"
+
+namespace rvaas::fuzz {
+
+/// Serialized reply with the request id normalized away (a one-shot reply
+/// carries the client's request id, a notification the subscription id; the
+/// verdict-relevant content must be byte-identical).
+util::Bytes normalized_reply_bytes(core::QueryReply reply);
+
+/// Oracle (a). Evaluates all 7 query kinds from `client`'s access point
+/// through the runtime's warm engine and through a fresh cold engine.
+/// `path_peer` is the PathLength target; `constraint` scopes the probed
+/// traffic (harness rotates between broad wildcard probes and narrow
+/// exact-match probes — broad probes over attack-riddled snapshots are
+/// cube-explosion territory and priced accordingly).
+std::optional<std::string> check_cached_vs_cold(
+    workload::ScenarioRuntime& runtime, sdn::HostId client,
+    sdn::HostId path_peer, const sdn::Match& constraint);
+
+/// Oracle (c) inputs: a federation of two domains (`start` owning
+/// `ingress`), the merged wiring plan, and the two domains' live snapshots.
+struct FederationOracleInput {
+  const core::Federation* federation = nullptr;
+  core::ProviderId start{};
+  sdn::PortRef ingress;
+  const sdn::Topology* flat_topo = nullptr;
+  const core::SnapshotManager* snap_a = nullptr;
+  const core::SnapshotManager* snap_b = nullptr;
+  sdn::Match constraint;
+  /// Must equal the domain engines' traversal depth: a budget asymmetry
+  /// between the walk and the flat reference is itself a divergence.
+  std::size_t max_depth = 64;
+};
+
+std::optional<std::string> check_federation_vs_flat(
+    const FederationOracleInput& in);
+
+}  // namespace rvaas::fuzz

@@ -1,0 +1,87 @@
+#pragma once
+// Deterministic adversarial scenario schedules: the input language of the
+// fuzzer (fuzzer.hpp). A Schedule is a scenario configuration plus a list of
+// steps — attack installs/reverts, flow/meter churn, one-shot queries,
+// standing subscriptions, settle periods, snapshot identity resets — all
+// derived from one seed. Step operands are raw draws that the harness
+// resolves against live runtime state ("pick modulo choices"), so a
+// schedule stays executable after the shrinker (shrink.hpp) removes
+// arbitrary steps, and a repro string replays bit-identically.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rvaas::fuzz {
+
+enum class StepKind : std::uint8_t {
+  Settle = 0,     ///< run the loop for (1 + a % 8) ms of simulated time
+  FlowChurn,      ///< random provider rule: a = domain/switch, b/c = shape
+  RemoveChurn,    ///< delete installed churn rule #a (no-op when none)
+  MeterChurn,     ///< meter mod: a = switch, b = rate, c = meter id/burst
+  Query,          ///< one-shot query: a = client, b = kind, c = constraint
+  Subscribe,      ///< standing subscription: a = client, b = kind, c = shape
+  Unsubscribe,    ///< drop tracked subscription #a (no-op when none)
+  LaunchAttack,   ///< a = class (mod 6), b = victim, c = class-specific aux
+  RevertAttack,   ///< revert active attack #a (no-op when none)
+  SnapshotReset,  ///< RVaaS snapshot identity reset (restart simulation)
+};
+constexpr std::size_t kStepKindCount = 10;
+
+const char* to_string(StepKind kind);
+
+/// One schedule action. Operands are raw bounded draws; meaning is
+/// per-kind (see StepKind comments and the harness).
+struct Step {
+  StepKind kind = StepKind::Settle;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+
+  bool operator==(const Step&) const = default;
+};
+
+enum class TopologyKind : std::uint8_t {
+  Linear = 0,
+  Ring,
+  Grid,
+};
+constexpr std::size_t kTopologyKindCount = 3;
+
+const char* to_string(TopologyKind kind);
+
+/// Scenario-level choices fixed for the whole schedule.
+struct ScheduleConfig {
+  TopologyKind topology = TopologyKind::Linear;
+  std::uint32_t topo_size = 4;  ///< switch count (grid: see harness mapping)
+  std::uint32_t tenant_count = 1;
+  std::uint8_t polling = 0;  ///< 0 randomized, 1 fixed, 2 disabled
+  /// Attach a peer RVaaS domain behind a border port and run the
+  /// federation-vs-flat differential oracle (Linear topologies only).
+  bool federation = false;
+  std::uint64_t seed = 1;  ///< runtime seed (keys, poll jitter, nonces)
+
+  bool operator==(const ScheduleConfig&) const = default;
+};
+
+struct Schedule {
+  ScheduleConfig config;
+  std::vector<Step> steps;
+
+  bool operator==(const Schedule&) const = default;
+
+  /// Self-contained single-line repro, parseable by parse_repro(). Paste
+  /// into fuzz::replay() (see fuzzer.hpp) to rerun a shrunk failure as a
+  /// plain gtest.
+  std::string repro() const;
+};
+
+/// Derives a complete schedule (config + steps) from one seed. Equal seeds
+/// always produce equal schedules, across processes and platforms.
+Schedule generate_schedule(std::uint64_t seed);
+
+/// Parses Schedule::repro() output; nullopt on malformed input.
+std::optional<Schedule> parse_repro(const std::string& text);
+
+}  // namespace rvaas::fuzz

@@ -1,0 +1,65 @@
+#include "testing/shrink.hpp"
+
+#include <algorithm>
+
+namespace rvaas::fuzz {
+
+std::optional<ShrinkResult> shrink(const Schedule& failing,
+                                   std::size_t max_runs) {
+  std::size_t runs = 0;
+  const auto try_run = [&runs](const Schedule& s) {
+    ++runs;
+    return run_schedule(s).failure;
+  };
+
+  const auto original = try_run(failing);
+  if (!original) return std::nullopt;
+
+  // The failing prefix: steps after the tripping one never executed.
+  Schedule best = failing;
+  best.steps.resize(std::min(best.steps.size(), original->step_index + 1));
+  FuzzFailure best_failure = *original;
+  if (const auto confirmed = try_run(best)) {
+    best_failure = *confirmed;
+  } else {
+    // Truncation should be failure-preserving by construction; if it is
+    // not (an oracle accounting bug), shrink conservatively from the whole
+    // schedule instead.
+    best = failing;
+  }
+
+  // ddmin-style removal: larger chunks first, re-truncating to the failing
+  // prefix after every successful removal.
+  std::size_t chunk = std::max<std::size_t>(1, best.steps.size() / 2);
+  while (runs < max_runs) {
+    bool removed_any = false;
+    for (std::size_t start = 0;
+         start < best.steps.size() && best.steps.size() > 1 && runs < max_runs;
+         /* advance inside */) {
+      Schedule candidate = best;
+      const std::size_t len = std::min(chunk, candidate.steps.size() - start);
+      candidate.steps.erase(
+          candidate.steps.begin() + static_cast<std::ptrdiff_t>(start),
+          candidate.steps.begin() + static_cast<std::ptrdiff_t>(start + len));
+      if (const auto f = try_run(candidate)) {
+        candidate.steps.resize(
+            std::min(candidate.steps.size(), f->step_index + 1));
+        best = std::move(candidate);
+        best_failure = *f;
+        removed_any = true;
+        // Do not advance: new steps slid into `start`.
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) break;  // fixed point: 1-minimal
+    } else {
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+
+  return ShrinkResult{std::move(best), std::move(best_failure), runs};
+}
+
+}  // namespace rvaas::fuzz

@@ -1,0 +1,27 @@
+#pragma once
+// Schedule shrinking: given a failing Schedule, find a minimal failing
+// prefix. Every run is deterministic, so shrinking is plain search: first
+// truncate to the step that tripped the oracle (later steps never ran),
+// then ddmin-style chunk removal — drop halves, quarters, ... single steps
+// while the failure persists. Step operands resolve against live state
+// modulo the current choices (schedule.hpp), so a schedule stays executable
+// after any subset of steps is removed.
+
+#include "testing/fuzzer.hpp"
+
+namespace rvaas::fuzz {
+
+struct ShrinkResult {
+  Schedule schedule;    ///< minimal failing schedule found
+  FuzzFailure failure;  ///< the failure it still produces
+  std::size_t runs = 0; ///< schedule executions spent shrinking
+};
+
+/// Shrinks `failing` within a budget of `max_runs` executions. Returns
+/// nullopt when `failing` does not actually fail (nothing to shrink). The
+/// shrunk failure may trip a different oracle or step than the original —
+/// any persisting failure is accepted (standard ddmin semantics).
+std::optional<ShrinkResult> shrink(const Schedule& failing,
+                                   std::size_t max_runs = 200);
+
+}  // namespace rvaas::fuzz

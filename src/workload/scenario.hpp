@@ -64,6 +64,26 @@ class ScenarioRuntime {
   TimedOutcome query_timed(sdn::HostId client_host, const core::Query& query,
                            sim::Time timeout = 50 * sim::kMillisecond);
 
+  // --- stepwise mutation hooks (randomized schedules, src/testing) ---
+
+  /// Applies one flow-table change through the provider's authenticated
+  /// control channel (like a reconfiguring — or compromised — provider).
+  /// The result lands asynchronously after the control round trip.
+  void provider_flow_mod(sdn::SwitchId sw, const sdn::FlowMod& mod,
+                         sdn::FlowModCallback cb = {}) {
+    provider_->handle().flow_mod(sw, mod, std::move(cb));
+  }
+
+  /// Applies one meter change through the provider channel. Meters are
+  /// outside the snapshot change clock — RVaaS only sees them via polls.
+  void provider_meter_mod(sdn::SwitchId sw, const sdn::MeterMod& mod) {
+    provider_->handle().meter_mod(sw, mod);
+  }
+
+  /// Restart/recovery simulation: the RVaaS snapshot keeps its content but
+  /// takes a fresh identity, forcing every cache tier to fully rebuild.
+  void reset_rvaas_snapshot_identity() { rvaas_->reset_snapshot_identity(); }
+
   /// The signing key the (compromisable!) provider uses on its channels.
   const crypto::SigningKey& provider_key() const { return provider_key_; }
 

@@ -102,23 +102,29 @@ GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge) {
   return out;
 }
 
+void append_linear_segment(sdn::Topology& topo, std::uint32_t base_switch,
+                           std::uint32_t count, std::uint32_t base_host,
+                           std::vector<HostId>* hosts) {
+  util::ensure(count >= 1, "linear topology needs >= 1 switch");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t region = count < 3 ? 0 : (i * 3) / count;  // thirds
+    topo.add_switch(SwitchId(base_switch + i), 4,
+                    geo_for(region, 0, static_cast<double>(i)));
+  }
+  for (std::uint32_t i = 0; i + 1 < count; ++i) {
+    topo.add_link({SwitchId(base_switch + i), PortNo(1)},
+                  {SwitchId(base_switch + i + 1), PortNo(0)});
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const HostId host(base_host + i);
+    topo.attach_host(host, {SwitchId(base_switch + i), PortNo(2)});
+    if (hosts != nullptr) hosts->push_back(host);
+  }
+}
+
 GeneratedTopology linear(std::uint32_t n) {
-  util::ensure(n >= 1, "linear topology needs >= 1 switch");
   GeneratedTopology out;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::size_t region = n < 3 ? 0 : (i * 3) / n;  // thirds
-    out.topo.add_switch(SwitchId(1 + i), 4,
-                        geo_for(region, 0, static_cast<double>(i)));
-  }
-  for (std::uint32_t i = 0; i + 1 < n; ++i) {
-    out.topo.add_link({SwitchId(1 + i), PortNo(1)},
-                      {SwitchId(2 + i), PortNo(0)});
-  }
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const HostId host = host_for(i);
-    out.topo.attach_host(host, {SwitchId(1 + i), PortNo(2)});
-    out.hosts.push_back(host);
-  }
+  append_linear_segment(out.topo, 1, n, 1000, &out.hosts);
   return out;
 }
 

@@ -28,6 +28,15 @@ GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge = 1);
 /// thirds (useful for geo experiments).
 GeneratedTopology linear(std::uint32_t n);
 
+/// Appends linear()'s exact wiring (port 0 = previous, 1 = next, 2 = host,
+/// remaining ports dark) at arbitrary id offsets into an existing topology
+/// — the building block behind linear() and the scenario fuzzer's
+/// peer-domain / merged flat-reference topologies, kept in one place so the
+/// port convention cannot silently diverge.
+void append_linear_segment(sdn::Topology& topo, std::uint32_t base_switch,
+                           std::uint32_t count, std::uint32_t base_host,
+                           std::vector<sdn::HostId>* hosts = nullptr);
+
 /// n switches in a cycle, one host per switch.
 GeneratedTopology ring(std::uint32_t n);
 

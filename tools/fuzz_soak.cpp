@@ -1,0 +1,93 @@
+// Unbounded adversarial soak: generates and executes randomized attack/churn
+// schedules (src/testing) until an oracle trips or the requested count is
+// reached. On failure the schedule is shrunk to a minimal repro, printed,
+// and written to a file for CI artifact upload.
+//
+//   fuzz_soak                 soak forever from the default base seed
+//   fuzz_soak --smoke         25 schedules (CI gate)
+//   fuzz_soak --count N       stop after N green schedules
+//   fuzz_soak --seed S        base seed (schedule i uses S + i)
+//   fuzz_soak --out FILE      repro file on failure (default fuzz_repro.txt)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "testing/fuzzer.hpp"
+#include "testing/shrink.hpp"
+
+using namespace rvaas;
+
+int main(int argc, char** argv) {
+  std::uint64_t base_seed = 0xf055;
+  std::uint64_t count = 0;  // 0 = unbounded
+  std::string out_path = "fuzz_repro.txt";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      count = 25;
+    } else if (arg == "--count" && i + 1 < argc) {
+      count = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      base_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::uint64_t attacks = 0, churn = 0, notifications = 0, detections = 0,
+                federation = 0;
+  for (std::uint64_t i = 0; count == 0 || i < count; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const fuzz::Schedule schedule = fuzz::generate_schedule(seed);
+    const fuzz::FuzzReport report = fuzz::run_schedule(schedule);
+    attacks += report.attacks_launched;
+    churn += report.churn_applied;
+    notifications += report.notifications_compared;
+    detections += report.detection_checks;
+    federation += report.federation_checks;
+
+    if (report.failure) {
+      std::printf("FAILURE at seed %llu, step %zu, oracle %s:\n  %s\n",
+                  static_cast<unsigned long long>(seed),
+                  report.failure->step_index, report.failure->oracle.c_str(),
+                  report.failure->detail.c_str());
+      std::printf("shrinking...\n");
+      const auto shrunk = fuzz::shrink(schedule);
+      const fuzz::Schedule& minimal = shrunk ? shrunk->schedule : schedule;
+      if (shrunk) {
+        std::printf("shrunk to %zu step(s) in %zu runs (oracle %s: %s)\n",
+                    minimal.steps.size(), shrunk->runs,
+                    shrunk->failure.oracle.c_str(),
+                    shrunk->failure.detail.c_str());
+      }
+      std::printf("repro (replay with fuzz::replay or tests/test_fuzz.cpp):\n"
+                  "  %s\n",
+                  minimal.repro().c_str());
+      std::ofstream out(out_path);
+      out << minimal.repro() << "\n";
+      std::printf("repro written to %s\n", out_path.c_str());
+      return 1;
+    }
+
+    if ((i + 1) % 10 == 0 || (count != 0 && i + 1 == count)) {
+      std::printf("%llu schedules green | attacks %llu | churn %llu | "
+                  "notifications %llu | detections %llu | federation %llu\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(attacks),
+                  static_cast<unsigned long long>(churn),
+                  static_cast<unsigned long long>(notifications),
+                  static_cast<unsigned long long>(detections),
+                  static_cast<unsigned long long>(federation));
+      std::fflush(stdout);
+    }
+  }
+  std::puts("soak complete: every oracle green.");
+  return 0;
+}

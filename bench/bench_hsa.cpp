@@ -1,15 +1,28 @@
 // E4: cost of the logical-verification substrate — wildcard algebra
-// micro-benchmarks and network reachability vs rule count / topology size
-// (google-benchmark).
+// micro-operations, the adversarial cube-blowup workload (deep exact-match
+// shadowing chains, the pattern that used to wall the fuzzer on >2x2
+// grids), and a replay of the ROADMAP blowup repro with a hard sub-second
+// regression gate.
+//
+// Flags: --smoke (tiny sizes, 1 iteration)   --json FILE (machine output)
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "hsa/reachability.hpp"
-#include "workload/scenario.hpp"
+#include "hsa/transfer.hpp"
+#include "testing/fuzzer.hpp"
+#include "util/stats.hpp"
 
 using namespace rvaas;
+using Clock = std::chrono::steady_clock;
 
 namespace {
+
+double ms_since(Clock::time_point t0) {
+  return 1e3 * std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 hsa::Wildcard random_cube(util::Rng& rng, double fix_prob) {
   hsa::Wildcard w;
@@ -21,115 +34,171 @@ hsa::Wildcard random_cube(util::Rng& rng, double fix_prob) {
   return w;
 }
 
-void BM_WildcardIntersect(benchmark::State& state) {
-  util::Rng rng(1);
-  const hsa::Wildcard a = random_cube(rng, 0.3);
-  const hsa::Wildcard b = random_cube(rng, 0.3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.intersect(b));
-  }
+/// An exact-match rule cube the way provider routing produces them:
+/// destination address plus VLAN pinned, everything else free.
+hsa::Wildcard exact_match_cube(util::Rng& rng) {
+  hsa::Wildcard w;
+  w.set_field(sdn::Field::IpDst, rng.below(std::uint64_t{1} << 32));
+  w.set_field(sdn::Field::Vlan, rng.below(4096));
+  return w;
 }
-BENCHMARK(BM_WildcardIntersect);
-
-void BM_WildcardSubset(benchmark::State& state) {
-  util::Rng rng(2);
-  const hsa::Wildcard a = random_cube(rng, 0.3);
-  const hsa::Wildcard b = random_cube(rng, 0.1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.subset_of(b));
-  }
-}
-BENCHMARK(BM_WildcardSubset);
-
-void BM_CubeSubtract(benchmark::State& state) {
-  util::Rng rng(3);
-  const hsa::Wildcard a = random_cube(rng, 0.05);
-  const hsa::Wildcard b = random_cube(rng, 0.1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hsa::cube_subtract(a, b));
-  }
-}
-BENCHMARK(BM_CubeSubtract);
-
-void BM_HeaderSpaceEmptiness(benchmark::State& state) {
-  // Cube with a diff list of the given length.
-  util::Rng rng(4);
-  hsa::HeaderSpace hs = hsa::HeaderSpace::all();
-  for (long i = 0; i < state.range(0); ++i) {
-    hsa::Wildcard d;
-    d.set_field(sdn::Field::Vlan, static_cast<std::uint64_t>(i) & 0xfff);
-    hs = hs.subtract(d);
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hs.is_empty());
-  }
-}
-BENCHMARK(BM_HeaderSpaceEmptiness)->Arg(2)->Arg(8)->Arg(32);
-
-/// Reachability over a provider-routed fat-tree: cost vs k (rule count grows
-/// as tenants x hosts x switches).
-void BM_FatTreeReach(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  workload::ScenarioConfig config;
-  config.generated = workload::fat_tree(k);
-  config.seed = 5;
-  workload::ScenarioRuntime runtime(std::move(config));
-
-  const auto tables = runtime.rvaas().snapshot().table_dump();
-  std::size_t total_rules = 0;
-  for (const auto& [_, entries] : tables) total_rules += entries.size();
-
-  const hsa::NetworkModel model =
-      hsa::NetworkModel::from_tables(runtime.network().topology(), tables);
-  const auto ap = runtime.network()
-                      .topology()
-                      .host_ports(runtime.hosts().front())
-                      .front();
-  std::size_t steps = 0;
-  for (auto _ : state) {
-    const auto result = model.reach(ap, hsa::HeaderSpace::all());
-    steps = result.steps;
-    benchmark::DoNotOptimize(result.endpoints.size());
-  }
-  state.counters["switches"] =
-      static_cast<double>(runtime.network().topology().switch_count());
-  state.counters["rules"] = static_cast<double>(total_rules);
-  state.counters["tf-steps"] = static_cast<double>(steps);
-}
-BENCHMARK(BM_FatTreeReach)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
-
-/// Inverse reachability (sources_reaching) — the expensive direction.
-void BM_SourcesReaching(benchmark::State& state) {
-  workload::ScenarioConfig config;
-  config.generated = workload::fat_tree(4);
-  config.seed = 6;
-  workload::ScenarioRuntime runtime(std::move(config));
-  const hsa::NetworkModel model = hsa::NetworkModel::from_tables(
-      runtime.network().topology(), runtime.rvaas().snapshot().table_dump());
-  const auto target = runtime.network()
-                          .topology()
-                          .host_ports(runtime.hosts().front())
-                          .front();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        model.sources_reaching(target, hsa::HeaderSpace::all()));
-  }
-}
-BENCHMARK(BM_SourcesReaching)->Unit(benchmark::kMillisecond);
-
-/// Transfer-function compilation cost vs table size.
-void BM_CompileTables(benchmark::State& state) {
-  workload::ScenarioConfig config;
-  config.generated = workload::fat_tree(4);
-  config.seed = 7;
-  workload::ScenarioRuntime runtime(std::move(config));
-  const auto tables = runtime.rvaas().snapshot().table_dump();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hsa::compile_network(tables));
-  }
-}
-BENCHMARK(BM_CompileTables)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::BenchArgs::parse(argc, argv);
+
+  // --- micro-operations ----------------------------------------------------
+  const int micro_iters = args.smoke ? 1000 : 200000;
+  util::Table micro({"operation", "ns/op"});
+  {
+    util::Rng rng(1);
+    const hsa::Wildcard a = random_cube(rng, 0.3);
+    const hsa::Wildcard b = random_cube(rng, 0.1);
+    volatile bool sink = false;
+
+    auto t0 = Clock::now();
+    for (int i = 0; i < micro_iters; ++i) sink = a.intersect(b).is_empty();
+    micro.add_row({"intersect+empty",
+                   util::Table::fmt(1e6 * ms_since(t0) / micro_iters, 1)});
+
+    t0 = Clock::now();
+    for (int i = 0; i < micro_iters; ++i) sink = a.subset_of(b);
+    micro.add_row({"subset_of",
+                   util::Table::fmt(1e6 * ms_since(t0) / micro_iters, 1)});
+
+    t0 = Clock::now();
+    for (int i = 0; i < micro_iters; ++i) {
+      sink = hsa::cube_subtract(a, b).empty();
+    }
+    micro.add_row({"cube_subtract",
+                   util::Table::fmt(1e6 * ms_since(t0) / micro_iters, 1)});
+    (void)sink;
+  }
+  std::puts("wildcard micro-operations:");
+  micro.print();
+
+  // --- adversarial cube blowup ---------------------------------------------
+  // Deep exact-match shadowing: subtract K wide exact-match cubes from the
+  // full space (what SwitchTransfer::apply's `remaining` chain does while
+  // walking a long table) with an emptiness proof after every step. The
+  // pre-canonical representation exploded combinatorially at the
+  // materialization points; the bounded-lazy form must stay flat-ish in K.
+  std::puts("\nadversarial shadowing chain (all() minus K exact matches):");
+  util::Table blowup({"K", "chain-ms", "cubes", "diffs", "probe-ms"});
+  const std::vector<int> depths = args.smoke
+                                      ? std::vector<int>{8, 16}
+                                      : std::vector<int>{8, 16, 32, 64, 128};
+  double chain_total_ms = 0.0;
+  for (const int k : depths) {
+    util::Rng rng(42);
+    auto t0 = Clock::now();
+    hsa::HeaderSpace hs = hsa::HeaderSpace::all();
+    for (int i = 0; i < k; ++i) {
+      hs = hs.subtract(exact_match_cube(rng));
+      (void)hs.is_empty();
+    }
+    const double chain_ms = ms_since(t0);
+    chain_total_ms += chain_ms;
+
+    // Probe the way the query layer does: intersect with an exact-match
+    // constraint first, never resolve the broad space wholesale.
+    t0 = Clock::now();
+    hsa::Wildcard probe;
+    probe.set_field(sdn::Field::Vlan, 7);
+    probe.set_field(sdn::Field::IpProto, 6);
+    const auto narrowed = hs.intersect(probe);
+    (void)narrowed.is_empty();
+    const double probe_ms = ms_since(t0);
+
+    blowup.add_row({std::to_string(k), util::Table::fmt(chain_ms, 3),
+                    std::to_string(hs.cube_count()),
+                    std::to_string(hs.diff_count()),
+                    util::Table::fmt(probe_ms, 3)});
+  }
+  blowup.print();
+
+  // --- transfer-function shadowing -----------------------------------------
+  // The same pattern end-to-end: a one-switch table of K exact-match rules
+  // plus a broad low-priority fallback, applied to the full header space.
+  std::puts("\ntransfer apply over K-rule exact-match table (wildcard in):");
+  util::Table transfer({"rules", "apply-ms", "results"});
+  for (const int k : depths) {
+    util::Rng rng(7);
+    std::vector<sdn::FlowEntry> entries;
+    for (int i = 0; i < k; ++i) {
+      sdn::FlowEntry e;
+      e.id = sdn::FlowEntryId(static_cast<std::uint64_t>(i) + 1);
+      e.priority = 100;
+      e.match.exact(sdn::Field::IpDst, rng.below(std::uint64_t{1} << 32));
+      e.match.exact(sdn::Field::Vlan, rng.below(4096));
+      e.actions = {sdn::output(sdn::PortNo(1))};
+      entries.push_back(std::move(e));
+    }
+    sdn::FlowEntry fallback;
+    fallback.id = sdn::FlowEntryId(1u << 20);
+    fallback.priority = 1;
+    fallback.actions = {sdn::output(sdn::PortNo(2))};
+    entries.push_back(std::move(fallback));
+
+    const hsa::SwitchTransfer tf = hsa::SwitchTransfer::compile(entries);
+    const auto t0 = Clock::now();
+    const auto results = tf.apply(sdn::PortNo(0), hsa::HeaderSpace::all());
+    transfer.add_row({std::to_string(k), util::Table::fmt(ms_since(t0), 3),
+                      std::to_string(results.size())});
+  }
+  transfer.print();
+
+  // --- ROADMAP blowup repro ------------------------------------------------
+  // The fuzzer schedule that used to take minutes per traversal on the
+  // pre-canonical representation. Hard gate in full mode: < 1 s.
+  constexpr const char* kRepro =
+      "rvaas-fuzz-v1 cfg=2,1,1,2,0,20260850 "
+      "steps=9:37447:42126:52008;1:30128:2473:47484;1:23200:20225:30014;"
+      "7:7052:2085:59801;4:24507:63379:38529";
+  const auto repro_t0 = Clock::now();
+  const fuzz::FuzzReport report = fuzz::replay(kRepro);
+  const double repro_ms = ms_since(repro_t0);
+  util::Table repro({"repro", "ms", "oracles"});
+  repro.add_row({"roadmap-cube-blowup", util::Table::fmt(repro_ms, 1),
+                 report.failure ? "FAIL" : "green"});
+  std::puts("\nfuzzer blowup repro replay:");
+  repro.print();
+  if (report.failure) {
+    std::fprintf(stderr, "FATAL: blowup repro tripped oracle %s: %s\n",
+                 report.failure->oracle.c_str(),
+                 report.failure->detail.c_str());
+    return 1;
+  }
+
+  if (!args.json.empty()) {
+    if (!util::write_json_tables(args.json, {{"micro", &micro},
+                                             {"blowup", &blowup},
+                                             {"transfer", &transfer},
+                                             {"repro", &repro}})) {
+      return 1;
+    }
+    std::printf("JSON written to %s\n", args.json.c_str());
+  }
+
+  // Regression gates (full mode only; smoke boxes are noisy and tiny).
+  bool ok = true;
+  if (!args.smoke) {
+    if (repro_ms >= 1000.0) {
+      std::printf("FAIL: blowup repro took %.0f ms (budget 1000 ms)\n",
+                  repro_ms);
+      ok = false;
+    }
+    if (chain_total_ms >= 2000.0) {
+      std::printf(
+          "FAIL: shadowing chains took %.0f ms total (budget 2000 ms)\n",
+          chain_total_ms);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("\nblowup repro: %.0f ms (budget 1000 ms in full mode)\n",
+                repro_ms);
+  }
+  return ok ? 0 : 1;
+}

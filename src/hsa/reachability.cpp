@@ -112,14 +112,24 @@ ReachabilityResult NetworkModel::reach(PortRef ingress, const HeaderSpace& hs,
     }
 
     // Dominance pruning against previously explored spaces at this port.
+    std::vector<Wildcard>& seen_here = visited[item.in];
     HeaderSpace fresh = item.space;
-    for (const Wildcard& seen : visited[item.in]) {
+    for (const Wildcard& seen : seen_here) {
       fresh = fresh.subtract(seen);
     }
     fresh.compact();
     if (fresh.is_empty()) continue;
-    for (const Wildcard& cube : fresh.resolve()) {
-      visited[item.in].push_back(cube);
+    // Canonical insertion keeps the per-port coverage list merged as the
+    // BFS produces it: fewer, larger cubes mean the dominance subtraction
+    // above appends fewer diffs to every later space through this port —
+    // the in-BFS half of the cube-blowup fix (the other half is bounded
+    // lazy diffs in HeaderSpace::subtract). The flatten is budgeted:
+    // a cube whose plain form would blow past the materialization bound is
+    // left out of the coverage list (an under-approximation — sound here,
+    // it only means that slice can be explored again).
+    for (Wildcard& cube :
+         fresh.resolve_within(HeaderSpace::kMaxMaterializeCubes)) {
+      insert_canonical(seen_here, std::move(cube));
     }
 
     // The walk is about to consult this switch's transfer function (present

@@ -72,6 +72,11 @@ std::vector<TfResult> SwitchTransfer::apply(sdn::PortNo in_port,
 
     HeaderSpace hit = remaining.intersect(rule.match);
     if (hit.is_empty()) continue;
+    // Canonicalize the hit before it fans out: the intersection narrows
+    // every cube toward the rule's match, which collapses many of them
+    // into duplicates/subsets — merging here (not only at the end of the
+    // BFS step) keeps each emitted TfResult small at the source.
+    hit.compact();
 
     for (const TfOutput& out : rule.outputs) {
       TfResult r;

@@ -95,6 +95,48 @@ bool Wildcard::subset_of(const Wildcard& other) const {
   return true;
 }
 
+void Wildcard::or_into(WordMask& acc) const {
+  for (std::size_t w = 0; w < kWords; ++w) acc[w] |= words_[w];
+}
+
+bool Wildcard::subset_of_mask(const WordMask& acc) const {
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if ((words_[w] & acc[w]) != words_[w]) return false;
+  }
+  return true;
+}
+
+bool Wildcard::subset_within(const Wildcard& other, const WordMask& mask) const {
+  for (std::size_t w = 0; w < kWords; ++w) {
+    const std::uint64_t mine = words_[w] & mask[w];
+    if ((mine & other.words_[w]) != mine) return false;
+  }
+  return true;
+}
+
+std::optional<Wildcard> Wildcard::merge_with(const Wildcard& other) const {
+  // Count bit positions (pairs) where the two cubes differ. Differing in at
+  // most one position means the trit-wise OR covers exactly this ∪ other:
+  // all other coordinates agree, and at the differing one the OR is the
+  // union of the two trits (0|1 = x, t|x = x).
+  constexpr std::uint64_t kLow = 0x5555555555555555ULL;
+  int diff_pairs = 0;
+  for (std::size_t w = 0; w < kWords && diff_pairs <= 1; ++w) {
+    const std::uint64_t x = words_[w] ^ other.words_[w];
+    if (x == 0) continue;
+    diff_pairs += std::popcount((x | (x >> 1)) & kLow);
+  }
+  if (diff_pairs <= 1) {
+    Wildcard out = *this;
+    for (std::size_t w = 0; w < kWords; ++w) out.words_[w] |= other.words_[w];
+    return out;
+  }
+  // Multi-position containment: the union is the larger cube.
+  if (subset_of(other)) return other;
+  if (other.subset_of(*this)) return *this;
+  return std::nullopt;
+}
+
 std::uint64_t Wildcard::hash_value() const {
   std::uint64_t h = util::kFnvOffsetBasis;
   for (const std::uint64_t w : words_) h = util::fnv1a_mix(h, w);
@@ -181,6 +223,18 @@ bool Rewrite::touches(Field f) const {
   return (fields_ >> static_cast<unsigned>(f)) & 1;
 }
 
+Wildcard::WordMask Rewrite::bit_mask() const {
+  Wildcard::WordMask mask{};
+  for (const auto& info : kFields) {
+    if (!touches(info.field)) continue;
+    for (unsigned j = 0; j < info.width; ++j) {
+      const std::size_t pos = 2 * header_bit(info, j);
+      mask[pos / 64] |= std::uint64_t{0b11} << (pos % 64);
+    }
+  }
+  return mask;
+}
+
 Wildcard Rewrite::apply(const Wildcard& w) const {
   Wildcard out = w;
   for (const auto& info : kFields) {
@@ -231,6 +285,31 @@ std::vector<Wildcard> cube_subtract(const Wildcard& a, const Wildcard& b) {
     }
   }
   return out;
+}
+
+void insert_canonical(std::vector<Wildcard>& cubes, Wildcard w) {
+  // Absorb / merge to a fixpoint: a successful merge removes one list
+  // element and restarts with the (strictly larger) merged cube, which may
+  // now absorb or merge with further cubes, so the loop terminates.
+  for (;;) {
+    bool merged = false;
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      if (w.subset_of(cubes[i])) return;  // already covered
+      if (cubes[i].subset_of(w)) {
+        cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(i));
+        --i;
+        continue;
+      }
+      if (auto m = cubes[i].merge_with(w)) {
+        w = std::move(*m);
+        cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(i));
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) break;
+  }
+  cubes.push_back(std::move(w));
 }
 
 }  // namespace rvaas::hsa

@@ -25,6 +25,12 @@ class Wildcard {
   static constexpr std::size_t kBits = sdn::kHeaderBits;
   static constexpr std::size_t kWords = (2 * kBits + 63) / 64;
 
+  /// Raw ternary words of one or more cubes OR-ed together. Not a cube
+  /// itself — used as a cheap necessary-condition summary: a cube can only
+  /// be a subset of SOME cube in a set if it is word-subset of the set's
+  /// OR-mask (see subset_of_mask).
+  using WordMask = std::array<std::uint64_t, kWords>;
+
   /// All-x cube (the full header space).
   Wildcard();
 
@@ -53,6 +59,29 @@ class Wildcard {
 
   /// true iff every header in *this is also in `other`.
   bool subset_of(const Wildcard& other) const;
+
+  /// OR this cube's ternary words into `acc`.
+  void or_into(WordMask& acc) const;
+
+  /// Word-level subset test against an OR-mask of several cubes. If this
+  /// returns false, *this is a subset of none of the cubes the mask
+  /// summarizes (if it returns true nothing is implied) — the O(1) prepass
+  /// that lets diff-list emptiness checks skip O(diffs) subset scans.
+  bool subset_of_mask(const WordMask& acc) const;
+
+  /// Subset test restricted to the bit positions selected by `mask`:
+  /// true iff this cube's trit at every masked position is contained in
+  /// `other`'s. The exactness test behind lazy rewrite (HeaderSpace::rewrite
+  /// keeps a diff lazy iff the base's rewritten-bit range is inside the
+  /// diff's — see the derivation there).
+  bool subset_within(const Wildcard& other, const WordMask& mask) const;
+
+  /// If *this and `other` cover, together, a set expressible as ONE cube —
+  /// one contains the other, or they differ in exactly one bit position
+  /// (where the merged cube takes the trit-wise union) — returns that
+  /// cube. The canonical-form primitive behind insert_canonical().
+  /// Precondition: neither cube is empty.
+  std::optional<Wildcard> merge_with(const Wildcard& other) const;
 
   bool operator==(const Wildcard&) const = default;
 
@@ -104,6 +133,11 @@ class Rewrite {
   /// true iff the rewrite touches field f.
   bool touches(sdn::Field f) const;
 
+  /// Ternary-word mask with both bits set at every bit position of every
+  /// overwritten field (and zero elsewhere) — the rewritten-bit selector
+  /// for Wildcard::subset_within.
+  Wildcard::WordMask bit_mask() const;
+
   bool operator==(const Rewrite&) const = default;
 
  private:
@@ -114,5 +148,15 @@ class Rewrite {
 /// Cube difference A \ B as a union of (possibly overlapping) cubes.
 /// Size is at most the number of constrained bits in B.
 std::vector<Wildcard> cube_subtract(const Wildcard& a, const Wildcard& b);
+
+/// Inserts `w` into a canonical cube list: drops it when an existing cube
+/// contains it, drops existing cubes it contains, and merges one-position
+/// neighbours (via merge_with) to a fixpoint. The result denotes exactly
+/// the old union plus `w`, and is a deterministic function of the
+/// insertion sequence — callers that replay the same computation get the
+/// same list, which is what keeps canonicalized HeaderSpaces usable as
+/// structural cache keys. Precondition: `w` and every listed cube are
+/// non-empty.
+void insert_canonical(std::vector<Wildcard>& cubes, Wildcard w);
 
 }  // namespace rvaas::hsa

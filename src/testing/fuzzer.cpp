@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "attacks/attacks.hpp"
 #include "rvaas/multiprovider.hpp"
@@ -44,12 +45,13 @@ constexpr sim::Time kQueryTimeout = 15 * sim::kMillisecond;
 constexpr sim::Time kFlappingRun = 40 * sim::kMillisecond;
 /// Traversal depth for every engine the harness runs (the runtime's, the
 /// peer domain's, and the flat reference). The fuzz topologies have at
-/// most 9 switches, so no legitimate path — attack detours included —
-/// comes near this bound; it exists to cap the winding-path cube blowup
-/// adversarial churn can induce on loopy (ring/grid) shapes. All engines
-/// share one value: a depth asymmetry between the federated walk (budget
-/// resets per domain) and the flat reference would itself be a divergence.
-constexpr std::size_t kReachDepth = 24;
+/// most 16 switches (4x4 grid), so no legitimate path — attack detours
+/// included — comes near this bound; it exists to cap the winding-path
+/// walks adversarial churn can induce on loopy (ring/grid) shapes. All
+/// engines share one value: a depth asymmetry between the federated walk
+/// (budget resets per domain) and the flat reference would itself be a
+/// divergence.
+constexpr std::size_t kReachDepth = 32;
 constexpr std::uint64_t kChurnCookieBase = 0xc4000000ull;
 constexpr std::uint64_t kFlappingCookie = 0xf1a9;
 constexpr std::size_t kMaxTrackedSubs = 3;
@@ -121,10 +123,16 @@ class Runner {
       case TopologyKind::Ring:
         cfg.generated = workload::ring(sched_.config.topo_size);
         break;
-      case TopologyKind::Grid:
-        cfg.generated = sched_.config.topo_size == 0 ? workload::grid(2, 2)
-                                                     : workload::grid(3, 2);
+      case TopologyKind::Grid: {
+        // Size-code → dimensions map (kMaxGridSizeCode caps the code).
+        static constexpr std::pair<std::size_t, std::size_t> kGridDims[] = {
+            {2, 2}, {3, 2}, {3, 3}, {4, 3}, {4, 4}};
+        const auto [cols, rows] =
+            kGridDims[std::min<std::uint32_t>(sched_.config.topo_size,
+                                              kMaxGridSizeCode)];
+        cfg.generated = workload::grid(cols, rows);
         break;
+      }
     }
     cfg.tenant_count = sched_.config.tenant_count;
     cfg.seed = sched_.config.seed;

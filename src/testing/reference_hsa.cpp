@@ -1,0 +1,128 @@
+#include "testing/reference_hsa.hpp"
+
+#include <utility>
+
+namespace rvaas::fuzz {
+
+using hsa::HeaderSpace;
+using hsa::Rewrite;
+using hsa::Wildcard;
+
+// Invariant: cubes_ holds only non-empty cubes (possibly overlapping,
+// never merged — naivety is the point).
+
+ReferenceHeaderSpace ReferenceHeaderSpace::all() {
+  return ReferenceHeaderSpace(Wildcard::all());
+}
+
+ReferenceHeaderSpace::ReferenceHeaderSpace(const Wildcard& cube) {
+  if (!cube.is_empty()) cubes_.push_back(cube);
+}
+
+ReferenceHeaderSpace ReferenceHeaderSpace::from(const HeaderSpace& hs) {
+  ReferenceHeaderSpace out;
+  for (const hsa::Cube& c : hs.cubes()) {
+    // Eager flattening of base \ diffs, one diff at a time.
+    std::vector<Wildcard> plain;
+    if (!c.base.is_empty()) plain.push_back(c.base);
+    for (const Wildcard& d : c.diffs) {
+      std::vector<Wildcard> next;
+      for (const Wildcard& p : plain) {
+        for (Wildcard& piece : cube_subtract(p, d)) {
+          if (!piece.is_empty()) next.push_back(std::move(piece));
+        }
+      }
+      plain = std::move(next);
+    }
+    out.cubes_.insert(out.cubes_.end(), plain.begin(), plain.end());
+  }
+  return out;
+}
+
+bool ReferenceHeaderSpace::is_empty() const { return cubes_.empty(); }
+
+bool ReferenceHeaderSpace::contains(const sdn::HeaderFields& h) const {
+  for (const Wildcard& c : cubes_) {
+    if (c.contains(h)) return true;
+  }
+  return false;
+}
+
+ReferenceHeaderSpace ReferenceHeaderSpace::intersect(const Wildcard& w) const {
+  ReferenceHeaderSpace out;
+  for (const Wildcard& c : cubes_) {
+    Wildcard narrowed = c.intersect(w);
+    if (!narrowed.is_empty()) out.cubes_.push_back(std::move(narrowed));
+  }
+  return out;
+}
+
+ReferenceHeaderSpace ReferenceHeaderSpace::subtract(const Wildcard& w) const {
+  ReferenceHeaderSpace out;
+  for (const Wildcard& c : cubes_) {
+    for (Wildcard& piece : cube_subtract(c, w)) {
+      if (!piece.is_empty()) out.cubes_.push_back(std::move(piece));
+    }
+  }
+  return out;
+}
+
+ReferenceHeaderSpace ReferenceHeaderSpace::union_with(
+    const ReferenceHeaderSpace& other) const {
+  ReferenceHeaderSpace out = *this;
+  out.cubes_.insert(out.cubes_.end(), other.cubes_.begin(),
+                    other.cubes_.end());
+  return out;
+}
+
+ReferenceHeaderSpace ReferenceHeaderSpace::rewrite(const Rewrite& rw) const {
+  ReferenceHeaderSpace out;
+  for (const Wildcard& c : cubes_) {
+    Wildcard img = rw.apply(c);
+    if (!img.is_empty()) out.cubes_.push_back(std::move(img));
+  }
+  return out;
+}
+
+std::optional<std::string> check_headerspace_vs_reference(
+    const HeaderSpace& opt, const ReferenceHeaderSpace& ref, util::Rng& rng,
+    std::size_t samples) {
+  // Sample-based membership, both directions.
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (const auto h = opt.sample(rng)) {
+      if (!ref.contains(*h)) {
+        return "optimized space contains a header the reference excludes "
+               "(sampled from optimized cube list)";
+      }
+    }
+    if (!ref.cubes().empty()) {
+      const sdn::HeaderFields h = rng.pick(ref.cubes()).sample(rng);
+      if (!opt.contains(h)) {
+        return "reference space contains a header the optimized side "
+               "excludes (sampled from reference cube list)";
+      }
+    }
+  }
+
+  // Exact containment both ways via eager set difference on plain cubes.
+  const ReferenceHeaderSpace flat = ReferenceHeaderSpace::from(opt);
+  ReferenceHeaderSpace opt_minus_ref = flat;
+  for (const Wildcard& c : ref.cubes()) {
+    opt_minus_ref = opt_minus_ref.subtract(c);
+  }
+  if (!opt_minus_ref.is_empty()) {
+    return "optimized \\ reference is non-empty: " +
+           opt_minus_ref.cubes().front().to_string();
+  }
+  ReferenceHeaderSpace ref_minus_opt = ref;
+  for (const Wildcard& c : flat.cubes()) {
+    ref_minus_opt = ref_minus_opt.subtract(c);
+  }
+  if (!ref_minus_opt.is_empty()) {
+    return "reference \\ optimized is non-empty: " +
+           ref_minus_opt.cubes().front().to_string();
+  }
+  return std::nullopt;
+}
+
+}  // namespace rvaas::fuzz

@@ -1,0 +1,53 @@
+#pragma once
+// Reference header-space implementation for the equivalence oracle: an
+// eager, plain-cube-list model of the same set algebra src/hsa implements
+// with lazy diffs, canonical merging, memoization and materialization
+// bounds. Everything here is deliberately naive — subtraction happens
+// immediately via cube_subtract, nothing is merged, nothing is cached — so
+// a divergence between the two always points at the optimized side.
+//
+// Testing-only: linked into the testing layer and the fuzz/equivalence
+// tests, never into the production engine.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hsa/header_space.hpp"
+
+namespace rvaas::fuzz {
+
+/// Union of plain (diff-free) cubes, eagerly maintained.
+class ReferenceHeaderSpace {
+ public:
+  ReferenceHeaderSpace() = default;
+  static ReferenceHeaderSpace all();
+  explicit ReferenceHeaderSpace(const hsa::Wildcard& cube);
+
+  /// Imports an optimized space by resolving it to plain cubes.
+  static ReferenceHeaderSpace from(const hsa::HeaderSpace& hs);
+
+  bool is_empty() const;
+  bool contains(const sdn::HeaderFields& h) const;
+
+  ReferenceHeaderSpace intersect(const hsa::Wildcard& w) const;
+  ReferenceHeaderSpace subtract(const hsa::Wildcard& w) const;
+  ReferenceHeaderSpace union_with(const ReferenceHeaderSpace& other) const;
+  ReferenceHeaderSpace rewrite(const hsa::Rewrite& rw) const;
+
+  const std::vector<hsa::Wildcard>& cubes() const { return cubes_; }
+
+ private:
+  std::vector<hsa::Wildcard> cubes_;
+};
+
+/// Equivalence oracle: checks that `opt` and `ref` denote the same header
+/// set. Sample-based membership both ways (`samples` draws from each side
+/// must be members of the other), plus an exact emptiness cross-check of
+/// opt \ ref and ref \ opt piece-by-piece. Returns a human-readable
+/// divergence, nullopt when equivalent.
+std::optional<std::string> check_headerspace_vs_reference(
+    const hsa::HeaderSpace& opt, const ReferenceHeaderSpace& ref,
+    util::Rng& rng, std::size_t samples);
+
+}  // namespace rvaas::fuzz

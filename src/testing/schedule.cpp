@@ -104,7 +104,8 @@ std::optional<Schedule> parse_repro(const std::string& text) {
       }
       break;
     case TopologyKind::Grid:
-      if (out.config.topo_size > 1) return std::nullopt;  // harness map code
+      // Harness map code, not a switch count (see kMaxGridSizeCode).
+      if (out.config.topo_size > kMaxGridSizeCode) return std::nullopt;
       break;
   }
   if (out.config.tenant_count < 1 || out.config.tenant_count > 8) {
@@ -145,7 +146,7 @@ std::optional<Schedule> parse_repro(const std::string& text) {
   return out;
 }
 
-Schedule generate_schedule(std::uint64_t seed) {
+Schedule generate_schedule(std::uint64_t seed, std::uint32_t max_grid_code) {
   util::Rng rng(seed ^ 0xf055'5eed'0000'0001ull);
   Schedule out;
   out.config.seed = seed;
@@ -163,12 +164,12 @@ Schedule generate_schedule(std::uint64_t seed) {
     out.config.topo_size = 4 + static_cast<std::uint32_t>(rng.below(3));
   } else {
     out.config.topology = TopologyKind::Grid;
-    // Only the 2x2 grid (harness size code 0): adversarial exact-match rule
-    // mixes on larger grids blow up the HSA cube algebra into multi-minute
-    // single traversals — a real scaling wall (see ROADMAP), not sweep
-    // material. rng.below keeps the draw for seed-stream compatibility.
-    rng.below(2);
-    out.config.topo_size = 0;
+    // Full grid range up to 4x4 (harness size codes 0..4): the canonical
+    // header-space form with bounded lazy diffs keeps adversarial
+    // exact-match rule mixes on large grids tractable, so they are sweep
+    // material again.
+    out.config.topo_size =
+        static_cast<std::uint32_t>(rng.below(max_grid_code + 1));
   }
   out.config.tenant_count = rng.below(2) == 0 ? 2 : 1;
   out.config.polling = static_cast<std::uint8_t>(rng.below(3));

@@ -77,9 +77,17 @@ struct Schedule {
   std::string repro() const;
 };
 
+/// Largest grid size code the generator draws (and parse_repro accepts).
+/// Codes map to grid dimensions in the harness: 0=2x2, 1=3x2, 2=3x3,
+/// 3=4x3, 4=4x4.
+constexpr std::uint32_t kMaxGridSizeCode = 4;
+
 /// Derives a complete schedule (config + steps) from one seed. Equal seeds
 /// always produce equal schedules, across processes and platforms.
-Schedule generate_schedule(std::uint64_t seed);
+/// `max_grid_code` caps the grid size draw (soak tooling exposes it as
+/// --max-grid); the default sweeps the full range.
+Schedule generate_schedule(std::uint64_t seed,
+                           std::uint32_t max_grid_code = kMaxGridSizeCode);
 
 /// Parses Schedule::repro() output; nullopt on malformed input.
 std::optional<Schedule> parse_repro(const std::string& text);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "rvaas/engine.hpp"
 #include "testing/fuzzer.hpp"
 #include "testing/shrink.hpp"
@@ -120,6 +122,30 @@ TEST(Fuzz, ReproCorpusStaysGreen) {
     EXPECT_FALSE(report.failure.has_value())
         << repro << "\nfailed " << describe(*parsed, *report.failure);
   }
+}
+
+/// The ROADMAP cube-blowup repro: adversarial churn on a 3x2 grid that
+/// drove the pre-canonical HSA representation into multi-minute single
+/// traversals. With bounded lazy diffs + in-BFS canonical merging it must
+/// stay green AND fast. The guard is generous (sanitizer CI) — the release
+/// bench (bench_hsa) gates the tighter sub-second budget.
+TEST(Fuzz, CubeBlowupReproStaysFastAndGreen) {
+  constexpr const char* kRepro =
+      "rvaas-fuzz-v1 cfg=2,1,1,2,0,20260850 "
+      "steps=9:37447:42126:52008;1:30128:2473:47484;1:23200:20225:30014;"
+      "7:7052:2085:59801;4:24507:63379:38529";
+  const auto parsed = parse_repro(kRepro);
+  ASSERT_TRUE(parsed.has_value());
+
+  const auto start = std::chrono::steady_clock::now();
+  const FuzzReport report = replay(kRepro);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  EXPECT_FALSE(report.failure.has_value())
+      << describe(*parsed, *report.failure);
+  EXPECT_LT(elapsed.count(), 10000)
+      << "cube-blowup repro regressed into the representation wall";
 }
 
 /// Fault-injection drill: freeze a cache tier's invalidation and the

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "hsa/header_space.hpp"
+#include "testing/reference_hsa.hpp"
 
 namespace rvaas::hsa {
 namespace {
@@ -153,14 +154,75 @@ TEST(HeaderSpace, RewritePreservesUntouchedDiffs) {
 }
 
 TEST(HeaderSpace, CompactDropsEmptyAndSubsumedCubes) {
+  // A fully shadowed subtraction drops its cube at subtract() time, so the
+  // third union member contributes no cube at all.
   HeaderSpace hs = HeaderSpace(vlan_cube(5))
                        .union_with(HeaderSpace::all())
                        .union_with(HeaderSpace(vlan_cube(1)).subtract(vlan_cube(1)));
-  EXPECT_EQ(hs.cube_count(), 3u);
+  EXPECT_EQ(hs.cube_count(), 2u);
   hs.compact();
-  // vlan5 ⊆ all and the third cube is empty.
+  // vlan5 ⊆ all.
   EXPECT_EQ(hs.cube_count(), 1u);
   EXPECT_TRUE(hs.contains(header(5, 0)));
+}
+
+TEST(HeaderSpace, SubtractDropsFullyShadowedCube) {
+  const HeaderSpace hs = HeaderSpace(vlan_cube(1)).subtract(vlan_cube(1));
+  EXPECT_EQ(hs.cube_count(), 0u);
+  EXPECT_TRUE(hs.is_empty());
+}
+
+TEST(HeaderSpace, SubtractClipsDiffToBase) {
+  // Subtracting proto6 from vlan1 must clip the stored diff to vlan1 ∩
+  // proto6, not keep the full-width proto6 cube.
+  const HeaderSpace hs = HeaderSpace(vlan_cube(1)).subtract(proto_cube(6));
+  ASSERT_EQ(hs.cube_count(), 1u);
+  ASSERT_EQ(hs.cubes()[0].diffs.size(), 1u);
+  EXPECT_TRUE(hs.cubes()[0].diffs[0].subset_of(hs.cubes()[0].base));
+}
+
+TEST(HeaderSpace, RewriteCompactsOverlappingImages) {
+  // vlan1 and vlan2 map onto the same image under vlan := 9; the rewrite
+  // must emit one cube, not overlapping duplicates.
+  Rewrite rw;
+  rw.set_field(Field::Vlan, 9);
+  HeaderSpace hs =
+      HeaderSpace(vlan_cube(1)).union_with(HeaderSpace(vlan_cube(2)));
+  hs = hs.rewrite(rw);
+  EXPECT_EQ(hs.cube_count(), 1u);
+  EXPECT_TRUE(hs.contains(header(9, 6)));
+}
+
+TEST(HeaderSpace, MaterializationPreservesSemantics) {
+  // Drive one cube past kMaxLazyDiffs with narrow-field subtractions so the
+  // flattening succeeds, then check membership survived the representation
+  // change.
+  HeaderSpace hs = HeaderSpace::all();
+  for (std::uint64_t v = 0; v <= HeaderSpace::kMaxLazyDiffs + 2; ++v) {
+    hs = hs.subtract(vlan_cube(v));
+  }
+  for (const Cube& c : hs.cubes()) {
+    EXPECT_LE(c.diffs.size(), HeaderSpace::kMaxLazyDiffs);
+  }
+  for (std::uint64_t v = 0; v <= HeaderSpace::kMaxLazyDiffs + 2; ++v) {
+    EXPECT_FALSE(hs.contains(header(v, 6)));
+  }
+  EXPECT_TRUE(hs.contains(header(HeaderSpace::kMaxLazyDiffs + 3, 6)));
+}
+
+TEST(HeaderSpace, EmptinessMemoSurvivesCopiesAndAppends) {
+  // Two half-space diffs (proto high bit 0 / 1) cover the base between
+  // them; neither alone is a full shadow, so both take the append path and
+  // the second must invalidate the memoized "non-empty" verdict.
+  Wildcard low_half;
+  low_half.set_field_masked(Field::IpProto, 0, 0x80);
+  Wildcard high_half;
+  high_half.set_field_masked(Field::IpProto, 0x80, 0x80);
+
+  HeaderSpace hs = HeaderSpace(vlan_cube(1)).subtract(low_half);
+  EXPECT_FALSE(hs.is_empty());  // memoizes non-empty
+  hs = hs.subtract(high_half);
+  EXPECT_TRUE(hs.is_empty());
 }
 
 TEST(HeaderSpace, FingerprintAndEqualityFollowStructure) {
@@ -281,6 +343,93 @@ TEST_P(HeaderSpaceProperty, OperationsPreserveMembership) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeaderSpaceProperty,
                          ::testing::Range<std::uint64_t>(0, 25));
+
+// Equivalence sweep against the naive reference implementation
+// (src/testing/reference_hsa.hpp): random operation sequences applied to
+// both sides must denote the same header set — checked by sampled
+// membership in both directions plus exact set difference.
+class HeaderSpaceEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HeaderSpaceEquivalence, MatchesNaiveReference) {
+  util::Rng rng(GetParam() * 977 + 7);
+
+  HeaderSpace opt = HeaderSpace::all();
+  fuzz::ReferenceHeaderSpace ref = fuzz::ReferenceHeaderSpace::all();
+
+  const int op_count = 4 + static_cast<int>(rng.below(8));
+  for (int i = 0; i < op_count; ++i) {
+    Wildcard c;
+    if (rng.next_bit()) c.set_field(Field::Vlan, rng.below(8));
+    if (rng.next_bit()) c.set_field(Field::IpProto, rng.below(8));
+    switch (rng.below(4)) {
+      case 0:
+        opt = opt.intersect(c);
+        ref = ref.intersect(c);
+        break;
+      case 1:
+      case 2:  // subtraction-heavy: it is the diff-list/materialize path
+        opt = opt.subtract(c);
+        ref = ref.subtract(c);
+        break;
+      case 3:
+        opt = opt.union_with(HeaderSpace(c));
+        ref = ref.union_with(fuzz::ReferenceHeaderSpace(c));
+        break;
+    }
+    if (rng.below(4) == 0) opt.compact();  // must never change the set
+  }
+
+  const auto divergence =
+      fuzz::check_headerspace_vs_reference(opt, ref, rng, 32);
+  EXPECT_FALSE(divergence.has_value()) << *divergence;
+}
+
+TEST_P(HeaderSpaceEquivalence, RewriteMatchesNaiveReference) {
+  util::Rng rng(GetParam() * 1553 + 13);
+
+  HeaderSpace opt = HeaderSpace::all();
+  fuzz::ReferenceHeaderSpace ref = fuzz::ReferenceHeaderSpace::all();
+  for (int i = 0; i < 5; ++i) {
+    Wildcard c;
+    c.set_field(Field::Vlan, rng.below(8));
+    if (rng.next_bit()) c.set_field(Field::IpProto, rng.below(4));
+    opt = opt.subtract(c);
+    ref = ref.subtract(c);
+  }
+  Rewrite rw;
+  rw.set_field(Field::Vlan, rng.below(8));
+  opt = opt.rewrite(rw);
+  ref = ref.rewrite(rw);
+
+  const auto divergence =
+      fuzz::check_headerspace_vs_reference(opt, ref, rng, 32);
+  EXPECT_FALSE(divergence.has_value()) << *divergence;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderSpaceEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(HeaderSpace, CanonicalizationIsDeterministic) {
+  // ReachCache / CompiledModelCache key on structural equality: the same
+  // operation sequence must always produce the same cube structure, byte
+  // for byte, including through the materialization and compact() paths.
+  const auto build = [] {
+    HeaderSpace hs = HeaderSpace::all();
+    for (std::uint64_t v = 0; v < HeaderSpace::kMaxLazyDiffs + 3; ++v) {
+      hs = hs.subtract(vlan_cube(v * 37 % 4096));
+    }
+    Rewrite rw;
+    rw.set_field(Field::IpProto, 6);
+    hs = hs.rewrite(rw);
+    hs.compact();
+    return hs;
+  };
+  const HeaderSpace a = build();
+  const HeaderSpace b = build();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
 
 }  // namespace
 }  // namespace rvaas::hsa

@@ -8,6 +8,8 @@
 //   fuzz_soak --count N       stop after N green schedules
 //   fuzz_soak --seed S        base seed (schedule i uses S + i)
 //   fuzz_soak --out FILE      repro file on failure (default fuzz_repro.txt)
+//   fuzz_soak --max-grid N    cap grid schedules at NxN-ish (side 2..4;
+//                             default 4 = full 4x4 range)
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
   std::uint64_t base_seed = 0xf055;
   std::uint64_t count = 0;  // 0 = unbounded
   std::string out_path = "fuzz_repro.txt";
+  std::uint64_t max_grid_side = 4;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -35,17 +38,27 @@ int main(int argc, char** argv) {
       base_seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--max-grid" && i + 1 < argc) {
+      max_grid_side = std::strtoull(argv[++i], nullptr, 0);
+      if (max_grid_side < 2 || max_grid_side > 4) {
+        std::fprintf(stderr, "--max-grid wants a side in 2..4\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
     }
   }
 
+  // Side 2/3/4 → largest size code 0/2/4 (codes interleave non-square
+  // shapes: 0=2x2, 1=3x2, 2=3x3, 3=4x3, 4=4x4).
+  const auto max_grid_code = static_cast<std::uint32_t>((max_grid_side - 2) * 2);
+
   std::uint64_t attacks = 0, churn = 0, notifications = 0, detections = 0,
                 federation = 0;
   for (std::uint64_t i = 0; count == 0 || i < count; ++i) {
     const std::uint64_t seed = base_seed + i;
-    const fuzz::Schedule schedule = fuzz::generate_schedule(seed);
+    const fuzz::Schedule schedule = fuzz::generate_schedule(seed, max_grid_code);
     const fuzz::FuzzReport report = fuzz::run_schedule(schedule);
     attacks += report.attacks_launched;
     churn += report.churn_applied;

@@ -17,10 +17,22 @@
 // (re-evaluations the monitor ran vs the subscription population). Full
 // mode enforces the >= 5x median time-to-alert gate.
 //
+// A second, engine-level scaling mode grows a synthetic registry to --subs
+// subscriptions (default ladder 100k/300k/1M; small in smoke) around a
+// fixed set of 64 churn-affected sentinels and measures wall-clock
+// time-to-alert for single-switch churn: with the inverted footprint index
+// the monitor wakes O(affected) regardless of registry size, so the gate is
+// median(1M) <= 2x median(100k). The retired linear scan is timed alongside
+// as the O(subs) contrast.
+//
 // Flags: --smoke (tiny topology, 2 cycles)   --json FILE (machine output)
+//        --subs N,M,...|N..M (scaling-mode subscription ladder)
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <optional>
+#include <set>
 
 #include "rvaas/monitor.hpp"
 #include "util/stats.hpp"
@@ -214,6 +226,138 @@ TrialResult run_pull_trial(Setup& setup, int cycles, util::Rng& rng) {
   return result;
 }
 
+// --- engine-level scaling mode -------------------------------------------
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// One ladder rung: a fresh monitor over a copied snapshot, `total`
+/// subscriptions of which exactly `sentinels` have the churn switch in
+/// their footprint. Background subscriptions enter pre-evaluated with
+/// synthetic footprints that avoid the churn switch — their content never
+/// matters, they exist to give the index (and the linear reference) a
+/// registry worth scanning.
+struct ScalingRung {
+  double warmup_linear_ms = 0;  ///< first sweep = the O(subs) fallback scan
+  util::Samples alert_ms;       ///< apply churn + sweep, wall clock
+  util::Samples index_select_us;
+  util::Samples linear_select_us;
+  bool wakeups_exact = true;  ///< every cycle woke exactly the sentinels
+};
+
+ScalingRung run_scaling_rung(Setup& setup, core::QueryEngine& engine,
+                             std::size_t total, std::size_t sentinels,
+                             int cycles, std::uint64_t seed) {
+  workload::ScenarioRuntime& runtime = *setup.runtime;
+  const sdn::Topology& topo = runtime.network().topology();
+  core::SnapshotManager snap = runtime.rvaas().snapshot();  // fresh identity
+  core::PropertyMonitor monitor(engine);
+  core::DisclosedGeo geo(topo);
+  core::QueryEngine::EvalContext ctx;
+  ctx.geo = &geo;
+  ctx.addressing = &runtime.addressing();
+  util::ThreadPool pool(0);
+
+  const auto& hosts = runtime.hosts();
+  const sdn::HostId sentinel_client = hosts.back();
+  const sdn::PortRef sentinel_ap = topo.host_ports(sentinel_client).front();
+  const sdn::SwitchId churn_sw = sentinel_ap.sw;
+  std::vector<sdn::SwitchId> others;
+  for (const sdn::SwitchId sw : topo.switches()) {
+    if (sw != churn_sw) others.push_back(sw);
+  }
+
+  // Background registry: pre-evaluated at the current epoch, synthetic
+  // footprints off the churn switch, so single-switch churn never selects
+  // them — by either selection path.
+  util::Rng rng(seed);
+  const std::uint64_t epoch0 = snap.epoch();
+  for (std::size_t i = 0; i < total - sentinels; ++i) {
+    core::PropertyMonitor::Subscription sub;
+    sub.id = 1 + i;
+    sub.client = hosts[i % hosts.size()];
+    sub.request_point = topo.host_ports(sub.client).front();
+    sub.property.kind = core::QueryKind::ReachableEndpoints;
+    sub.evaluated = true;
+    sub.evaluated_epoch = epoch0;
+    std::set<sdn::SwitchId> fp;
+    const std::size_t len = std::min<std::size_t>(
+        others.size(), 3 + static_cast<std::size_t>(rng.below(4)));
+    while (fp.size() < len) fp.insert(others[rng.below(others.size())]);
+    sub.footprint.assign(fp.begin(), fp.end());
+    monitor.subscribe(std::move(sub));
+  }
+  // Sentinels: real properties anchored at the churn switch (their ingress),
+  // so every re-evaluation keeps the churn switch in their footprint.
+  for (std::size_t j = 0; j < sentinels; ++j) {
+    core::PropertyMonitor::Subscription sub;
+    sub.id = 10'000'000 + j;
+    sub.client = sentinel_client;
+    sub.request_point = sentinel_ap;
+    sub.property.kind = core::QueryKind::ReachableEndpoints;
+    sub.property.constraint = sdn::Match().exact(
+        sdn::Field::IpDst,
+        runtime.addressing().of(hosts[(1 + 7 * j) % hosts.size()]).ip);
+    monitor.subscribe(std::move(sub));
+  }
+
+  ScalingRung rung;
+
+  // Warmup sweep: no index anchors yet, so this is the retired O(subs)
+  // linear scan over the full registry — kept as the baseline contrast —
+  // and it runs the sentinels' baseline evaluations.
+  const auto w0 = std::chrono::steady_clock::now();
+  const auto baseline = monitor.sweep(snap, ctx, pool);
+  rung.warmup_linear_ms = elapsed_ms(w0, std::chrono::steady_clock::now());
+  if (baseline.size() != sentinels) rung.wakeups_exact = false;
+
+  // Steady state: alternately add / remove one rule at the churn switch;
+  // each cycle's time-to-alert is the wall clock from applying the update
+  // to holding the re-evaluated wakeups.
+  std::optional<sdn::FlowEntry> installed;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    sdn::FlowUpdate update;
+    update.sw = churn_sw;
+    if (installed) {
+      update.kind = sdn::FlowUpdateKind::Removed;
+      update.entry = *installed;
+      installed.reset();
+    } else {
+      sdn::FlowEntry e;
+      e.id = sdn::FlowEntryId(9'000'000 + static_cast<std::uint64_t>(cycle));
+      e.priority = 2;
+      e.match = sdn::Match().exact(sdn::Field::L4Dst, 9900);
+      e.actions = {sdn::drop()};
+      update.kind = sdn::FlowUpdateKind::Added;
+      update.entry = e;
+      installed = e;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    snap.apply_update(update, 0);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Selection contrast, outside the alert window (both are pure).
+    const auto i0 = std::chrono::steady_clock::now();
+    const auto indexed = monitor.indexed_wakeups(snap);
+    const auto i1 = std::chrono::steady_clock::now();
+    const auto linear = monitor.linear_wakeups(snap);
+    const auto i2 = std::chrono::steady_clock::now();
+    rung.index_select_us.add(elapsed_ms(i0, i1) * 1000.0);
+    rung.linear_select_us.add(elapsed_ms(i1, i2) * 1000.0);
+    if (indexed != linear) rung.wakeups_exact = false;
+
+    const auto s0 = std::chrono::steady_clock::now();
+    const auto wakeups = monitor.sweep(snap, ctx, pool);
+    const auto s1 = std::chrono::steady_clock::now();
+    rung.alert_ms.add(elapsed_ms(t0, t1) + elapsed_ms(s0, s1));
+    if (wakeups.size() != sentinels) rung.wakeups_exact = false;
+  }
+  return rung;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -284,9 +428,65 @@ int main(int argc, char** argv) {
             pull.cycles_detected == static_cast<std::uint64_t>(cycles);
   if (!ok) std::puts("FAIL: some attack cycles went undetected");
 
+  // --- registry scaling: O(affected) wakeups under single-switch churn ---
+  const std::vector<std::size_t> ladder =
+      !args.subs.empty() ? args.subs
+      : args.smoke       ? std::vector<std::size_t>{2000, 5000, 10000}
+                         : std::vector<std::size_t>{100000, 300000, 1000000};
+  const int scaling_cycles = args.smoke ? 3 : 9;
+  const std::size_t sentinels = 64;
+
+  std::puts("\nregistry scaling: synthetic subscriptions around 64 sentinels");
+  std::puts("whose footprint covers the churned switch; time-to-alert is");
+  std::puts("apply-update + sweep, wall clock; warmup-linear-ms is the");
+  std::puts("retired O(subs) scan the index replaces:");
+  core::QueryEngine scaling_engine(
+      push_setup.runtime->network().topology(), core::EngineConfig{});
+  util::Table scaling({"subscriptions", "affected", "warmup-linear-ms",
+                       "median-alert-ms", "p90-alert-ms", "index-select-us",
+                       "linear-select-us"});
+  double first_median = 0.0, last_median = 0.0;
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    const std::size_t total = ladder[r];
+    if (total <= sentinels) {
+      std::printf("FAIL: --subs rung %zu not above the %zu sentinels\n",
+                  total, sentinels);
+      ok = false;
+      continue;
+    }
+    const ScalingRung rung = run_scaling_rung(
+        push_setup, scaling_engine, total, sentinels, scaling_cycles,
+        2016 + r);
+    scaling.add_row({std::to_string(total), std::to_string(sentinels),
+                     util::Table::fmt(rung.warmup_linear_ms, 3),
+                     util::Table::fmt(rung.alert_ms.median(), 3),
+                     util::Table::fmt(rung.alert_ms.percentile(90.0), 3),
+                     util::Table::fmt(rung.index_select_us.median(), 1),
+                     util::Table::fmt(rung.linear_select_us.median(), 1)});
+    if (!rung.wakeups_exact) {
+      std::printf("FAIL: rung %zu woke a wrong subscription set (expected "
+                  "exactly the %zu sentinels, index == linear)\n",
+                  total, sentinels);
+      ok = false;
+    }
+    if (r == 0) first_median = rung.alert_ms.median();
+    last_median = rung.alert_ms.median();
+  }
+  scaling.print();
+
+  // The tentpole gate: single-switch churn wakes O(affected), so
+  // time-to-alert must stay flat as the registry grows 10x.
+  if (!args.smoke && first_median > 0.0 && last_median > 2.0 * first_median) {
+    std::printf("FAIL: time-to-alert not flat across the ladder (%.3f ms at "
+                "%zu subs vs %.3f ms at %zu; gate is 2x)\n",
+                last_median, ladder.back(), first_median, ladder.front());
+    ok = false;
+  }
+
   if (!args.json.empty()) {
     if (!util::write_json_tables(args.json, {{"latency", &latency},
-                                             {"wakeups", &wakeups}})) {
+                                             {"wakeups", &wakeups},
+                                             {"scaling", &scaling}})) {
       return 1;
     }
     std::printf("JSON written to %s\n", args.json.c_str());

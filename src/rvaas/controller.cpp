@@ -262,6 +262,8 @@ void RvaasController::handle_subscribe(const sdn::PacketIn& msg) {
     ++stats_.bad_requests;
     return;
   }
+  // Per-client cap: active_for() is an O(1) count lookup, so the subscribe
+  // path stays flat as the registry grows toward millions of entries.
   const bool replacing =
       monitor_.find(request->client, request->subscription_id) != nullptr;
   if (!replacing && monitor_.active_for(request->client) >=
@@ -431,6 +433,8 @@ void RvaasController::send_notification(
 }
 
 void RvaasController::schedule_monitor_sweep() {
+  // Runs on every flow update and adopted poll diff, so both checks must be
+  // O(1): has_unevaluated() is a set-emptiness test, never a registry scan.
   if (monitor_.active() == 0 || sweep_scheduled_) return;
   if (snapshot_.epoch() == last_swept_epoch_ && !monitor_.has_unevaluated()) {
     return;

@@ -19,6 +19,34 @@ namespace {
 // TEST-ONLY fault switches (see test_fault_freeze_invalidation).
 std::atomic<bool> g_l1_invalidation_frozen{false};
 std::atomic<bool> g_l2_invalidation_frozen{false};
+
+/// Compiles `work` switches into `into`. With a pool, compilations group by
+/// switch partition (shard.hpp) and fan out — pure per-switch work, results
+/// merged serially afterwards so the map mutation stays single-threaded.
+void compile_switches(const SnapshotManager& snap,
+                      const std::vector<SwitchId>& work,
+                      hsa::NetworkTransfer& into, util::ThreadPool* pool) {
+  if (pool == nullptr || work.size() < 2) {
+    for (const SwitchId sw : work) {
+      into[sw] = hsa::SwitchTransfer::compile(snap.table(sw));
+    }
+    return;
+  }
+  std::array<std::vector<SwitchId>, kSwitchShards> by_shard;
+  for (const SwitchId sw : work) by_shard[switch_shard(sw)].push_back(sw);
+  std::array<std::vector<std::pair<SwitchId, hsa::SwitchTransfer>>,
+             kSwitchShards>
+      compiled;
+  pool->parallel_for(kSwitchShards, [&](std::size_t s) {
+    compiled[s].reserve(by_shard[s].size());
+    for (const SwitchId sw : by_shard[s]) {
+      compiled[s].emplace_back(sw, hsa::SwitchTransfer::compile(snap.table(sw)));
+    }
+  });
+  for (auto& group : compiled) {
+    for (auto& [sw, transfer] : group) into[sw] = std::move(transfer);
+  }
+}
 }  // namespace
 
 void CompiledModelCache::test_fault_freeze_invalidation(bool on) {
@@ -30,7 +58,8 @@ void ReachCache::test_fault_freeze_invalidation(bool on) {
 }
 
 hsa::NetworkModel CompiledModelCache::model(const sdn::Topology& topo,
-                                            const SnapshotManager& snap) {
+                                            const SnapshotManager& snap,
+                                            util::ThreadPool* pool) {
   std::lock_guard lock(mu_);
   ++stats_.lookups;
 
@@ -47,10 +76,9 @@ hsa::NetworkModel CompiledModelCache::model(const sdn::Topology& topo,
   if (!transfer_ || snap.instance_id() != snapshot_id_ ||
       snap.epoch() < snapshot_epoch_) {
     transfer_ = std::make_shared<hsa::NetworkTransfer>();
-    for (const SwitchId sw : snap.switch_ids()) {
-      (*transfer_)[sw] = hsa::SwitchTransfer::compile(snap.table(sw));
-      ++stats_.switch_recompiles;
-    }
+    const std::vector<SwitchId> all = snap.switch_ids();
+    compile_switches(snap, all, *transfer_, pool);
+    stats_.switch_recompiles += all.size();
     ++stats_.full_rebuilds;
     snapshot_id_ = snap.instance_id();
     snapshot_epoch_ = snap.epoch();
@@ -70,9 +98,7 @@ hsa::NetworkModel CompiledModelCache::model(const sdn::Topology& topo,
     if (transfer_.use_count() > 1) {
       transfer_ = std::make_shared<hsa::NetworkTransfer>(*transfer_);
     }
-    for (const SwitchId sw : dirty) {
-      (*transfer_)[sw] = hsa::SwitchTransfer::compile(snap.table(sw));
-    }
+    compile_switches(snap, dirty, *transfer_, pool);
     stats_.switch_recompiles += dirty.size();
   }
   stats_.switch_hits += transfer_->size() - dirty.size();
@@ -99,14 +125,22 @@ std::size_t ReachCache::KeyHash::operator()(const Key& k) const noexcept {
   return static_cast<std::size_t>(h);
 }
 
+void ReachCache::clear_entries() {
+  for (Shard& shard : shards_) {
+    shard.buckets.clear();
+    shard.coverage = 0;
+    shard.entries = 0;
+  }
+  entry_count_ = 0;
+}
+
 void ReachCache::validate(const SnapshotManager& snap) {
   // Identity check: a different view instance — or an epoch that moved
   // backwards, which only a moved-from view being reused can produce —
   // cannot be patched by a dirty set.
   if (snap.instance_id() != snapshot_id_ || snap.epoch() < validated_epoch_) {
     if (snapshot_id_ != 0) ++stats_.full_clears;
-    entries_.clear();
-    entry_count_ = 0;
+    clear_entries();
     snapshot_id_ = snap.instance_id();
     validated_epoch_ = snap.epoch();
     return;
@@ -122,19 +156,37 @@ void ReachCache::validate(const SnapshotManager& snap) {
 
   // Epoch advanced: drop exactly the entries whose traversal consulted a
   // switch that changed since they were computed. Everything else is still
-  // byte-identical to a recomputation and stays.
+  // byte-identical to a recomputation and stays. The walk is sharded: a
+  // shard whose coverage mask is disjoint from the dirty partitions cannot
+  // hold a stale entry and is skipped whole; within a walked shard the
+  // per-entry mask skips the exact intersect for most survivors.
   const std::vector<SwitchId> dirty = snap.dirty_since(validated_epoch_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    auto& bucket = it->second;
-    std::erase_if(bucket, [&](const Entry& e) {
-      const bool stale = e.result->depends_on(dirty);
-      if (stale) {
-        ++stats_.entries_invalidated;
-        --entry_count_;
-      }
-      return stale;
-    });
-    it = bucket.empty() ? entries_.erase(it) : std::next(it);
+  const std::uint32_t dirty_mask = footprint_shard_mask(dirty);
+  for (Shard& shard : shards_) {
+    if (shard.entries == 0) continue;
+    if ((shard.coverage & dirty_mask) == 0) {
+      ++stats_.shards_skipped;
+      continue;
+    }
+    ++stats_.shards_walked;
+    std::uint32_t coverage = 0;
+    for (auto it = shard.buckets.begin(); it != shard.buckets.end();) {
+      auto& bucket = it->second;
+      std::erase_if(bucket, [&](const Entry& e) {
+        const bool stale = (e.footprint_mask & dirty_mask) != 0 &&
+                           e.result->depends_on(dirty);
+        if (stale) {
+          ++stats_.entries_invalidated;
+          --shard.entries;
+          --entry_count_;
+        } else {
+          coverage |= e.footprint_mask;
+        }
+        return stale;
+      });
+      it = bucket.empty() ? shard.buckets.erase(it) : std::next(it);
+    }
+    shard.coverage = coverage;
   }
   validated_epoch_ = snap.epoch();
 }
@@ -151,7 +203,8 @@ ReachCache::ResultPtr ReachCache::reach(const hsa::NetworkModel& model,
   const std::uint64_t epoch_token = validated_epoch_;
 
   const Key key{ingress, hs.fingerprint(), max_depth};
-  if (const auto it = entries_.find(key); it != entries_.end()) {
+  Shard& shard = shards_[switch_shard(ingress.sw)];
+  if (const auto it = shard.buckets.find(key); it != shard.buckets.end()) {
     for (const Entry& e : it->second) {
       if (e.hs == hs) {
         ++stats_.hits;
@@ -179,23 +232,25 @@ ReachCache::ResultPtr ReachCache::reach(const hsa::NetworkModel& model,
   // distinct entries would accumulate forever on a stable snapshot. A flush
   // only costs future misses.
   if (entry_count_ >= kMaxEntries) {
-    entries_.clear();
-    entry_count_ = 0;
+    clear_entries();
     ++stats_.capacity_flushes;
   }
-  auto& bucket = entries_[key];
+  Shard& home = shards_[switch_shard(ingress.sw)];
+  auto& bucket = home.buckets[key];
   for (const Entry& e : bucket) {
     if (e.hs == hs) return e.result;
   }
-  bucket.push_back(Entry{hs, result});
+  const std::uint32_t mask = footprint_shard_mask(result->footprint);
+  bucket.push_back(Entry{hs, result, mask});
+  home.coverage |= mask;
+  ++home.entries;
   ++entry_count_;
   return result;
 }
 
 void ReachCache::invalidate() {
   std::lock_guard lock(mu_);
-  entries_.clear();
-  entry_count_ = 0;
+  clear_entries();
   snapshot_id_ = 0;
   validated_epoch_ = 0;
 }
@@ -210,8 +265,9 @@ ReachCache::Stats ReachCache::stats() const {
   return stats_;
 }
 
-hsa::NetworkModel QueryEngine::model(const SnapshotManager& snap) const {
-  return cache_->model(*topo_, snap);
+hsa::NetworkModel QueryEngine::model(const SnapshotManager& snap,
+                                     util::ThreadPool* pool) const {
+  return cache_->model(*topo_, snap, pool);
 }
 
 hsa::NetworkModel QueryEngine::model_uncached(

@@ -4,6 +4,7 @@
 // controller (rvaas/controller.hpp) feeds it snapshots and dispatches the
 // in-band authentication round-trips it prescribes.
 
+#include <array>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -13,6 +14,7 @@
 #include "hsa/reachability.hpp"
 #include "rvaas/geo.hpp"
 #include "rvaas/query.hpp"
+#include "rvaas/shard.hpp"
 #include "rvaas/snapshot.hpp"
 #include "util/thread_pool.hpp"
 
@@ -51,8 +53,11 @@ class CompiledModelCache {
 
   /// A model of the snapshot's current state, recompiling only dirty
   /// switches. Results are always identical to a cold full compilation.
+  /// With a pool, recompilations group by switch partition (shard.hpp) and
+  /// fan out — refresh cost tracks the dirty partition, in parallel.
   hsa::NetworkModel model(const sdn::Topology& topo,
-                          const SnapshotManager& snap);
+                          const SnapshotManager& snap,
+                          util::ThreadPool* pool = nullptr);
 
   /// Drops all compiled state (the next lookup is a full rebuild).
   void invalidate();
@@ -81,8 +86,11 @@ class CompiledModelCache {
 /// entries whose footprint intersects the dirty switches are dropped — a
 /// change confined to switches a traversal never consulted cannot alter its
 /// result — so steady-state reverification costs O(affected ingresses)
-/// instead of O(network). Thread-safe; misses compute outside the lock, so
-/// concurrent lookups (run_batch, reach_all) parallelize.
+/// instead of O(network). Entries are sharded by ingress switch partition
+/// (shard.hpp) with per-shard coverage masks, so the eviction walk visits
+/// only shards the churn can touch — eviction cost tracks the dirty
+/// partition, not total cache size. Thread-safe; misses compute outside the
+/// lock, so concurrent lookups (run_batch, reach_all) parallelize.
 class ReachCache {
  public:
   using ResultPtr = std::shared_ptr<const hsa::ReachabilityResult>;
@@ -100,6 +108,9 @@ class ReachCache {
     std::uint64_t entries_invalidated = 0;  ///< evicted by footprint overlap
     std::uint64_t full_clears = 0;  ///< snapshot identity changes
     std::uint64_t capacity_flushes = 0;  ///< kMaxEntries overflows
+    std::uint64_t shards_walked = 0;   ///< eviction walks into a shard
+    std::uint64_t shards_skipped = 0;  ///< shards whose coverage mask proved
+                                       ///< them disjoint from the churn
 
     double hit_rate() const {
       return lookups == 0 ? 0.0
@@ -142,17 +153,32 @@ class ReachCache {
   struct Entry {
     hsa::HeaderSpace hs;  ///< exact key half (fingerprints may collide)
     ResultPtr result;
+    /// Shard-partition summary of result->footprint: disjoint from the
+    /// dirty mask ⇒ no footprint switch churned (skips the exact
+    /// intersect); overlap still confirms via depends_on().
+    std::uint32_t footprint_mask = 0;
+  };
+  /// One switch-partition of the cache (entries home by ingress switch).
+  /// Footprints are locality-bound paths near the ingress, so a shard's
+  /// coverage mask stays narrow and churn confined to another partition
+  /// skips the shard's eviction walk entirely.
+  struct Shard {
+    /// Fingerprint-keyed buckets; entries within a bucket disambiguate by
+    /// structural HeaderSpace equality.
+    std::unordered_map<Key, std::vector<Entry>, KeyHash> buckets;
+    std::uint32_t coverage = 0;  ///< OR of member entries' footprint masks
+    std::size_t entries = 0;
   };
 
   /// Syncs the cache to `snap`'s change clock: clears on identity change,
-  /// evicts footprint-dirty entries on epoch advance. Caller holds mu_.
+  /// evicts footprint-dirty entries on epoch advance — walking only shards
+  /// whose coverage mask intersects the churn. Caller holds mu_.
   void validate(const SnapshotManager& snap);
+  void clear_entries();
 
   mutable std::mutex mu_;
-  /// Fingerprint-keyed buckets; entries within a bucket disambiguate by
-  /// structural HeaderSpace equality.
-  std::unordered_map<Key, std::vector<Entry>, KeyHash> entries_;
-  std::size_t entry_count_ = 0;       ///< total entries across buckets
+  std::array<Shard, kSwitchShards> shards_;
+  std::size_t entry_count_ = 0;       ///< total entries across shards
   std::uint64_t snapshot_id_ = 0;     ///< 0 = nothing cached yet
   std::uint64_t validated_epoch_ = 0; ///< snapshot epoch entries are valid at
   Stats stats_;
@@ -184,8 +210,11 @@ class QueryEngine {
   /// engine's CompiledModelCache: only switches whose table epoch advanced
   /// since the last call are recompiled. Single-query, batch and polling
   /// paths all funnel through here, so they share one cache. Results are
-  /// identical to model_uncached().
-  hsa::NetworkModel model(const SnapshotManager& snap) const;
+  /// identical to model_uncached(). With a pool (the monitor sweep passes
+  /// its own), recompiles fan out grouped by switch partition; never pass a
+  /// pool from inside one of its own workers.
+  hsa::NetworkModel model(const SnapshotManager& snap,
+                          util::ThreadPool* pool = nullptr) const;
 
   /// Cold path: full recompilation of every switch, bypassing the cache
   /// (the baseline for bench_incremental and the equivalence tests).

@@ -1,12 +1,18 @@
 #include "rvaas/monitor.hpp"
 
 #include <algorithm>
+#include <atomic>
+
+#include "util/fnv.hpp"
 
 namespace rvaas::core {
 
 using sdn::SwitchId;
 
 namespace {
+
+// TEST-ONLY fault switch (see test_fault_freeze_index).
+std::atomic<bool> g_index_frozen{false};
 
 /// Two-pointer intersection test over sorted switch-id vectors.
 bool intersects(const std::vector<SwitchId>& a, const std::vector<SwitchId>& b) {
@@ -24,7 +30,48 @@ bool intersects(const std::vector<SwitchId>& a, const std::vector<SwitchId>& b) 
   return false;
 }
 
+bool index_frozen() {
+  return g_index_frozen.load(std::memory_order_relaxed);
+}
+
 }  // namespace
+
+void PropertyMonitor::test_fault_freeze_index(bool on) {
+  g_index_frozen.store(on, std::memory_order_relaxed);
+}
+
+std::size_t PropertyMonitor::KeyHash::operator()(const Key& k) const noexcept {
+  return static_cast<std::size_t>(
+      util::fnv1a_mix(static_cast<std::uint64_t>(k.first.value), k.second));
+}
+
+void PropertyMonitor::index_insert(const std::vector<SwitchId>& footprint,
+                                   const Key& key) {
+  if (index_frozen()) return;
+  for (const SwitchId sw : footprint) {
+    index_[switch_shard(sw)].by_switch[sw.value].insert(key);
+  }
+}
+
+void PropertyMonitor::index_erase(const std::vector<SwitchId>& footprint,
+                                  const Key& key) {
+  if (index_frozen()) return;
+  for (const SwitchId sw : footprint) {
+    IndexShard& shard = index_[switch_shard(sw)];
+    const auto it = shard.by_switch.find(sw.value);
+    if (it == shard.by_switch.end()) continue;
+    it->second.erase(key);
+    if (it->second.empty()) shard.by_switch.erase(it);
+  }
+}
+
+std::size_t PropertyMonitor::index_entries() const {
+  std::size_t n = 0;
+  for (const IndexShard& shard : index_) {
+    for (const auto& [sw, keys] : shard.by_switch) n += keys.size();
+  }
+  return n;
+}
 
 void PropertyMonitor::subscribe(Subscription sub) {
   ++stats_.subscribes;
@@ -43,14 +90,36 @@ void PropertyMonitor::subscribe(Subscription sub) {
     }
     // A genuine replacement re-evaluates from scratch, but the notification
     // sequence must keep increasing — the client's replay guard remembers
-    // the old high-water mark.
+    // the old high-water mark. The old registry footprint leaves the index
+    // with the subscription it belonged to.
     sub.sequence = it->second.sequence;
+    if (it->second.evaluated) index_erase(it->second.footprint, key);
+    unevaluated_.erase(key);
+  } else {
+    ++per_client_[sub.client];
+  }
+  // Index invariant: entries mirror the registry footprints of evaluated
+  // subscriptions exactly. The controller path always arrives unevaluated
+  // (baseline pending); the bench registers pre-evaluated synthetic
+  // subscriptions whose footprints must be indexed immediately.
+  if (sub.evaluated) {
+    index_insert(sub.footprint, key);
+  } else {
+    unevaluated_.insert(key);
   }
   subs_[key] = std::move(sub);
 }
 
 bool PropertyMonitor::unsubscribe(sdn::HostId client, std::uint64_t id) {
-  if (subs_.erase(Key{client, id}) == 0) return false;
+  const Key key{client, id};
+  const auto it = subs_.find(key);
+  if (it == subs_.end()) return false;
+  if (it->second.evaluated) index_erase(it->second.footprint, key);
+  unevaluated_.erase(key);
+  if (const auto pc = per_client_.find(client); pc != per_client_.end()) {
+    if (--pc->second == 0) per_client_.erase(pc);
+  }
+  subs_.erase(it);
   ++stats_.unsubscribes;
   return true;
 }
@@ -61,17 +130,74 @@ const PropertyMonitor::Subscription* PropertyMonitor::find(
   return it == subs_.end() ? nullptr : &it->second;
 }
 
-bool PropertyMonitor::has_unevaluated() const {
-  for (const auto& [key, sub] : subs_) {
-    if (!sub.evaluated) return true;
-  }
-  return false;
+std::size_t PropertyMonitor::active_for(sdn::HostId client) const {
+  const auto it = per_client_.find(client);
+  return it == per_client_.end() ? 0 : it->second;
 }
 
-std::size_t PropertyMonitor::active_for(sdn::HostId client) const {
-  std::size_t n = 0;
-  for (const auto& [key, sub] : subs_) n += (key.first == client) ? 1 : 0;
-  return n;
+std::vector<PropertyMonitor::Key> PropertyMonitor::linear_wakeups(
+    const SnapshotManager& snap, bool force_all) const {
+  const std::uint64_t epoch = snap.epoch();
+  std::vector<Key> out;
+  // dirty_since() is an O(#switches) scan whose result arrives sorted and
+  // duplicate-free (the change clock is an ordered map), so the per-epoch
+  // vectors need no per-subscription dedup — memoize one scan per distinct
+  // evaluated_epoch. Epoch keys are small uniform integers; a reserved
+  // unordered map beats the ordered tree this memo used to be.
+  std::unordered_map<std::uint64_t, std::vector<SwitchId>> dirty_by_epoch;
+  dirty_by_epoch.reserve(16);
+  for (const auto& [key, sub] : subs_) {
+    if (force_all || !sub.evaluated) {
+      out.push_back(key);
+      continue;
+    }
+    if (sub.evaluated_epoch >= epoch) continue;
+    auto dirty_it = dirty_by_epoch.find(sub.evaluated_epoch);
+    if (dirty_it == dirty_by_epoch.end()) {
+      dirty_it = dirty_by_epoch
+                     .emplace(sub.evaluated_epoch,
+                              snap.dirty_since(sub.evaluated_epoch))
+                     .first;
+    }
+    if (intersects(sub.footprint, dirty_it->second)) out.push_back(key);
+  }
+  return out;  // subs_ is ordered, so this is ascending Key order
+}
+
+std::vector<PropertyMonitor::Key> PropertyMonitor::select_wakeups(
+    const SnapshotManager& snap, bool force_all, bool& used_fallback) const {
+  used_fallback = false;
+  if (force_all) {
+    std::vector<Key> out;
+    out.reserve(subs_.size());
+    for (const auto& [key, sub] : subs_) out.push_back(key);
+    return out;
+  }
+  // The index answers "dirty since the last sweep"; against a snapshot the
+  // anchors were not established on (first sweep, a different snapshot
+  // instance, an epoch that moved backwards) that window is meaningless —
+  // run the exact linear selection instead and re-anchor from its result.
+  if (swept_instance_ == 0 || snap.instance_id() != swept_instance_ ||
+      snap.epoch() < swept_epoch_) {
+    used_fallback = true;
+    return linear_wakeups(snap, false);
+  }
+  std::vector<Key> out(unevaluated_.begin(), unevaluated_.end());
+  for (const SwitchId sw : snap.dirty_since(swept_epoch_)) {
+    const IndexShard& shard = index_[switch_shard(sw)];
+    const auto it = shard.by_switch.find(sw.value);
+    if (it == shard.by_switch.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<PropertyMonitor::Key> PropertyMonitor::indexed_wakeups(
+    const SnapshotManager& snap, bool force_all) const {
+  bool used_fallback = false;
+  return select_wakeups(snap, force_all, used_fallback);
 }
 
 std::vector<PropertyMonitor::Wakeup> PropertyMonitor::sweep(
@@ -80,41 +206,30 @@ std::vector<PropertyMonitor::Wakeup> PropertyMonitor::sweep(
   ++stats_.sweeps;
   const std::uint64_t epoch = snap.epoch();
 
-  // Select: never-evaluated subscriptions always wake; the rest wake iff a
-  // switch dirtied since their own evaluation intersects their footprint.
-  // dirty_since() is an O(#switches) scan, so its results are memoized per
-  // distinct evaluated_epoch — subscriptions interleave epochs in Key
-  // order, and a burst registered together must cost one scan, not one
-  // each.
-  std::vector<Subscription*> affected;
-  std::map<std::uint64_t, std::vector<SwitchId>> dirty_by_epoch;
-  for (auto& [key, sub] : subs_) {
-    if (force_all || !sub.evaluated) {
-      affected.push_back(&sub);
-      continue;
-    }
-    if (sub.evaluated_epoch >= epoch) {
-      ++stats_.skipped;
-      continue;
-    }
-    auto dirty_it = dirty_by_epoch.find(sub.evaluated_epoch);
-    if (dirty_it == dirty_by_epoch.end()) {
-      dirty_it = dirty_by_epoch
-                     .emplace(sub.evaluated_epoch,
-                              snap.dirty_since(sub.evaluated_epoch))
-                     .first;
-    }
-    if (intersects(sub.footprint, dirty_it->second)) {
-      affected.push_back(&sub);
-    } else {
-      ++stats_.skipped;
-    }
-  }
-  if (affected.empty()) return {};
+  // Select through the inverted footprint index: O(affected) against the
+  // switches dirtied since the last sweep, instead of the retired O(subs)
+  // per-subscription scan (linear_wakeups, kept as fallback and oracle).
+  bool used_fallback = false;
+  const std::vector<Key> selected =
+      select_wakeups(snap, force_all, used_fallback);
+  ++(used_fallback ? stats_.fallback_sweeps : stats_.indexed_sweeps);
+  stats_.skipped += subs_.size() - selected.size();
+  // The anchors advance even on an empty selection: an empty wakeup set
+  // proves every evaluated subscription is clean through `epoch`, which is
+  // exactly what makes dirty_since(swept_epoch_) a complete filter for the
+  // next sweep.
+  swept_epoch_ = epoch;
+  swept_instance_ = snap.instance_id();
+  if (selected.empty()) return {};
 
-  // One L1 compilation serves the whole sweep; per-subscription evaluations
-  // are pure and fan out over the pool (the engine caches lock internally).
-  const hsa::NetworkModel model = engine_->model(snap);
+  std::vector<Subscription*> affected;
+  affected.reserve(selected.size());
+  for (const Key& key : selected) affected.push_back(&subs_.at(key));
+
+  // One L1 compilation serves the whole sweep (its dirty-switch recompiles
+  // shard over the pool too); per-subscription evaluations are pure and fan
+  // out over the pool (the engine caches lock internally).
+  const hsa::NetworkModel model = engine_->model(snap, &pool);
   std::vector<Wakeup> out(affected.size());
   pool.parallel_for(affected.size(), [&](std::size_t i) {
     Subscription& sub = *affected[i];
@@ -130,8 +245,42 @@ std::vector<PropertyMonitor::Wakeup> PropertyMonitor::sweep(
     out[i] = std::move(w);
   });
 
+  // The footprint move below is the index-update hook: entries must change
+  // in the same step the registry footprint does, or the next selection
+  // consults a stale index. Shards partition switches disjointly, so the
+  // per-shard maintenance fans out over the pool without a lock; unchanged
+  // footprints (the steady state under confined churn) skip entirely.
+  std::vector<std::uint8_t> changed(affected.size());
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    changed[i] = !affected[i]->evaluated ||
+                 affected[i]->footprint != out[i].evaluation.footprint;
+  }
+  if (!index_frozen()) {
+    pool.parallel_for(kSwitchShards, [&](std::size_t s) {
+      IndexShard& shard = index_[s];
+      for (std::size_t i = 0; i < affected.size(); ++i) {
+        if (!changed[i]) continue;
+        const Subscription& sub = *affected[i];
+        const Key key{sub.client, sub.id};
+        if (sub.evaluated) {
+          for (const SwitchId sw : sub.footprint) {
+            if (switch_shard(sw) != s) continue;
+            const auto it = shard.by_switch.find(sw.value);
+            if (it == shard.by_switch.end()) continue;
+            it->second.erase(key);
+            if (it->second.empty()) shard.by_switch.erase(it);
+          }
+        }
+        for (const SwitchId sw : out[i].evaluation.footprint) {
+          if (switch_shard(sw) != s) continue;
+          shard.by_switch[sw.value].insert(key);
+        }
+      }
+    });
+  }
   for (std::size_t i = 0; i < affected.size(); ++i) {
     Subscription& sub = *affected[i];
+    if (!sub.evaluated) unevaluated_.erase(Key{sub.client, sub.id});
     // Moved, not copied: the registry is the footprint's home from here on
     // (wakeup consumers read it through find(), not the Evaluation).
     sub.footprint = std::move(out[i].evaluation.footprint);

@@ -12,10 +12,15 @@
 // the controller (rvaas/controller.hpp) owns packet dispatch and drives
 // sweep()/commit() from its churn hooks and re-verification timer.
 
+#include <array>
 #include <map>
 #include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "rvaas/engine.hpp"
+#include "rvaas/shard.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rvaas::core {
@@ -58,6 +63,9 @@ class PropertyMonitor {
     std::uint64_t alerts = 0;        ///< ViolationAlert pushes decided
     std::uint64_t all_clears = 0;    ///< AllClear pushes decided
     std::uint64_t suppressed = 0;    ///< commits with nothing new to push
+    std::uint64_t indexed_sweeps = 0;   ///< selections served by the index
+    std::uint64_t fallback_sweeps = 0;  ///< linear selections (new snapshot
+                                        ///< identity / first sweep)
   };
 
   explicit PropertyMonitor(const QueryEngine& engine) : engine_(&engine) {}
@@ -74,10 +82,13 @@ class PropertyMonitor {
 
   const Subscription* find(sdn::HostId client, std::uint64_t id) const;
   std::size_t active() const { return subs_.size(); }
+  /// O(1): served from a per-client count maintained on (un)subscribe (the
+  /// controller consults it on every subscribe, so it must not scan).
   std::size_t active_for(sdn::HostId client) const;
   /// true while some subscription has never been evaluated — a sweep is due
-  /// even without an epoch advance (the baseline notification).
-  bool has_unevaluated() const;
+  /// even without an epoch advance (the baseline notification). O(1): the
+  /// controller calls this on every coalesced churn event.
+  bool has_unevaluated() const { return !unevaluated_.empty(); }
 
   /// One re-evaluated subscription, ready for the controller to authenticate
   /// and (maybe) push. `evaluation.footprint` is moved into the registry
@@ -95,13 +106,46 @@ class PropertyMonitor {
   /// intersects the switches dirtied since its own last evaluation (plus any
   /// never evaluated; `force_all` re-evaluates everything — the timer-driven
   /// sweep that catches drift outside the change clock, e.g. meters and dead
-  /// auth responders). Evaluations fan out over `pool` and are pure; wakeups
-  /// come back in ascending Key order, so downstream auth dispatch is
-  /// deterministic. `base_ctx` supplies geo/addressing; `from` is set per
-  /// subscription. Reply request_ids are set to the subscription id.
+  /// auth responders). Selection is served by the inverted footprint index
+  /// (O(affected), see indexed_wakeups below); evaluations fan out over
+  /// `pool` and are pure; wakeups come back in ascending Key order, so
+  /// downstream auth dispatch is deterministic. `base_ctx` supplies
+  /// geo/addressing; `from` is set per subscription. Reply request_ids are
+  /// set to the subscription id.
   std::vector<Wakeup> sweep(const SnapshotManager& snap,
                             const QueryEngine::EvalContext& base_ctx,
                             util::ThreadPool& pool, bool force_all = false);
+
+  /// The wakeup set the inverted footprint index would select right now
+  /// (ascending Key order): never-evaluated subscriptions plus every entry
+  /// under a switch dirtied since the last sweep. Falls back to the linear
+  /// scan when the index anchors do not apply to `snap` (first sweep, new
+  /// snapshot identity, epoch regression). Pure; sweep() uses this exact
+  /// selection. Index invariant: after every sweep, a subscription is
+  /// indexed under switch S iff its registry footprint contains S, and a
+  /// non-selected subscription's footprint is disjoint from all churn since
+  /// its own evaluation — which makes dirty_since(last sweep) a complete
+  /// wakeup filter.
+  std::vector<Key> indexed_wakeups(const SnapshotManager& snap,
+                                   bool force_all = false) const;
+
+  /// The retired O(subs) reference selection: intersects every
+  /// subscription's footprint against the switches dirtied since its own
+  /// evaluation. Kept as the equivalence oracle for the index (like
+  /// testing/reference_hsa for the HSA representation) and as the fallback
+  /// path above. Must always equal indexed_wakeups() byte-for-byte.
+  std::vector<Key> linear_wakeups(const SnapshotManager& snap,
+                                  bool force_all = false) const;
+
+  /// Total (switch, subscription) entries across index shards (tests).
+  std::size_t index_entries() const;
+
+  /// TEST-ONLY fault injection: while enabled, subscribe/unsubscribe and
+  /// the post-evaluation footprint move stop maintaining the inverted
+  /// index — a deliberately stale index that the index-vs-linear oracle
+  /// must catch. Never enable outside tests; affects all instances
+  /// process-wide.
+  static void test_fault_freeze_index(bool on);
 
   enum class Push : std::uint8_t { None, ViolationAlert, AllClear };
   struct Decision {
@@ -119,10 +163,49 @@ class PropertyMonitor {
   const Stats& stats() const { return stats_; }
 
  private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  /// One partition of the inverted footprint index: switch → subscriptions
+  /// whose registry footprint contains it. Shards are disjoint by
+  /// construction (a switch lives in exactly one), so per-shard maintenance
+  /// fans out over the sweep pool without any lock.
+  struct IndexShard {
+    std::unordered_map<std::uint32_t, std::unordered_set<Key, KeyHash>>
+        by_switch;
+  };
+
+  /// Selection behind indexed_wakeups(); reports whether the linear
+  /// fallback ran (stats + tests).
+  std::vector<Key> select_wakeups(const SnapshotManager& snap, bool force_all,
+                                  bool& used_fallback) const;
+  /// Adds/removes `key` under every switch of `footprint` (no-ops while the
+  /// test fault freezes index maintenance).
+  void index_insert(const std::vector<sdn::SwitchId>& footprint,
+                    const Key& key);
+  void index_erase(const std::vector<sdn::SwitchId>& footprint,
+                   const Key& key);
+
   const QueryEngine* engine_;
   /// Ordered registry: sweep order (and with it notification order under
   /// simultaneous churn) is deterministic.
   std::map<Key, Subscription> subs_;
+  /// Inverted footprint index over the registry, sharded by switch
+  /// partition (shard.hpp). Entries exist exactly for evaluated
+  /// subscriptions' footprints; updated in the same step as the
+  /// post-evaluation footprint move.
+  std::array<IndexShard, kSwitchShards> index_;
+  /// Subscriptions awaiting their baseline evaluation (no footprint, no
+  /// index entries yet). Ordered so selection output stays in Key order.
+  std::set<Key> unevaluated_;
+  /// Per-client subscription counts (the controller's cap check).
+  std::unordered_map<sdn::HostId, std::size_t> per_client_;
+  /// Index anchors: the snapshot identity/epoch of the last completed
+  /// sweep. dirty_since(swept_epoch_) is a complete wakeup filter only
+  /// relative to these (see indexed_wakeups); a mismatch falls back to the
+  /// linear scan for that sweep. 0 = no sweep yet.
+  std::uint64_t swept_epoch_ = 0;
+  std::uint64_t swept_instance_ = 0;
   Stats stats_;
 };
 

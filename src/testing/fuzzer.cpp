@@ -279,6 +279,8 @@ class Runner {
         runtime_->reset_rvaas_snapshot_identity();
         ++report_.snapshot_resets;
         return;
+      case StepKind::MassSubscribe:
+        return do_mass_subscribe(step);
     }
   }
 
@@ -406,6 +408,26 @@ class Runner {
     const std::size_t idx = step.a % subs_.size();
     runtime_->client(subs_[idx].client).unsubscribe(subs_[idx].id);
     subs_.erase(subs_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+
+  /// Bulk-registers untracked subscriptions across clients so the monitor
+  /// registry (and with it the inverted footprint index) grows past the
+  /// kMaxTrackedSubs handful oracle (b) follows. Notifications are
+  /// discarded; these subscriptions exist purely to populate index shards
+  /// with multi-entry buckets for oracle (e). Per-client caps may reject
+  /// some registrations — harmless, the index just grows less.
+  void do_mass_subscribe(const Step& step) {
+    const std::size_t count = 4 + step.b % 5;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t x = static_cast<std::uint32_t>(i);
+      const HostId client = pick_host(step.a + x);
+      const Property property =
+          Property::from_query(make_query(step.c + x, step.a + 3 * x));
+      runtime_->client(client).subscribe(
+          property, [](const ClientAgent::MonitorEvent&) {},
+          NotifyPolicy::VerdictEdges);
+      ++report_.mass_subscribed;
+    }
   }
 
   // --- attacks ---
@@ -675,6 +697,28 @@ class Runner {
 
   void run_oracles() {
     const std::uint32_t i = static_cast<std::uint32_t>(step_index_);
+
+    // (e) inverted footprint index vs the retired linear footprint scan:
+    // both must select the exact same wakeup Key list at any point between
+    // sweeps (the index invariant makes dirty_since(last sweep) a complete
+    // filter). Cheap (no evaluation runs), so it is checked first and after
+    // every step — any index-maintenance bug surfaces as the earliest
+    // divergence, before it can corrupt oracle (b).
+    {
+      const core::PropertyMonitor& monitor = runtime_->rvaas().monitor();
+      const core::SnapshotManager& snap = runtime_->rvaas().snapshot();
+      const auto indexed = monitor.indexed_wakeups(snap);
+      const auto linear = monitor.linear_wakeups(snap);
+      ++report_.index_checks;
+      if (indexed != linear) {
+        std::ostringstream os;
+        os << "index selected " << indexed.size() << " wakeups, linear scan "
+           << linear.size() << " (active=" << monitor.active()
+           << ", index entries=" << monitor.index_entries() << ")";
+        fail("index-vs-linear", os.str());
+        return;
+      }
+    }
 
     // (a) warm engine vs fresh cold engine, all 7 kinds. The probe space
     // rotates: a full wildcard probe every third step (the expensive,

@@ -11,6 +11,8 @@
 //   (c) federation answers ≡ a flat engine over the merged topology
 //   (d) detector verdicts ≡ AttackRecord ground truth (no missed detection;
 //       query suppression detected via timeout)
+//   (e) monitor inverted-index wakeup selection ≡ the retired linear
+//       footprint scan, byte-identical Key lists at every step
 //
 // Every run is a pure function of the Schedule: a failure replays
 // bit-identically from its repro string, which is what the shrinker
@@ -23,7 +25,8 @@ namespace rvaas::fuzz {
 struct FuzzFailure {
   std::size_t step_index = 0;  ///< step after which the oracle tripped
   std::string oracle;          ///< cached-vs-cold | monitor-vs-query |
-                               ///< federation-vs-flat | detection | liveness
+                               ///< federation-vs-flat | detection |
+                               ///< index-vs-linear | liveness
   std::string detail;
 };
 
@@ -42,6 +45,8 @@ struct FuzzReport {
   std::uint64_t detection_checks = 0;
   std::uint64_t federation_checks = 0;
   std::uint64_t snapshot_resets = 0;
+  std::uint64_t index_checks = 0;     ///< oracle (e) comparisons run
+  std::uint64_t mass_subscribed = 0;  ///< untracked bulk subscriptions sent
 
   bool ok() const { return !failure.has_value(); }
 };

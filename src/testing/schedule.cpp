@@ -30,6 +30,8 @@ const char* to_string(StepKind kind) {
       return "revert-attack";
     case StepKind::SnapshotReset:
       return "snapshot-reset";
+    case StepKind::MassSubscribe:
+      return "mass-subscribe";
   }
   return "unknown";
 }
@@ -193,10 +195,12 @@ Schedule generate_schedule(std::uint64_t seed, std::uint32_t max_grid_code) {
       step.kind = StepKind::Query;
     } else if (w < 80) {
       step.kind = StepKind::RevertAttack;
-    } else if (w < 88) {
+    } else if (w < 85) {
       step.kind = StepKind::RemoveChurn;
-    } else if (w < 93) {
+    } else if (w < 90) {
       step.kind = StepKind::MeterChurn;
+    } else if (w < 94) {
+      step.kind = StepKind::MassSubscribe;
     } else if (w < 97) {
       step.kind = StepKind::Unsubscribe;
     } else {

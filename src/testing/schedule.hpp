@@ -26,8 +26,13 @@ enum class StepKind : std::uint8_t {
   LaunchAttack,   ///< a = class (mod 6), b = victim, c = class-specific aux
   RevertAttack,   ///< revert active attack #a (no-op when none)
   SnapshotReset,  ///< RVaaS snapshot identity reset (restart simulation)
+  MassSubscribe,  ///< bulk-register 4 + b % 5 untracked subscriptions across
+                  ///< tenants: a = client base, c = query shape base. Grows
+                  ///< the monitor registry so the index-vs-linear oracle
+                  ///< exercises multi-entry index shards, not just the
+                  ///< kMaxTrackedSubs handful.
 };
-constexpr std::size_t kStepKindCount = 10;
+constexpr std::size_t kStepKindCount = 11;
 
 const char* to_string(StepKind kind);
 

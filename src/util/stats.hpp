@@ -63,8 +63,13 @@ class Table {
 struct BenchArgs {
   bool smoke = false;  ///< tiny topology, one iteration (the CI mode)
   std::string json;    ///< --json FILE target; empty = no JSON output
+  /// --subs ladder for scaling modes (bench_monitor): subscription counts
+  /// to run, ascending. Empty = the bench's built-in default ladder.
+  std::vector<std::size_t> subs;
 
-  /// Parses [--smoke] [--json FILE]; exits with usage on anything else.
+  /// Parses [--smoke] [--json FILE] [--subs N,M,... | N..M]; exits with
+  /// usage on anything else. `N..M` expands to {N, ~3N, ~10N, ...} up to M
+  /// inclusive — a log-spaced ladder like the default 100000..1000000.
   static BenchArgs parse(int argc, char** argv);
 };
 

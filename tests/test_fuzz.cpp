@@ -1,14 +1,17 @@
 // Tier-1 gate for the adversarial scenario fuzzer (src/testing): a fixed-seed
-// sweep of >= 200 randomized attack/churn schedules with all four
-// differential oracles green, a pinned repro corpus, determinism/codec
-// round-trips, and the fault-injection drill — an intentionally broken cache
-// tier must be caught by the oracles and shrunk to a tiny replayable repro.
+// sweep of >= 200 randomized attack/churn schedules with all five
+// differential oracles green (including the monitor's inverted-index-vs-
+// linear-scan selection oracle), a pinned repro corpus, determinism/codec
+// round-trips, and the fault-injection drills — an intentionally broken
+// cache tier or a frozen subscription index must be caught by the oracles
+// and shrunk to a tiny replayable repro.
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 
 #include "rvaas/engine.hpp"
+#include "rvaas/monitor.hpp"
 #include "testing/fuzzer.hpp"
 #include "testing/shrink.hpp"
 
@@ -68,7 +71,8 @@ TEST(Fuzz, ScheduleGenerationIsDeterministicAndReproRoundTrips) {
 /// surface (attacks, churn, push verification, federation, cache resets).
 TEST(Fuzz, SweepAllOraclesGreen) {
   std::uint64_t attacks = 0, reverted = 0, churn = 0, notifications = 0,
-                detections = 0, federation = 0, resets = 0, queries = 0;
+                detections = 0, federation = 0, resets = 0, queries = 0,
+                index_checks = 0, mass_subscribed = 0;
   for (int i = 0; i < kSweepSchedules; ++i) {
     const std::uint64_t seed = kSweepSeed + static_cast<std::uint64_t>(i);
     const Schedule schedule = generate_schedule(seed);
@@ -83,6 +87,8 @@ TEST(Fuzz, SweepAllOraclesGreen) {
     federation += report.federation_checks;
     resets += report.snapshot_resets;
     queries += report.queries_checked;
+    index_checks += report.index_checks;
+    mass_subscribed += report.mass_subscribed;
   }
   // Coverage floors: a generator regression that stops hitting a surface
   // must fail loudly, not silently shrink the sweep's value.
@@ -94,6 +100,10 @@ TEST(Fuzz, SweepAllOraclesGreen) {
   EXPECT_GE(federation, 300u);
   EXPECT_GE(resets, 30u);
   EXPECT_GE(queries, 100u);
+  // Oracle (e) runs after every step of every schedule, and the
+  // mass-subscribe step must actually grow the registries it checks.
+  EXPECT_GE(index_checks, 1000u);
+  EXPECT_GE(mass_subscribed, 200u);
 }
 
 /// Pinned schedules that exercise named interleavings; they must stay green
@@ -114,6 +124,10 @@ TEST(Fuzz, ReproCorpusStaysGreen) {
       // Grid with meter churn, breach attempt and a snapshot reset.
       "rvaas-fuzz-v1 cfg=2,0,2,1,0,64 "
       "steps=1:2:1:9;3:1:4:2;7:3:1:0;9:0:0:0;5:1:3:0;4:2:0:0",
+      // Mass-subscribed registry (two tenants) under churn and an identity
+      // reset: multi-entry index shards for the index-vs-linear oracle.
+      "rvaas-fuzz-v1 cfg=0,4,2,0,0,20260807 "
+      "steps=10:1:6:3;1:2:1:5;0:4:0:0;10:9:2:11;1:3:2:20;9:0:0:0;6:0:0:0",
   };
   for (const char* repro : corpus) {
     const auto parsed = parse_repro(repro);
@@ -156,6 +170,7 @@ class FuzzFaultInjection : public ::testing::Test {
   void TearDown() override {
     core::CompiledModelCache::test_fault_freeze_invalidation(false);
     core::ReachCache::test_fault_freeze_invalidation(false);
+    core::PropertyMonitor::test_fault_freeze_index(false);
   }
 
   /// Finds a failing schedule under the active fault, shrinks it, and
@@ -193,6 +208,15 @@ TEST_F(FuzzFaultInjection, BrokenModelCacheCaughtAndShrunk) {
 
 TEST_F(FuzzFaultInjection, BrokenReachCacheCaughtAndShrunk) {
   expect_caught_and_shrunk(&core::ReachCache::test_fault_freeze_invalidation);
+}
+
+TEST_F(FuzzFaultInjection, StaleMonitorIndexCaughtAndShrunk) {
+  // Freeze the inverted footprint index's maintenance: subscriptions still
+  // get evaluated (unevaluated_ bookkeeping is not frozen), but their
+  // footprints never enter the index, so churn on them selects nothing —
+  // a stale index that oracle (e) must catch and the shrinker must reduce,
+  // mirroring the frozen-cache drills above.
+  expect_caught_and_shrunk(&core::PropertyMonitor::test_fault_freeze_index);
 }
 
 }  // namespace

@@ -1,0 +1,276 @@
+// Fault-tolerance characterization of the verification pipeline: how fast
+// does a subscribed client learn about an attack when the control channel
+// between RVaaS and the switches is lossy, and how fast does the verifier's
+// view reconverge after a partition heals?
+//
+//   loss ladder      0 / 1 / 5 / 20 % message loss on every switch's control
+//                    channel (both directions); per trial, an exfiltration
+//                    rule is injected through the (unfaulted) provider
+//                    channel and we record the simulated time until the
+//                    subscriber holds a signed ViolationAlert. Loss delays
+//                    the passive flow-monitor push, so detection degrades
+//                    toward the poll/retry cadence instead of failing.
+//   partition        10 of a 12-switch grid's switches are hard-partitioned
+//                    while the provider churns rules behind the window;
+//                    after it expires we record the simulated time until
+//                    every partitioned switch is Healthy again with zero
+//                    staleness (probe -> forced reconcile).
+//
+// Acceptance targets (ROADMAP / ISSUE 8): median time-to-alert at 5 % loss
+// within 3x the lossless median; post-partition reconvergence within one
+// reverify period. Both are computed and printed as yes/no verdict rows.
+//
+// Flags: --smoke (3 trials per rung, CI mode)   --json FILE (machine output)
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdn/fault_plane.hpp"
+#include "util/stats.hpp"
+#include "workload/scenario.hpp"
+
+using namespace rvaas;
+
+namespace {
+
+constexpr sim::Time kMs = sim::kMillisecond;
+constexpr sim::Time kPollPeriod = 20 * kMs;
+constexpr sim::Time kReverifyPeriod = 60 * kMs;
+
+double to_ms(sim::Time t) { return static_cast<double>(t) / 1e6; }
+
+workload::ScenarioConfig bench_config(std::uint64_t seed) {
+  workload::ScenarioConfig config;
+  config.generated = workload::linear(4);
+  config.seed = seed;
+  config.rvaas.polling = core::PollingMode::Fixed;
+  config.rvaas.poll_period = kPollPeriod;
+  config.rvaas.reverify_period = kReverifyPeriod;
+  return config;
+}
+
+// --- loss ladder ------------------------------------------------------------
+
+struct LossRung {
+  double loss_pct = 0;
+  int trials = 0;
+  int detected = 0;
+  util::Samples alert_ms;
+};
+
+/// One trial: subscribe (clean channel), enable loss, inject the attack via
+/// the provider, run until the client holds the alert or the budget ends.
+std::optional<double> loss_trial(double loss_pct, std::uint64_t seed) {
+  sdn::FaultPlane plane(seed ^ 0xbe7cf417);
+  workload::ScenarioRuntime runtime(bench_config(seed));
+  plane.set_scope(sdn::ControllerId(2));
+  runtime.network().set_fault_plane(&plane);
+  const auto& hosts = runtime.hosts();
+
+  bool alerted = false;
+  sim::Time alert_at = 0;
+  core::Property property;
+  property.kind = core::QueryKind::ReachableEndpoints;
+  property.expect.allowed_endpoints = {hosts[1], hosts[2], hosts[3]};
+  runtime.client(hosts[0]).subscribe(
+      property, [&](const core::ClientAgent::MonitorEvent& event) {
+        if (event.kind == core::NotificationKind::ViolationAlert &&
+            !alerted) {
+          alerted = true;
+          alert_at = runtime.loop().now();
+        }
+      });
+  runtime.settle(30 * kMs);  // baseline AllClear lands on a clean channel
+
+  if (loss_pct > 0) {
+    sdn::FaultSpec lossy;
+    lossy.drop_probability = loss_pct / 100.0;
+    for (const sdn::SwitchId sw : runtime.network().topology().switches()) {
+      plane.set_fault(sw, sdn::FaultDirection::ToSwitch, lossy);
+      plane.set_fault(sw, sdn::FaultDirection::FromSwitch, lossy);
+    }
+    runtime.settle(10 * kMs);
+  }
+
+  attacks::ExfiltrationAttack attack(hosts[0], hosts[2]);
+  const sim::Time t0 = runtime.loop().now();
+  if (!attack.launch(runtime.provider(), runtime.network())) return std::nullopt;
+
+  const sim::Time budget = t0 + 600 * kMs;
+  while (!alerted && runtime.loop().now() < budget) runtime.settle(1 * kMs);
+  if (!alerted) return std::nullopt;
+  return to_ms(alert_at - t0);
+}
+
+LossRung run_loss_rung(double loss_pct, int trials) {
+  LossRung rung;
+  rung.loss_pct = loss_pct;
+  rung.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed =
+        3000 + static_cast<std::uint64_t>(loss_pct * 100) * 131 +
+        static_cast<std::uint64_t>(t);
+    if (const auto ms = loss_trial(loss_pct, seed)) {
+      ++rung.detected;
+      rung.alert_ms.add(*ms);
+    }
+  }
+  return rung;
+}
+
+// --- partition reconvergence ------------------------------------------------
+
+struct PartitionResult {
+  int trials = 0;
+  int reconverged = 0;
+  util::Samples reconverge_ms;
+};
+
+/// One trial: hard-partition 10 of a 12-switch grid's switches for 50 ms
+/// while the provider churns rules behind the partition (so the view
+/// genuinely goes stale), then record the simulated time from window
+/// expiry until every partitioned switch is Healthy with zero staleness.
+std::optional<double> partition_trial(std::uint64_t seed) {
+  workload::ScenarioConfig config;
+  config.generated = workload::grid(4, 3);  // 12 switches
+  config.seed = seed;
+  config.rvaas.polling = core::PollingMode::Fixed;
+  config.rvaas.poll_period = kPollPeriod;
+  config.rvaas.reverify_period = kReverifyPeriod;
+
+  sdn::FaultPlane plane(seed ^ 0x9a57f00d);
+  workload::ScenarioRuntime runtime(std::move(config));
+  plane.set_scope(sdn::ControllerId(2));
+  runtime.network().set_fault_plane(&plane);
+  runtime.settle(30 * kMs);
+
+  const auto switches = runtime.network().topology().switches();
+  const std::vector<sdn::SwitchId> dark(switches.begin(),
+                                        switches.begin() + 10);
+  const sim::Time until = runtime.loop().now() + 50 * kMs;
+  for (const sdn::SwitchId sw : dark) plane.partition(sw, until);
+
+  // Churn behind the partition: install shadow rules the verifier cannot
+  // observe until the window closes, so the healed view has real catching
+  // up to do.
+  for (std::size_t i = 0; i < dark.size(); i += 3) {
+    sdn::FlowMod add;
+    add.command = sdn::FlowModCommand::Add;
+    add.priority = 3;
+    add.match = sdn::Match().exact(sdn::Field::L4Dst, 9955);
+    add.actions = {sdn::drop()};
+    runtime.provider_flow_mod(dark[i], add);
+  }
+
+  while (runtime.loop().now() < until) runtime.settle(1 * kMs);
+  const sim::Time healed = runtime.loop().now();
+  const sim::Time budget = healed + 300 * kMs;
+  while (runtime.loop().now() < budget) {
+    const auto converged = [&] {
+      for (const sdn::SwitchId sw : dark) {
+        if (runtime.rvaas().switch_health(sw) !=
+            core::RvaasController::SwitchHealth::Healthy) {
+          return false;
+        }
+      }
+      return runtime.rvaas().freshness_for(switches).max_staleness == 0;
+    };
+    if (converged()) return to_ms(runtime.loop().now() - healed);
+    runtime.settle(1 * kMs);
+  }
+  return std::nullopt;
+}
+
+PartitionResult run_partition(int trials) {
+  PartitionResult result;
+  result.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    if (const auto ms = partition_trial(4000 + static_cast<std::uint64_t>(t))) {
+      ++result.reconverged;
+      result.reconverge_ms.add(*ms);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::BenchArgs args = util::BenchArgs::parse(argc, argv);
+  const int trials = args.smoke ? 3 : 15;
+
+  std::puts("control-channel fault tolerance: time-to-alert under message");
+  std::puts("loss, and view reconvergence after a partition heals. All");
+  std::puts("times are simulated (fixed 20 ms polls, 60 ms reverify).\n");
+
+  const double rates[] = {0.0, 1.0, 5.0, 20.0};
+  std::vector<LossRung> rungs;
+  for (const double rate : rates) rungs.push_back(run_loss_rung(rate, trials));
+
+  const double lossless_median =
+      rungs[0].alert_ms.empty() ? 0.0 : rungs[0].alert_ms.median();
+  util::Table loss_table({"loss-pct", "trials", "detected", "median-ms",
+                          "p90-ms", "x-vs-lossless"});
+  for (const LossRung& rung : rungs) {
+    const bool has = !rung.alert_ms.empty();
+    const double median = has ? rung.alert_ms.median() : 0.0;
+    loss_table.add_row(
+        {util::Table::fmt(rung.loss_pct, 0), std::to_string(rung.trials),
+         std::to_string(rung.detected),
+         has ? util::Table::fmt(median, 3) : "-",
+         has ? util::Table::fmt(rung.alert_ms.percentile(90), 3) : "-",
+         has && lossless_median > 0
+             ? util::Table::fmt(median / lossless_median, 2)
+             : "-"});
+  }
+  loss_table.print();
+
+  const PartitionResult part = run_partition(trials);
+  util::Table part_table({"trials", "reconverged", "partition-ms",
+                          "reverify-ms", "median-ms", "p90-ms"});
+  part_table.add_row(
+      {std::to_string(part.trials), std::to_string(part.reconverged), "50",
+       util::Table::fmt(to_ms(kReverifyPeriod), 0),
+       part.reconverge_ms.empty() ? "-"
+                                  : util::Table::fmt(part.reconverge_ms.median(), 3),
+       part.reconverge_ms.empty()
+           ? "-"
+           : util::Table::fmt(part.reconverge_ms.percentile(90), 3)});
+  std::puts("");
+  part_table.print();
+
+  // Acceptance verdicts.
+  const bool five_ok =
+      !rungs[2].alert_ms.empty() && lossless_median > 0 &&
+      rungs[2].alert_ms.median() <= 3.0 * lossless_median;
+  const bool part_ok = !part.reconverge_ms.empty() &&
+                       part.reconverged == part.trials &&
+                       part.reconverge_ms.median() <= to_ms(kReverifyPeriod);
+  util::Table verdicts({"criterion", "target", "measured", "ok"});
+  verdicts.add_row(
+      {"5%-loss median alert", "<= 3x lossless",
+       rungs[2].alert_ms.empty() || lossless_median <= 0
+           ? "-"
+           : util::Table::fmt(rungs[2].alert_ms.median() / lossless_median, 2) +
+                 "x",
+       five_ok ? "yes" : "NO"});
+  verdicts.add_row(
+      {"partition reconvergence", "<= 1 reverify period",
+       part.reconverge_ms.empty()
+           ? "-"
+           : util::Table::fmt(part.reconverge_ms.median(), 1) + " ms",
+       part_ok ? "yes" : "NO"});
+  std::puts("");
+  verdicts.print();
+
+  if (!args.json.empty()) {
+    if (!util::write_json_tables(args.json, {{"loss-ladder", &loss_table},
+                                             {"partition", &part_table},
+                                             {"verdicts", &verdicts}})) {
+      return 1;
+    }
+  }
+  return five_ok && part_ok ? 0 : 1;
+}

@@ -160,10 +160,19 @@ void ClientAgent::on_packet(sdn::PortRef at, const sdn::Packet& packet) {
     }
     sub.last_sequence = n.sequence;
     ++stats_.notifications_received;
-    if (n.kind == NotificationKind::ViolationAlert) {
-      ++stats_.alerts_received;
-    } else {
-      ++stats_.all_clears_received;
+    switch (n.kind) {
+      case NotificationKind::ViolationAlert:
+        ++stats_.alerts_received;
+        break;
+      case NotificationKind::AllClear:
+        ++stats_.all_clears_received;
+        break;
+      case NotificationKind::VerificationDegraded:
+        // Not a verdict: the footprint lost a switch and RVaaS is telling
+        // us it cannot verify freshly right now. A normal push resumes on
+        // heal (commit() owes it).
+        ++stats_.degraded_received;
+        break;
     }
 
     MonitorEvent event;
@@ -196,6 +205,10 @@ void ClientAgent::on_packet(sdn::PortRef at, const sdn::Packet& packet) {
 
     Outcome outcome;
     outcome.signature_ok = opened->signature_ok;
+    // Fail-stale: surface a freshness breach, never absorb it silently.
+    outcome.stale = max_staleness_ > 0 &&
+                    (!opened->reply.freshness.unreachable.empty() ||
+                     opened->reply.freshness.max_staleness > max_staleness_);
     outcome.reply = opened->reply;
     auto callback = std::move(it->second.callback);
     pending_.erase(it);

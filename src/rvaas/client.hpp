@@ -43,6 +43,9 @@ class ClientAgent {
   struct Outcome {
     bool timed_out = false;
     bool signature_ok = false;
+    /// The reply's freshness section breaches the client's max-staleness
+    /// bound (set_max_staleness): the verdict is fail-stale, not fresh.
+    bool stale = false;
     std::optional<QueryReply> reply;
   };
   using Callback = std::function<void(const Outcome&)>;
@@ -51,6 +54,13 @@ class ClientAgent {
   /// Returns the request id.
   std::uint64_t send_query(const Query& query, Callback callback,
                            sim::Time timeout = 50 * sim::kMillisecond);
+
+  /// Client-side fail-stale knob for one-shot queries: with a bound set
+  /// (ns; 0 = off), Outcome.stale flags any reply whose freshness section
+  /// reports an unreachable footprint switch or staleness above the bound.
+  /// (Subscriptions carry the bound in Expectation::max_staleness instead,
+  /// so it is part of the verified property.)
+  void set_max_staleness(std::uint64_t bound) { max_staleness_ = bound; }
 
   /// One verified push from the RVaaS monitor.
   struct MonitorEvent {
@@ -92,6 +102,7 @@ class ClientAgent {
     std::uint64_t bad_notifications = 0;  ///< bad box/signature or replayed
     std::uint64_t alerts_received = 0;
     std::uint64_t all_clears_received = 0;
+    std::uint64_t degraded_received = 0;  ///< VerificationDegraded pushes
   };
   const Stats& stats() const { return stats_; }
 
@@ -121,6 +132,7 @@ class ClientAgent {
   std::map<std::uint64_t, PendingQuery> pending_;
   std::map<std::uint64_t, Subscription> subscriptions_;
   std::uint64_t next_request_id_;
+  std::uint64_t max_staleness_ = 0;  ///< 0 = no fail-stale bound
   Stats stats_;
 };
 

@@ -1,5 +1,8 @@
 #include "rvaas/controller.hpp"
 
+#include <algorithm>
+#include <atomic>
+
 #include "util/ensure.hpp"
 
 namespace rvaas::core {
@@ -12,6 +15,27 @@ using sdn::SwitchId;
 
 namespace {
 constexpr std::uint64_t kInterceptCookie = 0x52566161;  // "RVaa"
+
+// TEST-ONLY fault switch (see test_fault_freeze_health).
+std::atomic<bool> g_health_frozen{false};
+
+bool health_frozen() {
+  return g_health_frozen.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void RvaasController::test_fault_freeze_health(bool on) {
+  g_health_frozen.store(on, std::memory_order_relaxed);
+}
+
+sim::Time RvaasController::backoff_base_delay(std::uint32_t attempt,
+                                              const RvaasConfig& config) {
+  sim::Time delay = config.retry_backoff_base;
+  for (std::uint32_t i = 0; i < attempt && delay < config.retry_backoff_cap;
+       ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, config.retry_backoff_cap);
 }
 
 RvaasController::RvaasController(sdn::ControllerId id, sdn::Network& net,
@@ -29,6 +53,28 @@ RvaasController::RvaasController(sdn::ControllerId id, sdn::Network& net,
       snapshot_(config_.history_limit),
       monitor_(engine_),
       monitor_pool_(config_.monitor_threads) {}
+
+RvaasController::~RvaasController() { stop(); }
+
+void RvaasController::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  sim::EventLoop& loop = net_->loop();
+  loop.cancel(poll_timer_);
+  loop.cancel(probe_timer_);
+  loop.cancel(reverify_timer_);
+  loop.cancel(sweep_event_);
+  sweep_scheduled_ = false;
+  for (auto& [sw, channel] : channels_) {
+    if (channel.in_flight) loop.cancel(channel.deadline);
+    if (channel.retry_pending) loop.cancel(channel.retry);
+    channel.in_flight = false;
+    channel.retry_pending = false;
+  }
+  for (auto& [request_id, pending] : pending_) loop.cancel(pending.timeout);
+  pending_.clear();
+  inflight_.clear();
+}
 
 enclave::Quote RvaasController::quote() const {
   return ias_->quote(enclave_,
@@ -89,26 +135,195 @@ void RvaasController::schedule_poll() {
           ? static_cast<sim::Time>(
                 rng_.exponential(static_cast<double>(config_.poll_period)))
           : config_.poll_period;
-  net_->loop().schedule_after(std::max<sim::Time>(delay, 1), [this] {
-    poll_all_switches();
-    schedule_poll();
-  });
+  poll_timer_ =
+      net_->loop().schedule_after(std::max<sim::Time>(delay, 1), [this] {
+        poll_all_switches();
+        schedule_poll();
+      });
 }
 
 void RvaasController::poll_all_switches() {
   for (const SwitchId sw : handle_->switches()) {
-    ++stats_.polls_sent;
-    handle_->request_stats(sw, [this](const sdn::StatsReply& reply) {
-      snapshot_.reconcile(reply, net_->loop().now());
-      // A poll that diverged from the passive view bumped the epoch; wake
-      // the subscriptions whose footprint the adopted change touches.
-      schedule_monitor_sweep();
-    });
+    poll_switch(sw, /*is_retry=*/false);
   }
 }
 
+void RvaasController::poll_switch(SwitchId sw, bool is_retry) {
+  SwitchChannel& channel = channels_[sw];
+  // One deadline-tracked poll per switch: a second request while the first
+  // is outstanding would make a miss ambiguous.
+  if (channel.in_flight) return;
+  if (!is_retry && channel.health == SwitchHealth::Unreachable) {
+    // Circuit open: regular polls skip the switch (no point queueing work
+    // into a dead channel); only the capped-cadence probe retry goes out.
+    ++stats_.polls_gated;
+    return;
+  }
+  channel.in_flight = true;
+  const std::uint64_t seq = ++channel.poll_seq_sent;
+  const std::uint64_t gen = poll_generation_;
+  const sim::Time sent = net_->loop().now();
+  ++stats_.polls_sent;
+  handle_->request_stats(
+      sw, [this, sw, seq, gen, sent](const sdn::StatsReply& reply) {
+        on_stats_reply(sw, seq, gen, sent, reply);
+      });
+  channel.deadline = net_->loop().schedule_after(
+      config_.poll_deadline, [this, sw, seq] { on_poll_deadline(sw, seq); });
+}
+
+void RvaasController::on_stats_reply(SwitchId sw, std::uint64_t seq,
+                                     std::uint64_t gen, sim::Time sent,
+                                     const sdn::StatsReply& reply) {
+  if (stopped_) return;
+  SwitchChannel& channel = channels_[sw];
+  // Liveness first: the awaited reply closes the deadline even when its
+  // content must be discarded — either way the channel round-tripped.
+  const bool awaited = channel.in_flight && seq == channel.poll_seq_sent;
+  if (awaited) {
+    net_->loop().cancel(channel.deadline);
+    channel.in_flight = false;
+  }
+
+  bool adopt = true;
+  if (gen != poll_generation_) {
+    // Requested against a previous snapshot identity: the identity reset
+    // voided every in-flight reply.
+    adopt = false;
+    ++stats_.stale_polls_discarded;
+  } else if (seq <= channel.poll_seq_applied) {
+    // Duplicate or out-of-order straggler (delay/duplication faults).
+    adopt = false;
+    ++stats_.stale_polls_discarded;
+  } else if (snapshot_.last_confirmed(sw) > sent) {
+    // The passive channel confirmed this switch after the request left: the
+    // dump was captured without that event and adopting it could roll the
+    // view backwards. Real under delay faults; content-neutral without.
+    adopt = false;
+    ++stats_.stale_polls_discarded;
+  }
+  if (adopt) {
+    channel.poll_seq_applied = seq;
+    snapshot_.reconcile(reply, net_->loop().now());
+    // A poll that diverged from the passive view bumped the epoch; wake
+    // the subscriptions whose footprint the adopted change touches.
+    schedule_monitor_sweep();
+  }
+  if (awaited) on_switch_alive(sw);
+}
+
+void RvaasController::on_poll_deadline(SwitchId sw, std::uint64_t seq) {
+  if (stopped_) return;
+  SwitchChannel& channel = channels_[sw];
+  if (!channel.in_flight || seq != channel.poll_seq_sent) return;
+  channel.in_flight = false;
+  ++stats_.poll_deadline_misses;
+  if (!health_frozen()) {
+    ++channel.consecutive_misses;
+    if (channel.consecutive_misses >= config_.unreachable_after) {
+      if (channel.health != SwitchHealth::Unreachable) {
+        channel.health = SwitchHealth::Unreachable;
+        ++stats_.unreachable_transitions;
+        on_unreachable();
+      }
+    } else if (channel.consecutive_misses >= config_.degraded_after &&
+               channel.health == SwitchHealth::Healthy) {
+      channel.health = SwitchHealth::Degraded;
+      ++stats_.degraded_transitions;
+    }
+  }
+  schedule_retry(sw);
+}
+
+void RvaasController::schedule_retry(SwitchId sw) {
+  SwitchChannel& channel = channels_[sw];
+  if (channel.retry_pending) return;
+  sim::Time delay;
+  if (channel.health == SwitchHealth::Unreachable) {
+    // Circuit open: probe at the fixed cap cadence, no further growth.
+    delay = config_.retry_backoff_cap;
+  } else {
+    delay = backoff_base_delay(channel.attempt, config_);
+    ++channel.attempt;
+  }
+  if (config_.retry_jitter_pct > 0) {
+    // Additive jitter decorrelates retry bursts across switches after a
+    // shared partition; drawn from the seeded rng, so still deterministic.
+    const sim::Time span = delay * config_.retry_jitter_pct / 100;
+    if (span > 0) delay += rng_.below(span + 1);
+  }
+  channel.retry_pending = true;
+  channel.retry =
+      net_->loop().schedule_after(std::max<sim::Time>(delay, 1), [this, sw] {
+        if (stopped_) return;
+        channels_[sw].retry_pending = false;
+        ++stats_.poll_retries;
+        poll_switch(sw, /*is_retry=*/true);
+      });
+}
+
+void RvaasController::on_switch_alive(SwitchId sw) {
+  SwitchChannel& channel = channels_[sw];
+  channel.consecutive_misses = 0;
+  channel.attempt = 0;
+  if (channel.retry_pending) {
+    net_->loop().cancel(channel.retry);
+    channel.retry_pending = false;
+  }
+  if (health_frozen()) return;
+  if (channel.health == SwitchHealth::Healthy) return;
+  channel.health = SwitchHealth::Healthy;
+  ++stats_.health_recoveries;
+  // Recovery reconcile-and-reverify: the reply that brought the switch back
+  // was reconciled just above; everything evaluated against the degraded
+  // view is re-verified here, and subscriptions owing a degraded resume are
+  // forced through commit() by their degraded_notified debt.
+  run_monitor_sweep(/*force_all=*/true);
+}
+
+void RvaasController::on_unreachable() {
+  for (const PropertyMonitor::DegradedPush& push :
+       monitor_.mark_degraded(unreachable_switches())) {
+    send_degraded_notification(push);
+  }
+}
+
+RvaasController::SwitchHealth RvaasController::switch_health(
+    SwitchId sw) const {
+  const auto it = channels_.find(sw);
+  return it == channels_.end() ? SwitchHealth::Healthy : it->second.health;
+}
+
+std::vector<SwitchId> RvaasController::unreachable_switches() const {
+  std::vector<SwitchId> out;
+  for (const auto& [sw, channel] : channels_) {
+    if (channel.health == SwitchHealth::Unreachable) out.push_back(sw);
+  }
+  return out;  // channels_ is ordered: ascending
+}
+
+FreshnessInfo RvaasController::freshness_for(
+    const std::vector<SwitchId>& footprint) const {
+  FreshnessInfo freshness;
+  const sim::Time now = net_->loop().now();
+  for (const SwitchId sw : footprint) {
+    const auto it = channels_.find(sw);
+    if (it == channels_.end() || it->second.health == SwitchHealth::Healthy) {
+      continue;  // staleness accrues only for non-Healthy switches
+    }
+    if (it->second.health == SwitchHealth::Unreachable) {
+      freshness.unreachable.push_back(sw);  // footprint sorted -> sorted
+    }
+    const sim::Time confirmed = snapshot_.last_confirmed(sw);
+    // Never confirmed and already non-Healthy: stale since time zero.
+    const std::uint64_t staleness = confirmed == 0 ? now : now - confirmed;
+    freshness.max_staleness = std::max(freshness.max_staleness, staleness);
+  }
+  return freshness;
+}
+
 void RvaasController::schedule_reverify() {
-  net_->loop().schedule_after(config_.reverify_period, [this] {
+  reverify_timer_ = net_->loop().schedule_after(config_.reverify_period, [this] {
     // Full sweep: catches drift the change clock cannot see (meter
     // updates, endpoints that stopped answering authentication).
     run_monitor_sweep(/*force_all=*/true);
@@ -117,7 +332,7 @@ void RvaasController::schedule_reverify() {
 }
 
 void RvaasController::schedule_probe() {
-  net_->loop().schedule_after(config_.probe_period, [this] {
+  probe_timer_ = net_->loop().schedule_after(config_.probe_period, [this] {
     probe_all_links();
     schedule_probe();
   });
@@ -193,18 +408,20 @@ void RvaasController::handle_request(const sdn::PacketIn& msg) {
 
   // Logical verification on the current snapshot, through the single
   // per-kind dispatch (QueryEngine::evaluate) shared with the batch,
-  // federation and monitor paths.
+  // federation and monitor paths. The footprint is kept: finalize() stamps
+  // the reply's freshness section over exactly those switches.
   const hsa::NetworkModel model = engine_.model(snapshot_);
   QueryEngine::EvalContext ctx;
   ctx.from = pending.request_point;
   ctx.geo = geo_.get();
   ctx.addressing = addressing_;
-  QueryEngine::Answer answer =
-      engine_.answer(model, snapshot_, request->query, ctx);
-  pending.reply = std::move(answer.reply);
+  QueryEngine::Evaluation evaluation = engine_.evaluate(
+      model, snapshot_, Property::from_query(request->query), ctx);
+  pending.reply = std::move(evaluation.reply);
   pending.reply.request_id = request->request_id;
+  pending.footprint = std::move(evaluation.footprint);
 
-  track_pending(std::move(pending), answer.to_authenticate);
+  track_pending(std::move(pending), evaluation.to_authenticate);
 }
 
 void RvaasController::handle_subscribe(const sdn::PacketIn& msg) {
@@ -391,6 +608,11 @@ void RvaasController::finalize(std::uint64_t request_id) {
     }
   }
   pending.reply.auth.responded = responded;
+  // Fail-stale: every outgoing verdict carries the freshness of the view it
+  // was computed from, restricted to its own dependency footprint. All-zero
+  // over a healthy footprint — fault-free replies are byte-identical to the
+  // pre-freshness format modulo the appended zeros.
+  pending.reply.freshness = freshness_for(pending.footprint);
 
   if (pending.subscription) {
     inflight_.erase(*pending.subscription);
@@ -432,6 +654,38 @@ void RvaasController::send_notification(
   handle_->packet_out(out);
 }
 
+void RvaasController::send_degraded_notification(
+    const PropertyMonitor::DegradedPush& push) {
+  const auto client_it = clients_.find(push.key.first);
+  if (client_it == clients_.end()) return;
+
+  // No evaluation attached — the point of this push is that a fresh one is
+  // impossible right now. The reply shell carries only the property kind
+  // and the (decidedly non-zero) freshness of the stored footprint.
+  Notification notification;
+  notification.subscription_id = push.key.second;
+  notification.sequence = push.sequence;
+  notification.kind = NotificationKind::VerificationDegraded;
+  notification.epoch = push.evaluated_epoch;
+  notification.property_fingerprint = push.property_fingerprint;
+  notification.reply.request_id = push.key.second;
+  notification.reply.kind = push.kind;
+  if (const PropertyMonitor::Subscription* sub =
+          monitor_.find(push.key.first, push.key.second)) {
+    notification.reply.freshness = freshness_for(sub->footprint);
+  }
+
+  stats_.crypto_ops += 2;  // sign + seal
+  ++stats_.degraded_notifications;
+  ++stats_.notifications_sent;
+  sdn::PacketOut out;
+  out.sw = push.request_point.sw;
+  out.actions = {sdn::output(push.request_point.port)};
+  out.packet = inband::make_notify_packet(
+      notification, enclave_, client_it->second.box_public, rng_);
+  handle_->packet_out(out);
+}
+
 void RvaasController::schedule_monitor_sweep() {
   // Runs on every flow update and adopted poll diff, so both checks must be
   // O(1): has_unevaluated() is a set-emptiness test, never a registry scan.
@@ -442,7 +696,7 @@ void RvaasController::schedule_monitor_sweep() {
   sweep_scheduled_ = true;
   // Deferred to the next event at the same instant: a burst of flow
   // updates (or a poll adopting many diffs) coalesces into one sweep.
-  net_->loop().schedule_after(0, [this] {
+  sweep_event_ = net_->loop().schedule_after(0, [this] {
     sweep_scheduled_ = false;
     run_monitor_sweep(/*force_all=*/false);
   });
@@ -476,6 +730,12 @@ void RvaasController::run_monitor_sweep(bool force_all) {
     pending.subscription = w.key;
     pending.evaluated_epoch = w.epoch;
     pending.property_fingerprint = w.property_fingerprint;
+    // The evaluation's footprint was moved into the registry by sweep();
+    // read it back for the freshness stamp in finalize().
+    if (const PropertyMonitor::Subscription* sub =
+            monitor_.find(w.key.first, w.key.second)) {
+      pending.footprint = sub->footprint;
+    }
     track_pending(std::move(pending), w.evaluation.to_authenticate);
   }
 }

@@ -45,6 +45,26 @@ struct RvaasConfig {
   sim::Time reverify_period = 0;
   /// Resource bound: Subscribe beyond this per client is a bad request.
   std::size_t max_subscriptions_per_client = 64;
+
+  // --- control-channel resilience (fault tolerance, fail-stale) ---
+  /// How long a stats poll may stay unanswered before it counts as a miss.
+  /// The fault-free round-trip is 2 control latencies (~400us default), so
+  /// the default leaves ample margin without slowing fault detection.
+  sim::Time poll_deadline = 2 * sim::kMillisecond;
+  /// Consecutive missed poll deadlines before Healthy -> Degraded.
+  std::uint32_t degraded_after = 1;
+  /// Consecutive missed poll deadlines before -> Unreachable. The circuit
+  /// opens: regular polls skip the switch, a capped-cadence probe keeps
+  /// testing for recovery.
+  std::uint32_t unreachable_after = 3;
+  /// Retry backoff after a miss: base * 2^attempt, capped. The cap doubles
+  /// as the circuit-breaker probe cadence while a switch is Unreachable.
+  sim::Time retry_backoff_base = 1 * sim::kMillisecond;
+  sim::Time retry_backoff_cap = 8 * sim::kMillisecond;
+  /// Additive jitter on retry delays, up to this percentage of the delay
+  /// (drawn from the controller's seeded rng: deterministic, but
+  /// decorrelates retry bursts across switches).
+  std::uint32_t retry_jitter_pct = 25;
 };
 
 class RvaasController : public sdn::Controller {
@@ -52,6 +72,9 @@ class RvaasController : public sdn::Controller {
   RvaasController(sdn::ControllerId id, sdn::Network& net,
                   const enclave::AttestationService& ias, RvaasConfig config,
                   util::Rng rng);
+  /// Calls stop(): a controller destroyed before its EventLoop must not
+  /// leave self-rescheduling timers holding a dangling `this`.
+  ~RvaasController();
 
   sdn::ControllerId id() const override { return id_; }
 
@@ -81,7 +104,13 @@ class RvaasController : public sdn::Controller {
   /// takes a fresh identity, so every cache keyed on it (L1 compiled model,
   /// L2 reachability) must detect the change and fully rebuild. Used by the
   /// scenario fuzzer (src/testing) to stress cache identity handling.
-  void reset_snapshot_identity() { snapshot_.reset_identity(); }
+  /// Advancing the poll generation voids every stats reply still in flight:
+  /// it was requested against the previous identity and must not leak into
+  /// the new one.
+  void reset_snapshot_identity() {
+    snapshot_.reset_identity();
+    ++poll_generation_;
+  }
   /// The query engine answering this controller's logical steps; exposes the
   /// incremental model cache's counters (cache_stats) to benches/monitoring.
   const QueryEngine& engine() const { return engine_; }
@@ -90,6 +119,47 @@ class RvaasController : public sdn::Controller {
   const std::vector<WiringAlarm>& wiring_alarms() const {
     return wiring_alarms_;
   }
+
+  // --- control-channel health (fail-stale degraded operation) ---
+
+  /// Per-switch control-channel health as the poll deadline machine sees
+  /// it. Healthy until a deadline miss; Degraded after `degraded_after`
+  /// consecutive misses; Unreachable after `unreachable_after` (circuit
+  /// open: regular polls skip the switch, a capped-cadence probe keeps
+  /// testing). Any successful reply snaps straight back to Healthy.
+  enum class SwitchHealth : std::uint8_t { Healthy, Degraded, Unreachable };
+  SwitchHealth switch_health(sdn::SwitchId sw) const;
+  /// Switches currently Unreachable, sorted ascending.
+  std::vector<sdn::SwitchId> unreachable_switches() const;
+  /// Freshness of the view restricted to `footprint` (sorted): all-zero
+  /// when every footprint switch is Healthy; otherwise the max ns since a
+  /// non-Healthy footprint switch was last confirmed, plus the unreachable
+  /// subset. This is what finalize() stamps on every outgoing reply.
+  FreshnessInfo freshness_for(
+      const std::vector<sdn::SwitchId>& footprint) const;
+
+  /// Cancels every timer this controller owns (poll/probe/reverify
+  /// re-arms, per-switch deadline and retry timers, auth timeouts, the
+  /// coalesced sweep event) and drops pending state. After stop() the
+  /// event loop holds no callback that re-arms or touches this object —
+  /// required before destroying a controller whose loop outlives it.
+  /// In-flight control-channel deliveries (a stats reply already queued by
+  /// the network) still reference the controller: drain the loop first or
+  /// destroy network and controller together.
+  void stop();
+
+  /// The exponential backoff ladder (pure, no jitter): base * 2^attempt
+  /// capped at retry_backoff_cap. Exposed so tests can pin the schedule.
+  static sim::Time backoff_base_delay(std::uint32_t attempt,
+                                      const RvaasConfig& config);
+
+  /// TEST-ONLY fault injection: while enabled, deadline misses and
+  /// successful replies stop transitioning per-switch health — the machine
+  /// is frozen blind at its current state while retries keep running. A
+  /// hard-faulted switch then stays nominally Healthy with a stale view,
+  /// which the fault-equivalence oracle (degraded-honesty clause) must
+  /// catch. Never enable outside tests; affects all instances process-wide.
+  static void test_fault_freeze_health(bool on);
 
   // sdn::Controller interface.
   void on_packet_in(const sdn::PacketIn& msg) override;
@@ -112,6 +182,16 @@ class RvaasController : public sdn::Controller {
     std::uint64_t unsubscribes_received = 0;
     std::uint64_t monitor_sweeps = 0;       ///< churn/timer sweep runs
     std::uint64_t notifications_sent = 0;   ///< alerts + all-clears pushed
+
+    // Control-channel resilience:
+    std::uint64_t poll_deadline_misses = 0;
+    std::uint64_t poll_retries = 0;          ///< backoff/probe re-polls sent
+    std::uint64_t polls_gated = 0;           ///< circuit breaker skipped a poll
+    std::uint64_t stale_polls_discarded = 0; ///< generation/ordering guards
+    std::uint64_t degraded_transitions = 0;
+    std::uint64_t unreachable_transitions = 0;
+    std::uint64_t health_recoveries = 0;     ///< non-Healthy -> Healthy
+    std::uint64_t degraded_notifications = 0;///< VerificationDegraded pushes
   };
   const Stats& stats() const { return stats_; }
 
@@ -131,12 +211,45 @@ class RvaasController : public sdn::Controller {
     std::optional<PropertyMonitor::Key> subscription;
     std::uint64_t evaluated_epoch = 0;  ///< snapshot epoch of the evaluation
     std::uint64_t property_fingerprint = 0;  ///< pinned in the notification
+    /// Dependency footprint of the evaluation (sorted): what finalize()
+    /// computes the reply's freshness section over.
+    std::vector<sdn::SwitchId> footprint;
+  };
+
+  /// Per-switch control-channel state: deadline-tracked polls plus the
+  /// health machine. Default-constructed == a Healthy switch never polled.
+  struct SwitchChannel {
+    SwitchHealth health = SwitchHealth::Healthy;
+    std::uint32_t consecutive_misses = 0;
+    std::uint32_t attempt = 0;   ///< backoff exponent for the next retry
+    bool in_flight = false;      ///< a deadline-tracked poll is outstanding
+    bool retry_pending = false;  ///< a backoff retry timer is armed
+    sim::EventId deadline{};
+    sim::EventId retry{};
+    std::uint64_t poll_seq_sent = 0;     ///< per-switch poll sequence
+    std::uint64_t poll_seq_applied = 0;  ///< highest reply adopted
   };
 
   void schedule_poll();
   void schedule_probe();
   void schedule_reverify();
   void poll_all_switches();
+  /// One deadline-tracked poll. Regular polls (`is_retry == false`) are
+  /// gated while the switch's circuit is open; retries/probes pass.
+  void poll_switch(sdn::SwitchId sw, bool is_retry);
+  void on_stats_reply(sdn::SwitchId sw, std::uint64_t seq, std::uint64_t gen,
+                      sim::Time sent, const sdn::StatsReply& reply);
+  void on_poll_deadline(sdn::SwitchId sw, std::uint64_t seq);
+  /// Arms the capped-exponential-backoff retry (or, while Unreachable, the
+  /// fixed-cadence circuit probe) for `sw` if none is pending.
+  void schedule_retry(sdn::SwitchId sw);
+  /// A poll round-trip completed: resets miss/backoff state; a non-Healthy
+  /// switch recovers (forced full sweep re-verifies everything evaluated
+  /// against the degraded view and resumes degraded subscriptions).
+  void on_switch_alive(sdn::SwitchId sw);
+  /// Healthy/Degraded -> Unreachable edge: pushes VerificationDegraded to
+  /// every subscription whose footprint touches an unreachable switch.
+  void on_unreachable();
   void probe_all_links();
   void handle_request(const sdn::PacketIn& msg);
   void handle_subscribe(const sdn::PacketIn& msg);
@@ -154,6 +267,10 @@ class RvaasController : public sdn::Controller {
   void send_reply(const PendingQuery& pending);
   void send_notification(const PendingQuery& pending,
                          const PropertyMonitor::Decision& decision);
+  /// Signed, sealed VerificationDegraded push for a subscription whose
+  /// footprint lost a switch (no evaluation attached: the point is that a
+  /// fresh evaluation is impossible right now).
+  void send_degraded_notification(const PropertyMonitor::DegradedPush& push);
 
   /// Churn hook: coalesces same-instant epoch advances into one sweep event.
   void schedule_monitor_sweep();
@@ -180,6 +297,18 @@ class RvaasController : public sdn::Controller {
   std::map<std::uint64_t, PendingQuery> pending_;
   std::vector<WiringAlarm> wiring_alarms_;
   Stats stats_;
+
+  // Control-channel resilience.
+  std::map<sdn::SwitchId, SwitchChannel> channels_;
+  /// Bumped by reset_snapshot_identity(); stats replies from an older
+  /// generation are liveness signals but never touch the view.
+  std::uint64_t poll_generation_ = 0;
+  bool stopped_ = false;
+  /// Self-rescheduling timers, stored so stop() can cancel them.
+  sim::EventId poll_timer_{};
+  sim::EventId probe_timer_{};
+  sim::EventId reverify_timer_{};
+  sim::EventId sweep_event_{};
 
   // Push verification. The monitor holds the subscription registry; the
   // pool fans its re-evaluation sweeps out (0 extra threads by default).

@@ -291,6 +291,24 @@ std::vector<PropertyMonitor::Wakeup> PropertyMonitor::sweep(
   return out;
 }
 
+std::vector<PropertyMonitor::DegradedPush> PropertyMonitor::mark_degraded(
+    const std::vector<SwitchId>& unreachable) {
+  std::vector<DegradedPush> out;
+  if (unreachable.empty()) return out;
+  for (auto& [key, sub] : subs_) {
+    if (sub.degraded_notified) continue;  // debt already outstanding
+    if (!sub.evaluated) continue;  // no footprint yet; baseline will tell
+    if (!intersects(sub.footprint, unreachable)) continue;
+    sub.degraded_notified = true;
+    ++sub.sequence;
+    ++stats_.degraded;
+    out.push_back(DegradedPush{key, sub.request_point, sub.sequence,
+                               sub.property.fingerprint(),
+                               sub.evaluated_epoch, sub.property.kind});
+  }
+  return out;  // subs_ is ordered, so pushes go out in ascending Key order
+}
+
 PropertyMonitor::Decision PropertyMonitor::commit(
     const Key& key, const QueryReply& final_reply) {
   const auto it = subs_.find(key);
@@ -300,8 +318,11 @@ PropertyMonitor::Decision PropertyMonitor::commit(
   const Verdict verdict = evaluate_reply(final_reply, sub.property.expect);
 
   // The first committed outcome is always news (the baseline push doubles
-  // as the subscribe acknowledgement); afterwards the policy decides.
-  bool push = !sub.last_ok.has_value();
+  // as the subscribe acknowledgement); afterwards the policy decides. A
+  // degraded_notified debt forces the push regardless — the client heard
+  // "verification degraded" and is owed a signed resume even if the
+  // verdict never moved.
+  bool push = !sub.last_ok.has_value() || sub.degraded_notified;
   util::Bytes payload;
   if (sub.policy == NotifyPolicy::EveryChange) {
     util::ByteWriter w;
@@ -314,6 +335,10 @@ PropertyMonitor::Decision PropertyMonitor::commit(
   if (!push) {
     ++stats_.suppressed;
     return {};
+  }
+  if (sub.degraded_notified) {
+    sub.degraded_notified = false;
+    ++stats_.degraded_resumes;
   }
 
   if (sub.policy == NotifyPolicy::EveryChange) {

@@ -52,6 +52,11 @@ class PropertyMonitor {
     util::Bytes last_payload;
     /// Pushes so far; the next notification carries sequence + 1.
     std::uint64_t sequence = 0;
+    /// A VerificationDegraded push went out (the footprint touched an
+    /// unreachable switch) and no normal push has resumed since. While
+    /// set, the next commit always pushes — the client is owed a signed
+    /// resume even if the verdict never moved.
+    bool degraded_notified = false;
   };
 
   struct Stats {
@@ -66,6 +71,8 @@ class PropertyMonitor {
     std::uint64_t indexed_sweeps = 0;   ///< selections served by the index
     std::uint64_t fallback_sweeps = 0;  ///< linear selections (new snapshot
                                         ///< identity / first sweep)
+    std::uint64_t degraded = 0;         ///< VerificationDegraded pushes decided
+    std::uint64_t degraded_resumes = 0; ///< forced pushes clearing the flag
   };
 
   explicit PropertyMonitor(const QueryEngine& engine) : engine_(&engine) {}
@@ -157,8 +164,32 @@ class PropertyMonitor {
   /// verdict against the stored Expectation, compared with the last pushed
   /// state under the subscription's NotifyPolicy. Updates push bookkeeping
   /// when a notification is due. No-op Decision for unknown subscriptions
-  /// (unsubscribed while the evaluation was in flight).
+  /// (unsubscribed while the evaluation was in flight). A subscription
+  /// holding a VerificationDegraded debt (see mark_degraded) always pushes
+  /// here — the signed resume — and the debt is cleared.
   Decision commit(const Key& key, const QueryReply& final_reply);
+
+  /// Everything the controller needs to push one VerificationDegraded
+  /// notification (no evaluation attached: the point is that the registry
+  /// footprint just lost a switch and a fresh evaluation is impossible).
+  struct DegradedPush {
+    Key key;
+    sdn::PortRef request_point{};
+    std::uint64_t sequence = 0;  ///< already bumped; carried verbatim
+    std::uint64_t property_fingerprint = 0;
+    std::uint64_t evaluated_epoch = 0;
+    QueryKind kind = QueryKind::ReachableEndpoints;
+  };
+
+  /// Fail-stale hook, called by the controller on a Healthy/Degraded ->
+  /// Unreachable edge with the full current unreachable set (sorted):
+  /// every evaluated subscription whose footprint intersects it — and that
+  /// is not already flagged — takes the degraded_notified debt, advances
+  /// its sequence, and yields one DegradedPush. O(subs) linear scan:
+  /// unreachable transitions are rare by construction (they need
+  /// `unreachable_after` consecutive missed deadlines).
+  std::vector<DegradedPush> mark_degraded(
+      const std::vector<sdn::SwitchId>& unreachable);
 
   const Stats& stats() const { return stats_; }
 

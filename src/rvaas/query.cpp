@@ -80,6 +80,24 @@ EndpointInfo EndpointInfo::deserialize(util::ByteReader& r) {
   return e;
 }
 
+void FreshnessInfo::serialize(util::ByteWriter& w) const {
+  w.put_u64(max_staleness);
+  w.put_u32(static_cast<std::uint32_t>(unreachable.size()));
+  for (const sdn::SwitchId sw : unreachable) w.put_u32(sw.value);
+}
+
+FreshnessInfo FreshnessInfo::deserialize(util::ByteReader& r) {
+  FreshnessInfo f;
+  f.max_staleness = r.get_u64();
+  const auto n = r.get_u32();
+  // No reserve: an oversized length claim must fail on the read, not
+  // allocate proportionally to an attacker-chosen count.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    f.unreachable.push_back(sdn::SwitchId(r.get_u32()));
+  }
+  return f;
+}
+
 void QueryReply::serialize(util::ByteWriter& w) const {
   w.put_u64(request_id);
   w.put_u8(static_cast<std::uint8_t>(kind));
@@ -111,6 +129,8 @@ void QueryReply::serialize(util::ByteWriter& w) const {
 
   w.put_u32(static_cast<std::uint32_t>(disclosed_paths.size()));
   for (const std::string& p : disclosed_paths) w.put_string(p);
+
+  freshness.serialize(w);
 }
 
 QueryReply QueryReply::deserialize(util::ByteReader& r) {
@@ -159,6 +179,8 @@ QueryReply QueryReply::deserialize(util::ByteReader& r) {
   for (std::uint32_t i = 0; i < np; ++i) {
     reply.disclosed_paths.push_back(r.get_string());
   }
+
+  reply.freshness = FreshnessInfo::deserialize(r);
   return reply;
 }
 
@@ -176,6 +198,7 @@ void Expectation::serialize(util::ByteWriter& w) const {
   for (const std::string& j : allowed_jurisdictions) w.put_string(j);
   w.put_bool(require_full_auth);
   w.put_bool(require_optimal_path);
+  w.put_u64(max_staleness);
 }
 
 Expectation Expectation::deserialize(util::ByteReader& r) {
@@ -190,6 +213,7 @@ Expectation Expectation::deserialize(util::ByteReader& r) {
   }
   e.require_full_auth = r.get_bool();
   e.require_optimal_path = r.get_bool();
+  e.max_staleness = r.get_u64();
   return e;
 }
 
@@ -248,6 +272,8 @@ const char* to_string(NotificationKind kind) {
       return "violation-alert";
     case NotificationKind::AllClear:
       return "all-clear";
+    case NotificationKind::VerificationDegraded:
+      return "verification-degraded";
   }
   return "unknown";
 }
@@ -266,7 +292,7 @@ Notification Notification::deserialize(util::ByteReader& r) {
   n.subscription_id = r.get_u64();
   n.sequence = r.get_u64();
   const auto kind = r.get_u8();
-  if (kind > static_cast<std::uint8_t>(NotificationKind::AllClear)) {
+  if (kind > static_cast<std::uint8_t>(NotificationKind::VerificationDegraded)) {
     throw util::DecodeError("bad notification kind");
   }
   n.kind = static_cast<NotificationKind>(kind);
@@ -331,6 +357,19 @@ Verdict evaluate_reply(const QueryReply& reply, const Expectation& expect) {
                     j) == expect.allowed_jurisdictions.end()) {
         violation("traffic can cross forbidden jurisdiction " + j);
       }
+    }
+  }
+
+  if (expect.max_staleness > 0) {
+    for (const sdn::SwitchId sw : reply.freshness.unreachable) {
+      violation("verification degraded: switch " + std::to_string(sw.value) +
+                " is unreachable");
+    }
+    if (reply.freshness.max_staleness > expect.max_staleness) {
+      violation("view staleness " +
+                std::to_string(reply.freshness.max_staleness) +
+                "ns exceeds the client bound " +
+                std::to_string(expect.max_staleness) + "ns");
     }
   }
 

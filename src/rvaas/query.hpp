@@ -81,6 +81,30 @@ struct TransferSummaryEntry {
   std::uint32_t cube_count = 0;
 };
 
+/// How fresh the verifier's view of the evaluation's dependency footprint
+/// was (the fail-stale contract): a reply over a fully healthy footprint is
+/// all-zero here; any degradation is surfaced, never silently absorbed.
+/// Staleness accrues only for switches the controller's health machine
+/// holds in a non-Healthy state, so fault-free runs serialize identically
+/// to the pre-freshness wire format modulo the appended zeros.
+struct FreshnessInfo {
+  /// Max ns since the controller last confirmed the state of any
+  /// non-Healthy footprint switch (0 = every footprint switch Healthy).
+  std::uint64_t max_staleness = 0;
+  /// Footprint switches currently Unreachable (sorted ascending).
+  std::vector<sdn::SwitchId> unreachable;
+
+  /// True when this verdict rests on a view the verifier knows may be
+  /// stale. Degraded verdicts are fail-stale: honest about their basis,
+  /// never claimed as fresh.
+  bool degraded() const { return max_staleness > 0 || !unreachable.empty(); }
+
+  bool operator==(const FreshnessInfo&) const = default;
+
+  void serialize(util::ByteWriter& w) const;
+  static FreshnessInfo deserialize(util::ByteReader& r);
+};
+
 struct QueryReply {
   std::uint64_t request_id = 0;
   QueryKind kind = QueryKind::ReachableEndpoints;
@@ -107,6 +131,10 @@ struct QueryReply {
   /// used by experiment E5 to quantify leakage).
   std::vector<std::string> disclosed_paths;
 
+  /// Freshness of the view this reply was computed from (fail-stale
+  /// metadata; all-zero when the footprint was fully healthy).
+  FreshnessInfo freshness;
+
   void serialize(util::ByteWriter& w) const;
   static QueryReply deserialize(util::ByteReader& r);
   /// Canonical byte string covered by the RVaaS signature.
@@ -123,6 +151,11 @@ struct Expectation {
   bool require_full_auth = true;
   /// Require the installed path to be length-optimal (PathLength).
   bool require_optimal_path = false;
+  /// Maximum tolerated view staleness in ns for the evaluation's footprint;
+  /// 0 = no bound. With a bound set, any unreachable footprint switch or a
+  /// max_staleness above it flips the verdict (the client's fail-stale
+  /// policy knob).
+  std::uint64_t max_staleness = 0;
 
   bool operator==(const Expectation&) const = default;
 
@@ -207,8 +240,11 @@ struct SubscribeRequest {
 };
 
 enum class NotificationKind : std::uint8_t {
-  ViolationAlert = 0,  ///< the property's verdict is (now) violated
-  AllClear,            ///< the property's verdict is (again) satisfied
+  ViolationAlert = 0,    ///< the property's verdict is (now) violated
+  AllClear,              ///< the property's verdict is (again) satisfied
+  VerificationDegraded,  ///< the property's footprint touches an
+                         ///< unreachable switch: verification is stale, not
+                         ///< wrong — a normal push resumes on heal
 };
 
 const char* to_string(NotificationKind kind);

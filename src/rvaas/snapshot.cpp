@@ -54,6 +54,7 @@ void SnapshotManager::apply_update(const sdn::FlowUpdate& update,
       break;
   }
   if (changed) bump(update.sw);
+  last_confirmed_[update.sw] = now;
   record(now, update.sw, update.kind, update.entry);
 }
 
@@ -102,6 +103,7 @@ void SnapshotManager::reconcile(const sdn::StatsReply& reply, sim::Time now) {
   }
 
   if (changed) bump(reply.sw);
+  last_confirmed_[reply.sw] = now;
   meters_[reply.sw] = reply.meters;
 }
 

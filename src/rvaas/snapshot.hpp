@@ -128,6 +128,18 @@ class SnapshotManager {
     return false;
   }
 
+  /// When the switch's state was last confirmed by the channel: a passive
+  /// flow-monitor event or an adopted/agreeing stats poll both count (either
+  /// proves the channel delivered fresh information about the switch).
+  /// 0 = never confirmed. Survives reset_identity() with the content.
+  sim::Time last_confirmed(sdn::SwitchId sw) const {
+    const auto it = last_confirmed_.find(sw);
+    return it == last_confirmed_.end() ? 0 : it->second;
+  }
+  const std::map<sdn::SwitchId, sim::Time>& last_confirmed_times() const {
+    return last_confirmed_;
+  }
+
   std::uint64_t events_applied() const { return events_applied_; }
   std::uint64_t polls_applied() const { return polls_applied_; }
   std::size_t entry_count() const;
@@ -177,6 +189,7 @@ class SnapshotManager {
   std::uint64_t polls_applied_ = 0;
   std::uint64_t epoch_ = 0;
   std::map<sdn::SwitchId, std::uint64_t> table_epochs_;
+  std::map<sdn::SwitchId, sim::Time> last_confirmed_;
   InstanceId instance_id_;
 };
 

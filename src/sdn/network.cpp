@@ -121,10 +121,28 @@ void Network::ControllerHandle::flow_mod(SwitchId sw, const FlowMod& mod,
   Network& net = *net_;
   const ControllerId id = id_;
   const sim::Time lat = latency_;
-  net.loop_.schedule_after(lat, [&net, id, sw, mod, cb, lat] {
+  FaultPlane* fp = net.fault_plane_for(id_);
+  // State-changing messages are dropped/delayed but never duplicated: a
+  // re-applied Add would fork the data plane away from ground truth.
+  const FaultPlane::Delivery req =
+      fp ? fp->apply(sw, FaultDirection::ToSwitch, net.loop_.now())
+         : FaultPlane::Delivery{};
+  if (req.drop) return;
+  const std::uint64_t gen = fp ? fp->agent_generation(sw) : 0;
+  net.loop_.schedule_after(lat + req.extra_delay, [&net, id, sw, mod, cb, lat,
+                                                   fp, gen] {
     const FlowModResult result = net.switch_sim(sw).apply_flow_mod(id, mod);
     if (cb) {
-      net.loop_.schedule_after(lat, [cb, sw, result] { cb(sw, result); });
+      const FaultPlane::Delivery rep =
+          fp ? fp->apply(sw, FaultDirection::FromSwitch, net.loop_.now())
+             : FaultPlane::Delivery{};
+      if (rep.drop) return;
+      net.loop_.schedule_after(lat + rep.extra_delay, [cb, sw, result, fp,
+                                                       gen] {
+        // A crashed/restarted control agent voids replies it never sent.
+        if (fp && fp->agent_generation(sw) != gen) return;
+        cb(sw, result);
+      });
     }
   });
 }
@@ -134,7 +152,12 @@ void Network::ControllerHandle::meter_mod(SwitchId sw, const MeterMod& mod) {
   ++net_->counters_.meter_mods;
   Network& net = *net_;
   const ControllerId id = id_;
-  net.loop_.schedule_after(latency_, [&net, id, sw, mod] {
+  FaultPlane* fp = net.fault_plane_for(id_);
+  const FaultPlane::Delivery req =
+      fp ? fp->apply(sw, FaultDirection::ToSwitch, net.loop_.now())
+         : FaultPlane::Delivery{};
+  if (req.drop) return;
+  net.loop_.schedule_after(latency_ + req.extra_delay, [&net, id, sw, mod] {
     net.switch_sim(sw).apply_meter_mod(id, mod);
   });
 }
@@ -153,28 +176,71 @@ void Network::ControllerHandle::packet_out(const PacketOut& msg) {
   });
 }
 
+namespace {
+/// Retransmit gap for a duplicated read-only message: the second copy lands
+/// this much after the first. Fixed (not drawn) so one apply() call fully
+/// determines a message's fate and traces stay replay-stable.
+constexpr sim::Time kDuplicateGap = 50 * sim::kMicrosecond;
+}  // namespace
+
 void Network::ControllerHandle::request_stats(SwitchId sw, StatsCallback cb) {
   util::ensure(connected(sw), "controller has no channel to switch");
   util::ensure(static_cast<bool>(cb), "stats request needs a callback");
   ++net_->counters_.stats_requests;
   Network& net = *net_;
   const sim::Time lat = latency_;
-  net.loop_.schedule_after(lat, [&net, sw, cb, lat] {
+  FaultPlane* fp = net.fault_plane_for(id_);
+  const FaultPlane::Delivery req =
+      fp ? fp->apply(sw, FaultDirection::ToSwitch, net.loop_.now())
+         : FaultPlane::Delivery{};
+  if (req.drop) return;
+  const std::uint64_t gen = fp ? fp->agent_generation(sw) : 0;
+  const auto serve = [&net, sw, cb, lat, fp, gen] {
     const StatsReply reply = net.switch_sim(sw).stats();
-    net.loop_.schedule_after(lat, [cb, reply] { cb(reply); });
-  });
+    const FaultPlane::Delivery rep =
+        fp ? fp->apply(sw, FaultDirection::FromSwitch, net.loop_.now())
+           : FaultPlane::Delivery{};
+    if (rep.drop) return;
+    const auto deliver = [cb, reply, fp, sw, gen] {
+      // Voided if the switch's control agent restarted since the request.
+      if (fp && fp->agent_generation(sw) != gen) return;
+      cb(reply);
+    };
+    net.loop_.schedule_after(lat + rep.extra_delay, deliver);
+    if (rep.duplicate) {
+      net.loop_.schedule_after(lat + rep.extra_delay + kDuplicateGap, deliver);
+    }
+  };
+  net.loop_.schedule_after(lat + req.extra_delay, serve);
+  // A duplicated request produces a second, later reply; reconciles are
+  // idempotent so only the extra traffic is observable.
+  if (req.duplicate) {
+    net.loop_.schedule_after(lat + req.extra_delay + kDuplicateGap, serve);
+  }
 }
 
 void Network::ControllerHandle::subscribe_flow_monitor(SwitchId sw) {
   util::ensure(connected(sw), "controller has no channel to switch");
   Network& net = *net_;
   Controller* controller = net.slot_of(id_).controller;
+  const ControllerId id = id_;
   const sim::Time lat = latency_;
   net.switch_sim(sw).subscribe_monitor(
-      id_, [&net, controller, lat](const FlowUpdate& update) {
+      id_, [&net, controller, id, sw, lat](const FlowUpdate& update) {
         ++net.counters_.flow_update_events;
-        net.loop_.schedule_after(
-            lat, [controller, update] { controller->on_flow_update(update); });
+        FaultPlane* fp = net.fault_plane_for(id);
+        const FaultPlane::Delivery d =
+            fp ? fp->apply(sw, FaultDirection::FromSwitch, net.loop_.now())
+               : FaultPlane::Delivery{};
+        if (d.drop) return;
+        const auto deliver = [controller, update] {
+          controller->on_flow_update(update);
+        };
+        net.loop_.schedule_after(lat + d.extra_delay, deliver);
+        if (d.duplicate) {
+          net.loop_.schedule_after(lat + d.extra_delay + kDuplicateGap,
+                                   deliver);
+        }
       });
 }
 

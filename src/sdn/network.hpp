@@ -16,6 +16,7 @@
 
 #include "crypto/sign.hpp"
 #include "sdn/control_channel.hpp"
+#include "sdn/fault_plane.hpp"
 #include "sdn/switch.hpp"
 #include "sdn/topology.hpp"
 #include "sim/event_loop.hpp"
@@ -157,6 +158,16 @@ class Network {
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = Counters{}; }
 
+  // --- fault injection (tests / fuzzer / benches) ---
+
+  /// Interposes a FaultPlane on the monitoring-plane messages (flow/meter
+  /// mods, stats request/reply, flow-monitor updates) of the controller the
+  /// plane is scoped to. Other controllers and the in-band packet path
+  /// (packet_out / packet_in) are unaffected. Pass nullptr to detach. The
+  /// plane must outlive the network or be detached first.
+  void set_fault_plane(FaultPlane* plane) { fault_plane_ = plane; }
+  FaultPlane* fault_plane() { return fault_plane_; }
+
  private:
   struct ControllerSlot {
     Controller* controller = nullptr;
@@ -166,6 +177,11 @@ class Network {
   };
 
   ControllerSlot& slot_of(ControllerId id);
+  /// The attached fault plane when it is scoped to `id`, else nullptr.
+  FaultPlane* fault_plane_for(ControllerId id) {
+    return fault_plane_ && fault_plane_->scoped_to(id) ? fault_plane_
+                                                       : nullptr;
+  }
   /// Delivers a packet arriving at a switch in-port (event-driven).
   void deliver_to_switch(PortRef in, Packet packet, std::size_t hops_left);
   /// Routes pipeline outputs onward (event-driven).
@@ -182,6 +198,7 @@ class Network {
   std::vector<std::unique_ptr<ControllerSlot>> slots_;
   util::Rng handshake_rng_{0x44a5};
   Counters counters_;
+  FaultPlane* fault_plane_ = nullptr;
 };
 
 }  // namespace rvaas::sdn

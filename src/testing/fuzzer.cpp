@@ -7,6 +7,7 @@
 
 #include "attacks/attacks.hpp"
 #include "rvaas/multiprovider.hpp"
+#include "sdn/fault_plane.hpp"
 #include "testing/oracles.hpp"
 #include "util/ensure.hpp"
 #include "workload/scenario.hpp"
@@ -55,6 +56,18 @@ constexpr std::size_t kReachDepth = 32;
 constexpr std::uint64_t kChurnCookieBase = 0xc4000000ull;
 constexpr std::uint64_t kFlappingCookie = 0xf1a9;
 constexpr std::size_t kMaxTrackedSubs = 3;
+
+/// Honesty bound for oracle (f): a switch hard-faulted (100% drop or
+/// partitioned) continuously for this long must not read Healthy. With
+/// fixed 20 ms polling, a 2 ms deadline and degraded_after = 1, the first
+/// missed deadline lands within ~22 ms of the fault in the worst case
+/// (fault right after a poll round); 30 ms leaves margin for retry jitter.
+constexpr sim::Time kHonestyBound = 30 * sim::kMillisecond;
+/// Post-heal reconvergence: settle-and-recheck rounds and their length.
+/// 8 x 25 ms covers several fixed poll periods, the Unreachable circuit
+/// probe cadence, and the tail of a bounded flapping burst (kFlappingRun).
+constexpr int kConvergeRounds = 8;
+constexpr sim::Time kConvergeSettle = 25 * sim::kMillisecond;
 
 // Peer-domain id spaces (federation schedules), disjoint from every
 // workload generator (switches start at 1, hosts at 1000).
@@ -149,8 +162,27 @@ class Runner {
     }
     cfg.rvaas.poll_period = 20 * sim::kMillisecond;
     cfg.rvaas.max_reach_depth = kReachDepth;
+    has_faults_ = std::any_of(
+        sched_.steps.begin(), sched_.steps.end(),
+        [](const Step& s) { return s.kind >= StepKind::InjectDrop; });
+    if (has_faults_) {
+      // Degraded-health timing (poll deadlines, backoff, recovery) must be
+      // deterministic relative to the schedule; randomized polling would
+      // jitter it and disabled polling could never detect or recover from
+      // a fault at all.
+      cfg.rvaas.polling = core::PollingMode::Fixed;
+    }
     runtime_ = std::make_unique<workload::ScenarioRuntime>(std::move(cfg));
     geo_ = std::make_unique<core::DisclosedGeo>(runtime_->network().topology());
+    if (has_faults_) {
+      fault_plane_ = std::make_unique<sdn::FaultPlane>(sched_.config.seed ^
+                                                       0xfa017a4e0000000dull);
+      // Scope to the RVaaS verifier (ControllerId(2) in scenario.cpp): the
+      // provider channel and the in-band client path stay fault-free, so
+      // data-plane ground truth is identical to a fault-free run.
+      fault_plane_->set_scope(sdn::ControllerId(2));
+      runtime_->network().set_fault_plane(fault_plane_.get());
+    }
 
     // The flat-reference oracle needs the known wiring of workload::linear.
     if (sched_.config.federation &&
@@ -281,7 +313,121 @@ class Runner {
         return;
       case StepKind::MassSubscribe:
         return do_mass_subscribe(step);
+      case StepKind::InjectDrop:
+        return do_inject_drop(step);
+      case StepKind::InjectDelay:
+        return do_inject_delay(step);
+      case StepKind::InjectPartition:
+        return do_inject_partition(step);
+      case StepKind::InjectCrash:
+        return do_inject_crash(step);
+      case StepKind::HealFaults:
+        return do_heal_faults();
     }
+  }
+
+  // --- control-channel faults ---
+
+  SwitchId fault_switch(std::uint32_t x) const {
+    const auto switches = runtime_->network().topology().switches();
+    return switches[x % switches.size()];
+  }
+
+  void do_inject_drop(const Step& step) {
+    if (!fault_plane_) return;
+    const SwitchId sw = fault_switch(step.a);
+    sdn::FaultSpec spec;
+    spec.drop_probability = 0.25 * (1 + step.b % 4);
+    if (step.c % 4 == 0) spec.duplicate_probability = 0.25;
+    fault_plane_->set_fault(sw, sdn::FaultDirection::ToSwitch, spec);
+    fault_plane_->set_fault(sw, sdn::FaultDirection::FromSwitch, spec);
+    fault_shadow_.insert(sw);
+    if (spec.drop_probability >= 1.0) {
+      // Total outage: the honesty clause starts its clock (keep the
+      // earliest start if the switch was already dark).
+      drop_hard_since_.emplace(sw, runtime_->loop().now());
+    } else {
+      // set_fault overwrote both directions; a previous total outage ended.
+      drop_hard_since_.erase(sw);
+    }
+    ++report_.faults_injected;
+  }
+
+  void do_inject_delay(const Step& step) {
+    if (!fault_plane_) return;
+    const SwitchId sw = fault_switch(step.a);
+    sdn::FaultSpec spec;
+    spec.extra_delay_max = (1 + step.b % 5) * sim::kMillisecond;
+    fault_plane_->set_fault(sw, sdn::FaultDirection::ToSwitch, spec);
+    fault_plane_->set_fault(sw, sdn::FaultDirection::FromSwitch, spec);
+    fault_shadow_.insert(sw);
+    drop_hard_since_.erase(sw);  // spec overwrite ends any total drop
+    ++report_.faults_injected;
+  }
+
+  void do_inject_partition(const Step& step) {
+    if (!fault_plane_) return;
+    const auto switches = runtime_->network().topology().switches();
+    const std::size_t count = 1 + step.c % 3;
+    const sim::Time now = runtime_->loop().now();
+    const sim::Time until = now + (5 + step.b % 6) * sim::kMillisecond;
+    for (std::size_t k = 0; k < count; ++k) {
+      const SwitchId sw = switches[(step.a + k) % switches.size()];
+      fault_plane_->partition(sw, until);
+      fault_shadow_.insert(sw);
+      const auto [it, inserted] =
+          partitions_.try_emplace(sw, PartitionWindow{now, until});
+      if (!inserted) {
+        if (it->second.until >= now) {
+          // Contiguous extension: the honesty clock keeps the old start.
+          it->second.until = std::max(it->second.until, until);
+        } else {
+          it->second = PartitionWindow{now, until};
+        }
+      }
+    }
+    ++report_.faults_injected;
+  }
+
+  void do_inject_crash(const Step& step) {
+    if (!fault_plane_) return;
+    const SwitchId sw = fault_switch(step.a);
+    fault_plane_->crash_agent(sw);
+    // Voided in-flight replies can leave the view briefly behind ground
+    // truth (the next poll repairs it), so the switch joins the shadow.
+    fault_shadow_.insert(sw);
+    ++report_.faults_injected;
+  }
+
+  void do_heal_faults() {
+    ++report_.fault_heals;
+    if (!fault_plane_) return;
+    fault_plane_->heal_all();
+    drop_hard_since_.clear();
+    partitions_.clear();
+    // Oracle (f) clause 3 — fail-stale must END: within a bounded number
+    // of poll periods every channel snaps back to Healthy, staleness reads
+    // zero and the view is byte-identical to ground truth.
+    std::optional<std::string> last;
+    for (int round = 0; round < kConvergeRounds; ++round) {
+      runtime_->settle(kConvergeSettle);
+      if (peer_) peer_->settle(kConvergeSettle);
+      if (flapping_cycling()) continue;  // bounded burst; let it finish
+      FaultOracleInput in;
+      in.runtime = runtime_.get();
+      in.client = pick_host(static_cast<std::uint32_t>(step_index_));
+      in.path_peer = pick_host(static_cast<std::uint32_t>(step_index_) + 1);
+      in.skip_fairness = meters_dirty_;
+      in.strict = true;
+      in.checks = &report_.fault_checks;
+      last = check_fault_equivalence(in);
+      if (!last) break;
+    }
+    if (last) {
+      fail("fault-convergence", *last);
+      return;
+    }
+    fault_shadow_.clear();
   }
 
   void do_flow_churn(const Step& step) {
@@ -738,10 +884,59 @@ class Runner {
       return;
     }
 
+    // (f) fault equivalence. Clause 2 first — honesty: any switch under a
+    // sustained hard fault (total drop / partition) must not read Healthy;
+    // this is what catches a frozen or miswired health machine, because the
+    // shadow skip below exempts exactly those switches from clause 1.
+    if (fault_plane_) {
+      const sim::Time now = runtime_->loop().now();
+      const auto check_hard = [&](SwitchId sw, sim::Time since) {
+        if (now - since < kHonestyBound) return;
+        ++report_.fault_checks;
+        if (runtime_->rvaas().switch_health(sw) ==
+            core::RvaasController::SwitchHealth::Healthy) {
+          std::ostringstream os;
+          os << "switch " << sw.value << " hard-faulted for "
+             << (now - since) / sim::kMillisecond
+             << "ms still reads Healthy (fail-stale marking is broken)";
+          fail("fault-honesty", os.str());
+        }
+      };
+      for (const auto& [sw, since] : drop_hard_since_) check_hard(sw, since);
+      for (const auto& [sw, win] : partitions_) {
+        if (win.until > now) check_hard(sw, win.start);
+      }
+      if (failure_) return;
+
+      // Clause 1 — no fail-wrong: every verdict that is neither
+      // degraded-marked nor footprint-shadowed must be byte-identical to a
+      // cold engine over ground-truth switch tables. Skipped while a
+      // flapping attack cycles: its transient rule's install/remove updates
+      // are legitimately in flight at oracle time, so the view lags ground
+      // truth by delivery latency with no fault involved (found by this
+      // oracle at seed 20260855 before the gate existed).
+      if (!flapping_cycling()) {
+        FaultOracleInput in;
+        in.runtime = runtime_.get();
+        in.client = probe;
+        in.path_peer = path_peer;
+        in.constraint = probe_constraint;
+        in.shadow.assign(fault_shadow_.begin(), fault_shadow_.end());
+        in.skip_fairness = meters_dirty_;
+        in.checks = &report_.fault_checks;
+        if (const auto err = check_fault_equivalence(in)) {
+          fail("fault-equivalence", *err);
+          return;
+        }
+      }
+    }
+
     // (b) monitor pushes vs cold one-shot queries. Skipped while a flapping
     // attack cycles (the configuration changes between the push and the
-    // comparison query by design).
-    if (!flapping_cycling()) {
+    // comparison query by design) and while any switch sits in the fault
+    // shadow (a delayed or retried poll can legitimately reconcile — and
+    // re-push — between the recorded push and the comparison query).
+    if (!flapping_cycling() && fault_shadow_.empty()) {
       for (std::size_t s = 0; s < subs_.size(); ++s) {
         const TrackedSub& sub = subs_[s];
         if (sub.state->bad_signature) {
@@ -810,7 +1005,11 @@ class Runner {
 
     // (d) detector verdicts vs attack ground truth. Detection queries are
     // full in-band round trips (real crypto); each attack is checked on
-    // every other step, deterministically.
+    // every other step, deterministically. Under an active fault shadow the
+    // verifier's view may legitimately lag the attack's installation
+    // (dropped flow updates) — detection is owed again after heal, not
+    // during the outage (fail-stale, never fail-wrong).
+    if (!fault_shadow_.empty()) return;
     for (std::size_t a = 0; a < attacks_.size(); ++a) {
       const ActiveAttack& aa = attacks_[a];
       if (aa.cls == 4) continue;  // flapping: checked at revert
@@ -859,6 +1058,9 @@ class Runner {
   std::optional<FuzzFailure> failure_;
   std::size_t step_index_ = 0;
 
+  // Declared before runtime_ so the network (which holds a raw pointer to
+  // the plane) is destroyed first.
+  std::unique_ptr<sdn::FaultPlane> fault_plane_;
   std::unique_ptr<workload::ScenarioRuntime> runtime_;
   std::unique_ptr<core::DisclosedGeo> geo_;
 
@@ -875,6 +1077,18 @@ class Runner {
   std::vector<ActiveAttack> attacks_;
   std::set<SwitchId> suppressed_;
   bool meters_dirty_ = false;
+
+  // Fault bookkeeping for oracle (f).
+  bool has_faults_ = false;
+  /// Switches faulted at any point since the last completed heal.
+  std::set<SwitchId> fault_shadow_;
+  /// Active 100%-drop faults and their start time (honesty clock).
+  std::map<SwitchId, sim::Time> drop_hard_since_;
+  struct PartitionWindow {
+    sim::Time start = 0;
+    sim::Time until = 0;
+  };
+  std::map<SwitchId, PartitionWindow> partitions_;
 };
 
 }  // namespace

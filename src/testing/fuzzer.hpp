@@ -13,6 +13,12 @@
 //       query suppression detected via timeout)
 //   (e) monitor inverted-index wakeup selection ≡ the retired linear
 //       footprint scan, byte-identical Key lists at every step
+//   (f) under control-channel fault injection (sdn/fault_plane.hpp):
+//       non-degraded verdicts ≡ a cold engine over ground-truth switch
+//       tables (no fail-wrong); switches under a sustained hard fault must
+//       be degraded-marked (honesty — catches a frozen health machine);
+//       after HealFaults the view reconverges byte-identically within a
+//       bounded number of poll periods
 //
 // Every run is a pure function of the Schedule: a failure replays
 // bit-identically from its repro string, which is what the shrinker
@@ -26,7 +32,9 @@ struct FuzzFailure {
   std::size_t step_index = 0;  ///< step after which the oracle tripped
   std::string oracle;          ///< cached-vs-cold | monitor-vs-query |
                                ///< federation-vs-flat | detection |
-                               ///< index-vs-linear | liveness
+                               ///< index-vs-linear | liveness |
+                               ///< fault-equivalence | fault-honesty |
+                               ///< fault-convergence
   std::string detail;
 };
 
@@ -47,6 +55,10 @@ struct FuzzReport {
   std::uint64_t snapshot_resets = 0;
   std::uint64_t index_checks = 0;     ///< oracle (e) comparisons run
   std::uint64_t mass_subscribed = 0;  ///< untracked bulk subscriptions sent
+  std::uint64_t faults_injected = 0;  ///< drop/delay/partition/crash steps
+  std::uint64_t fault_heals = 0;      ///< HealFaults steps executed
+  std::uint64_t fault_checks = 0;     ///< oracle (f) kind comparisons +
+                                      ///< honesty checks run
 
   bool ok() const { return !failure.has_value(); }
 };

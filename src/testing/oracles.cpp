@@ -105,6 +105,118 @@ std::string render(const std::vector<FlatEndpoint>& endpoints) {
 
 }  // namespace
 
+core::SnapshotManager ground_truth_snapshot(
+    workload::ScenarioRuntime& runtime) {
+  core::SnapshotManager snap;
+  const sim::Time now = runtime.loop().now();
+  for (const SwitchId sw : runtime.network().topology().switches()) {
+    snap.reconcile(runtime.network().switch_sim(sw).stats(), now);
+  }
+  return snap;
+}
+
+namespace {
+
+/// Sorted-vector intersection test (footprints and shadows are sorted).
+bool touches(const std::vector<SwitchId>& a, const std::vector<SwitchId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::string> check_fault_equivalence(const FaultOracleInput& in) {
+  workload::ScenarioRuntime& runtime = *in.runtime;
+  const sdn::Topology& topo = runtime.network().topology();
+  const auto client_ports = topo.host_ports(in.client);
+  if (client_ports.empty()) return std::nullopt;
+
+  const core::RvaasController& rvaas = runtime.rvaas();
+  const core::SnapshotManager& live = rvaas.snapshot();
+  const QueryEngine& warm = rvaas.engine();
+
+  if (in.strict) {
+    // Post-heal: no channel may still be degraded, and the whole view must
+    // read as fresh (this is the "fail-stale ends" half of the contract).
+    const core::FreshnessInfo fresh = rvaas.freshness_for(topo.switches());
+    if (fresh.degraded()) {
+      std::ostringstream os;
+      os << "fault-convergence: view still degraded after heal ("
+         << fresh.unreachable.size() << " unreachable, max staleness "
+         << fresh.max_staleness << "ns)";
+      return os.str();
+    }
+  }
+
+  const core::SnapshotManager reference = ground_truth_snapshot(runtime);
+  const QueryEngine cold(topo, warm.config());
+  const core::DisclosedGeo geo(topo);
+
+  QueryEngine::EvalContext ctx;
+  ctx.from = client_ports.front();
+  ctx.geo = &geo;
+  ctx.addressing = &runtime.addressing();
+
+  for (const QueryKind kind :
+       {QueryKind::ReachableEndpoints, QueryKind::ReachingSources,
+        QueryKind::Isolation, QueryKind::Geo, QueryKind::PathLength,
+        QueryKind::Fairness, QueryKind::TransferSummary}) {
+    if (in.skip_fairness && kind == QueryKind::Fairness) continue;
+    Property property;
+    property.kind = kind;
+    property.constraint = in.constraint;
+    if (kind == QueryKind::PathLength) property.peer = in.path_peer;
+
+    const QueryEngine::Evaluation live_eval =
+        warm.evaluate(live, property, ctx);
+    const core::FreshnessInfo fresh = rvaas.freshness_for(live_eval.footprint);
+    if (!in.strict) {
+      // Degraded-marked verdicts are the honesty clause's business, and a
+      // shadowed footprint may be legitimately stale below the health
+      // thresholds (see FaultOracleInput::shadow).
+      if (fresh.degraded()) continue;
+      if (touches(live_eval.footprint, in.shadow)) continue;
+    } else if (fresh.degraded()) {
+      std::ostringstream os;
+      os << "fault-convergence: footprint still degraded after heal for kind "
+         << to_string(kind);
+      return os.str();
+    }
+
+    const QueryEngine::Evaluation ref_eval =
+        cold.evaluate(reference, property, ctx);
+    if (in.checks != nullptr) ++*in.checks;
+
+    if (normalized_reply_bytes(live_eval.reply) !=
+        normalized_reply_bytes(ref_eval.reply)) {
+      std::ostringstream os;
+      os << (in.strict ? "fault-convergence" : "fault-equivalence")
+         << ": non-degraded reply diverges from fault-free reference for "
+         << "kind " << to_string(kind) << " from client " << in.client.value
+         << " (the verifier answered fresh-and-wrong)";
+      return os.str();
+    }
+    if (live_eval.footprint != ref_eval.footprint) {
+      std::ostringstream os;
+      os << (in.strict ? "fault-convergence" : "fault-equivalence")
+         << ": dependency footprint diverges from fault-free reference for "
+         << "kind " << to_string(kind) << " from client " << in.client.value;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> check_federation_vs_flat(
     const FederationOracleInput& in) {
   // Federated answer: walk the two domains through signed subqueries.

@@ -10,6 +10,13 @@
 //   (c) check_federation_vs_flat — a federated walk across two RVaaS
 //       domains against a single flat engine over the merged topology with
 //       both domains' tables replayed into one snapshot.
+//   (f) check_fault_equivalence — under control-channel fault injection,
+//       the verifier's live view against a ground-truth reference snapshot
+//       rebuilt from every switch's actual tables: any verdict whose
+//       footprint is outside the fault shadow and not degraded-marked must
+//       be byte-identical to the reference (no fail-wrong); after a heal,
+//       strict mode additionally demands all-Healthy channels, zero
+//       staleness and full byte convergence (fail-stale ends).
 //
 // Oracles (b) (monitor pushes vs cold one-shot queries) and (d) (detector
 // verdicts vs AttackRecord ground truth) need the harness's live tracking
@@ -56,5 +63,39 @@ struct FederationOracleInput {
 
 std::optional<std::string> check_federation_vs_flat(
     const FederationOracleInput& in);
+
+/// The fault-free reference: every switch's actual tables (and meters)
+/// reconciled into a fresh snapshot at the loop's current time. This is
+/// what the verifier's view would be if no control-channel message had
+/// ever been dropped, delayed or voided.
+core::SnapshotManager ground_truth_snapshot(workload::ScenarioRuntime& runtime);
+
+/// Oracle (f) inputs.
+struct FaultOracleInput {
+  workload::ScenarioRuntime* runtime = nullptr;
+  sdn::HostId client{};
+  sdn::HostId path_peer{};
+  sdn::Match constraint;
+  /// Switches faulted at any point since the last completed heal (sorted).
+  /// A verdict whose footprint touches the shadow may be legitimately
+  /// stale without crossing a health threshold (a dropped passive update
+  /// before the next poll), so clause 1 skips it; the harness's honesty
+  /// clause owns sustained hard faults instead.
+  std::vector<sdn::SwitchId> shadow;
+  /// Live meter churn the verifier adopts only on its next poll; skip the
+  /// meter-derived kind (mirrors oracle (b)'s meters_dirty_ gate).
+  bool skip_fairness = false;
+  /// Post-heal convergence mode: a degraded freshness section, a shadowed
+  /// footprint or any byte divergence is a failure instead of a skip.
+  bool strict = false;
+  /// Incremented once per kind actually compared (the suite-level
+  /// fault_checks floor counts these).
+  std::uint64_t* checks = nullptr;
+};
+
+/// Oracle (f). Evaluates all 7 query kinds from `client`'s access point
+/// through the runtime's live engine+snapshot and through a cold engine
+/// over ground_truth_snapshot(); see FaultOracleInput for the skip rules.
+std::optional<std::string> check_fault_equivalence(const FaultOracleInput& in);
 
 }  // namespace rvaas::fuzz

@@ -32,6 +32,16 @@ const char* to_string(StepKind kind) {
       return "snapshot-reset";
     case StepKind::MassSubscribe:
       return "mass-subscribe";
+    case StepKind::InjectDrop:
+      return "inject-drop";
+    case StepKind::InjectDelay:
+      return "inject-delay";
+    case StepKind::InjectPartition:
+      return "inject-partition";
+    case StepKind::InjectCrash:
+      return "inject-crash";
+    case StepKind::HealFaults:
+      return "heal-faults";
   }
   return "unknown";
 }
@@ -148,7 +158,8 @@ std::optional<Schedule> parse_repro(const std::string& text) {
   return out;
 }
 
-Schedule generate_schedule(std::uint64_t seed, std::uint32_t max_grid_code) {
+Schedule generate_schedule(std::uint64_t seed, std::uint32_t max_grid_code,
+                           bool include_faults) {
   util::Rng rng(seed ^ 0xf055'5eed'0000'0001ull);
   Schedule out;
   out.config.seed = seed;
@@ -181,35 +192,80 @@ Schedule generate_schedule(std::uint64_t seed, std::uint32_t max_grid_code) {
   for (std::size_t i = 0; i < step_count; ++i) {
     Step step;
     // Weighted kind draw: churn and attacks dominate; bookkeeping steps
-    // (unsubscribe, resets) stay rare.
+    // (unsubscribe, resets) stay rare. The fault-free table is frozen —
+    // pinned corpora replay against it — so faults get their own table
+    // instead of new thresholds spliced into the old one.
     const std::uint64_t w = rng.below(100);
-    if (w < 24) {
-      step.kind = StepKind::FlowChurn;
-    } else if (w < 38) {
-      step.kind = StepKind::LaunchAttack;
-    } else if (w < 50) {
-      step.kind = StepKind::Settle;
-    } else if (w < 62) {
-      step.kind = StepKind::Subscribe;
-    } else if (w < 72) {
-      step.kind = StepKind::Query;
-    } else if (w < 80) {
-      step.kind = StepKind::RevertAttack;
-    } else if (w < 85) {
-      step.kind = StepKind::RemoveChurn;
-    } else if (w < 90) {
-      step.kind = StepKind::MeterChurn;
-    } else if (w < 94) {
-      step.kind = StepKind::MassSubscribe;
-    } else if (w < 97) {
-      step.kind = StepKind::Unsubscribe;
+    if (!include_faults) {
+      if (w < 24) {
+        step.kind = StepKind::FlowChurn;
+      } else if (w < 38) {
+        step.kind = StepKind::LaunchAttack;
+      } else if (w < 50) {
+        step.kind = StepKind::Settle;
+      } else if (w < 62) {
+        step.kind = StepKind::Subscribe;
+      } else if (w < 72) {
+        step.kind = StepKind::Query;
+      } else if (w < 80) {
+        step.kind = StepKind::RevertAttack;
+      } else if (w < 85) {
+        step.kind = StepKind::RemoveChurn;
+      } else if (w < 90) {
+        step.kind = StepKind::MeterChurn;
+      } else if (w < 94) {
+        step.kind = StepKind::MassSubscribe;
+      } else if (w < 97) {
+        step.kind = StepKind::Unsubscribe;
+      } else {
+        step.kind = StepKind::SnapshotReset;
+      }
     } else {
-      step.kind = StepKind::SnapshotReset;
+      if (w < 18) {
+        step.kind = StepKind::FlowChurn;
+      } else if (w < 28) {
+        step.kind = StepKind::LaunchAttack;
+      } else if (w < 38) {
+        step.kind = StepKind::Settle;
+      } else if (w < 47) {
+        step.kind = StepKind::Subscribe;
+      } else if (w < 55) {
+        step.kind = StepKind::Query;
+      } else if (w < 61) {
+        step.kind = StepKind::RevertAttack;
+      } else if (w < 65) {
+        step.kind = StepKind::RemoveChurn;
+      } else if (w < 69) {
+        step.kind = StepKind::MeterChurn;
+      } else if (w < 72) {
+        step.kind = StepKind::MassSubscribe;
+      } else if (w < 74) {
+        step.kind = StepKind::Unsubscribe;
+      } else if (w < 76) {
+        step.kind = StepKind::SnapshotReset;
+      } else if (w < 83) {
+        step.kind = StepKind::InjectDrop;
+      } else if (w < 89) {
+        step.kind = StepKind::InjectDelay;
+      } else if (w < 94) {
+        step.kind = StepKind::InjectPartition;
+      } else if (w < 97) {
+        step.kind = StepKind::InjectCrash;
+      } else {
+        step.kind = StepKind::HealFaults;
+      }
     }
     step.a = static_cast<std::uint32_t>(rng.below(1u << 16));
     step.b = static_cast<std::uint32_t>(rng.below(1u << 16));
     step.c = static_cast<std::uint32_t>(rng.below(1u << 16));
     out.steps.push_back(step);
+  }
+  if (include_faults) {
+    // Every fault run ends with a heal: the post-heal convergence clause of
+    // the fault-equivalence oracle must get its shot on every schedule.
+    Step heal;
+    heal.kind = StepKind::HealFaults;
+    out.steps.push_back(heal);
   }
   return out;
 }

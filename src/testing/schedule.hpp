@@ -31,8 +31,20 @@ enum class StepKind : std::uint8_t {
                   ///< the monitor registry so the index-vs-linear oracle
                   ///< exercises multi-entry index shards, not just the
                   ///< kMaxTrackedSubs handful.
+
+  // Control-channel fault steps (sdn/fault_plane.hpp). Only generated when
+  // generate_schedule() is asked for them; the harness forces fixed polling
+  // for any schedule that contains one so degraded-health timing is
+  // deterministic.
+  InjectDrop,       ///< a = switch, b: drop p = 0.25*(1 + b % 4) both
+                    ///< directions, c: c % 4 == 0 adds 25% duplication
+  InjectDelay,      ///< a = switch, b: extra delay up to (1 + b % 5) ms
+  InjectPartition,  ///< a = first switch, b: window (5 + b % 6) ms,
+                    ///< c: 1 + c % 3 consecutive switches
+  InjectCrash,      ///< a = switch: agent crash/restart (voids in-flight)
+  HealFaults,       ///< clear all faults, then require full reconvergence
 };
-constexpr std::size_t kStepKindCount = 11;
+constexpr std::size_t kStepKindCount = 16;
 
 const char* to_string(StepKind kind);
 
@@ -90,9 +102,14 @@ constexpr std::uint32_t kMaxGridSizeCode = 4;
 /// Derives a complete schedule (config + steps) from one seed. Equal seeds
 /// always produce equal schedules, across processes and platforms.
 /// `max_grid_code` caps the grid size draw (soak tooling exposes it as
-/// --max-grid); the default sweeps the full range.
+/// --max-grid); the default sweeps the full range. With `include_faults`
+/// the step weight table adds the five control-channel fault kinds (and a
+/// trailing HealFaults so every run ends with a convergence check); without
+/// it the table is byte-identical to the historical one, so pinned corpora
+/// stay pinned.
 Schedule generate_schedule(std::uint64_t seed,
-                           std::uint32_t max_grid_code = kMaxGridSizeCode);
+                           std::uint32_t max_grid_code = kMaxGridSizeCode,
+                           bool include_faults = false);
 
 /// Parses Schedule::repro() output; nullopt on malformed input.
 std::optional<Schedule> parse_repro(const std::string& text);

@@ -72,7 +72,27 @@ struct CodecFixture : ::testing::Test {
                                            false, true, HostId(1001)});
     reply.auth = {1, 1};
     reply.fairness.push_back(FairnessMetric{"min-rate-bps", 42});
+    // Degraded freshness: the section is attacker-reachable like the rest
+    // of the reply, so the assault below also walks its bytes.
+    reply.freshness.max_staleness = 123456789;
+    reply.freshness.unreachable = {SwitchId(2), SwitchId(5)};
     return reply;
+  }
+
+  Notification sample_degraded_notification() {
+    // The reply shell of a VerificationDegraded push carries no evaluation,
+    // only the property kind and a non-zero freshness section.
+    Notification n;
+    n.subscription_id = 9;
+    n.sequence = 4;
+    n.kind = NotificationKind::VerificationDegraded;
+    n.epoch = 12;
+    n.property_fingerprint = 0xabcd;
+    n.reply.request_id = 9;
+    n.reply.kind = QueryKind::ReachableEndpoints;
+    n.reply.freshness.max_staleness = 40 * sim::kMillisecond;
+    n.reply.freshness.unreachable = {SwitchId(3)};
+    return n;
   }
 
   /// Runs `open` against every truncation and a bit flip in every byte of
@@ -144,6 +164,48 @@ TEST_F(CodecFixture, NotifyPacketSurvivesTruncationAndBitFlips) {
   inflate(packet, [&](const Packet& p) {
     (void)inband::open_notify(p, client_box, enclave.verify_key());
   });
+}
+
+TEST_F(CodecFixture, DegradedNotifyPacketSurvivesTruncationAndBitFlips) {
+  const Packet packet = inband::make_notify_packet(
+      sample_degraded_notification(), enclave, client_box.public_element(),
+      rng);
+  const auto opened =
+      inband::open_notify(packet, client_box, enclave.verify_key());
+  ASSERT_TRUE(opened.has_value());
+  ASSERT_TRUE(opened->signature_ok);
+  EXPECT_EQ(opened->notification.kind, NotificationKind::VerificationDegraded);
+  EXPECT_TRUE(opened->notification.reply.freshness.degraded());
+  assault(packet, [&](const Packet& p) {
+    const auto o = inband::open_notify(p, client_box, enclave.verify_key());
+    if (p.payload != packet.payload) EXPECT_FALSE(o.has_value());
+  });
+  inflate(packet, [&](const Packet& p) {
+    (void)inband::open_notify(p, client_box, enclave.verify_key());
+  });
+}
+
+/// The freshness section must round-trip exactly: a dropped or reordered
+/// unreachable list would silently change a fail-stale verdict.
+TEST_F(CodecFixture, FreshnessSectionRoundTripsThroughReplyAndNotify) {
+  {
+    const Packet packet = inband::make_reply_packet(
+        sample_reply(), enclave, client_box.public_element(), rng);
+    const auto opened =
+        inband::open_reply(packet, client_box, enclave.verify_key());
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(opened->reply.freshness, sample_reply().freshness);
+  }
+  {
+    const Packet packet = inband::make_notify_packet(
+        sample_degraded_notification(), enclave, client_box.public_element(),
+        rng);
+    const auto opened =
+        inband::open_notify(packet, client_box, enclave.verify_key());
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(opened->notification.reply.freshness,
+              sample_degraded_notification().reply.freshness);
+  }
 }
 
 TEST_F(CodecFixture, ReplyPacketSurvivesTruncationAndBitFlips) {
@@ -243,6 +305,13 @@ TEST_F(CodecFixture, HugeElementCountsThrowFastOnTruncatedBuffers) {
     w.put_u32(0xffffffffu); // allowed-endpoint count claim
     util::ByteReader r(w.data());
     EXPECT_THROW((void)Expectation::deserialize(r), util::DecodeError);
+  }
+  {
+    util::ByteWriter w;
+    w.put_u64(1);           // max_staleness
+    w.put_u32(0xffffffffu); // unreachable-switch count claim
+    util::ByteReader r(w.data());
+    EXPECT_THROW((void)FreshnessInfo::deserialize(r), util::DecodeError);
   }
   {
     util::ByteWriter w;

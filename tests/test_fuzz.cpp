@@ -50,6 +50,35 @@ TEST(Fuzz, ScheduleGenerationIsDeterministicAndReproRoundTrips) {
     ASSERT_TRUE(wrapped.has_value());
     EXPECT_EQ(wrapped->steps.size(), 3u);
   }
+  // Fault-injection kinds (11..15) are part of the repro surface; the first
+  // unassigned kind is rejected.
+  {
+    const auto faulted = parse_repro(
+        "rvaas-fuzz-v1 cfg=0,4,1,0,0,1 steps=11:0:3:0;12:1:2:0;13:0:7:2;"
+        "14:2:0:0;15:0:0:0");
+    ASSERT_TRUE(faulted.has_value());
+    EXPECT_EQ(faulted->steps.size(), 5u);
+    EXPECT_EQ(faulted->steps.front().kind, StepKind::InjectDrop);
+    EXPECT_EQ(faulted->steps.back().kind, StepKind::HealFaults);
+  }
+  EXPECT_FALSE(
+      parse_repro("rvaas-fuzz-v1 cfg=0,4,1,0,0,1 steps=16:0:0:0").has_value());
+  // The fault-free generator table is frozen: asking for faults must change
+  // nothing when the flag is off, and a faulted schedule always ends with
+  // the forced HealFaults (the convergence clause's guaranteed shot).
+  {
+    const Schedule plain = generate_schedule(kSweepSeed);
+    const Schedule same = generate_schedule(kSweepSeed, kMaxGridSizeCode,
+                                            /*include_faults=*/false);
+    EXPECT_EQ(plain, same);
+    const Schedule faulted = generate_schedule(kSweepSeed, kMaxGridSizeCode,
+                                               /*include_faults=*/true);
+    ASSERT_FALSE(faulted.steps.empty());
+    EXPECT_EQ(faulted.steps.back().kind, StepKind::HealFaults);
+    const auto round = parse_repro(faulted.repro());
+    ASSERT_TRUE(round.has_value());
+    EXPECT_EQ(*round, faulted);
+  }
   EXPECT_FALSE(parse_repro("garbage").has_value());
   EXPECT_FALSE(parse_repro("rvaas-fuzz-v1 cfg=9,1,1,9,9,1 steps=").has_value());
   EXPECT_FALSE(
@@ -104,6 +133,31 @@ TEST(Fuzz, SweepAllOraclesGreen) {
   // mass-subscribe step must actually grow the registries it checks.
   EXPECT_GE(index_checks, 1000u);
   EXPECT_GE(mass_subscribed, 200u);
+}
+
+/// The fault sweep: randomized schedules including control-channel fault
+/// steps (drop/delay/partition/crash/heal), all oracles green — in
+/// particular oracle (f): non-degraded verdicts byte-identical to the
+/// fault-free reference, sustained hard faults degraded-marked, and
+/// post-heal reconvergence within the bounded settle loop.
+TEST(Fuzz, FaultSweepAllOraclesGreen) {
+  std::uint64_t injected = 0, heals = 0, checks = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t seed = kSweepSeed + 100000 + static_cast<std::uint64_t>(i);
+    const Schedule schedule =
+        generate_schedule(seed, kMaxGridSizeCode, /*include_faults=*/true);
+    const FuzzReport report = run_schedule(schedule);
+    ASSERT_FALSE(report.failure.has_value())
+        << "seed " << seed << " failed " << describe(schedule, *report.failure);
+    injected += report.faults_injected;
+    heals += report.fault_heals;
+    checks += report.fault_checks;
+  }
+  // Coverage floors (measured ~1.8 faults and ~44 checks per schedule; the
+  // suite-level acceptance floor for oracle (f) is 500 checks).
+  EXPECT_GE(injected, 80u);
+  EXPECT_GE(heals, 100u);  // every fault schedule ends with a forced heal
+  EXPECT_GE(checks, 500u);
 }
 
 /// Pinned schedules that exercise named interleavings; they must stay green

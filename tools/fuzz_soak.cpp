@@ -10,6 +10,9 @@
 //   fuzz_soak --out FILE      repro file on failure (default fuzz_repro.txt)
 //   fuzz_soak --max-grid N    cap grid schedules at NxN-ish (side 2..4;
 //                             default 4 = full 4x4 range)
+//   fuzz_soak --faults        include control-channel fault-injection steps
+//                             (drop/delay/partition/crash/heal) and run the
+//                             fault-equivalence + convergence oracle
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,11 +30,14 @@ int main(int argc, char** argv) {
   std::uint64_t count = 0;  // 0 = unbounded
   std::string out_path = "fuzz_repro.txt";
   std::uint64_t max_grid_side = 4;
+  bool faults = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       count = 25;
+    } else if (arg == "--faults") {
+      faults = true;
     } else if (arg == "--count" && i + 1 < argc) {
       count = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -55,16 +61,19 @@ int main(int argc, char** argv) {
   const auto max_grid_code = static_cast<std::uint32_t>((max_grid_side - 2) * 2);
 
   std::uint64_t attacks = 0, churn = 0, notifications = 0, detections = 0,
-                federation = 0;
+                federation = 0, faults_injected = 0, fault_checks = 0;
   for (std::uint64_t i = 0; count == 0 || i < count; ++i) {
     const std::uint64_t seed = base_seed + i;
-    const fuzz::Schedule schedule = fuzz::generate_schedule(seed, max_grid_code);
+    const fuzz::Schedule schedule =
+        fuzz::generate_schedule(seed, max_grid_code, faults);
     const fuzz::FuzzReport report = fuzz::run_schedule(schedule);
     attacks += report.attacks_launched;
     churn += report.churn_applied;
     notifications += report.notifications_compared;
     detections += report.detection_checks;
     federation += report.federation_checks;
+    faults_injected += report.faults_injected;
+    fault_checks += report.fault_checks;
 
     if (report.failure) {
       std::printf("FAILURE at seed %llu, step %zu, oracle %s:\n  %s\n",
@@ -90,14 +99,21 @@ int main(int argc, char** argv) {
     }
 
     if ((i + 1) % 10 == 0 || (count != 0 && i + 1 == count)) {
+      std::string fault_cols;
+      if (faults) {
+        fault_cols = " | faults " + std::to_string(faults_injected) +
+                     " | fault checks " + std::to_string(fault_checks);
+      }
       std::printf("%llu schedules green | attacks %llu | churn %llu | "
-                  "notifications %llu | detections %llu | federation %llu\n",
+                  "notifications %llu | detections %llu | federation %llu"
+                  "%s\n",
                   static_cast<unsigned long long>(i + 1),
                   static_cast<unsigned long long>(attacks),
                   static_cast<unsigned long long>(churn),
                   static_cast<unsigned long long>(notifications),
                   static_cast<unsigned long long>(detections),
-                  static_cast<unsigned long long>(federation));
+                  static_cast<unsigned long long>(federation),
+                  fault_cols.c_str());
       std::fflush(stdout);
     }
   }

@@ -1,0 +1,282 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+#include "crypto/hmac.hpp"
+
+namespace rvaas::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+}  // namespace
+
+WireClient::WireClient(WireClientConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      key_(crypto::SigningKey::generate(rng_)),
+      box_(crypto::BoxOpener::generate(rng_)) {}
+
+WireClient::~WireClient() { close(); }
+
+void WireClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  hello_done_ = false;
+}
+
+WelcomeStatus WireClient::connect() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return WelcomeStatus::BadHello;
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.server.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close();
+    return WelcomeStatus::BadHello;
+  }
+
+  WireHello hello;
+  hello.client_key = key_.verify_key();
+  hello.client_box_pub = box_.public_element();
+  hello.requested_host = config_.requested_host;
+  if (!send_frame(hello.encode())) {
+    close();
+    return WelcomeStatus::BadHello;
+  }
+
+  const auto frame = read_frame(10'000);
+  const auto welcome =
+      frame ? WireWelcome::decode(*frame) : std::nullopt;
+  if (!welcome) {
+    close();
+    return WelcomeStatus::BadHello;
+  }
+  if (welcome->status != WelcomeStatus::Ok) {
+    close();
+    return welcome->status;
+  }
+  if (config_.verify_attestation) {
+    // Same checks as ClientAgent::verify_attestation: authentic quote, the
+    // expected code measurement, report data binding exactly these keys.
+    if (!enclave::AttestationService::verify(
+            welcome->quote, welcome->ias_root,
+            enclave::measure_code(config_.enclave_name,
+                                  config_.enclave_version)) ||
+        !crypto::digest_equal(
+            enclave::bind_keys(welcome->rvaas_key, welcome->rvaas_box_pub),
+            welcome->quote.report.report_data)) {
+      close();
+      return WelcomeStatus::BadHello;
+    }
+  }
+  host_ = welcome->host;
+  address_ = welcome->address;
+  access_point_ = welcome->access_point;
+  rvaas_key_ = welcome->rvaas_key;
+  rvaas_box_pub_ = welcome->rvaas_box_pub;
+  next_request_id_ = (static_cast<std::uint64_t>(host_.value) << 32) | 1;
+  hello_done_ = true;
+  return WelcomeStatus::Ok;
+}
+
+bool WireClient::send_raw(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WireClient::send_frame(std::span<const std::uint8_t> payload) {
+  return send_raw(encode_frame(payload));
+}
+
+std::optional<util::Bytes> WireClient::read_frame(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (auto frame = decoder_.take()) return frame;
+    if (decoder_.poisoned() || fd_ < 0) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int left = remaining_ms(deadline);
+    if (left == 0) return std::nullopt;
+    const int ready = ::poll(&pfd, 1, left);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return std::nullopt;  // timeout or error
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    if (!decoder_.feed({buf, static_cast<std::size_t>(n)})) return std::nullopt;
+  }
+}
+
+bool WireClient::consume(const sdn::Packet& packet, Event* out_event) {
+  const auto tag = core::inband::classify(packet);
+  if (!tag || !rvaas_key_) return false;
+
+  if (*tag == core::inband::Tag::AuthRequest) {
+    const auto req = core::inband::verify_auth_request(packet, *rvaas_key_);
+    if (!req) return false;
+    core::inband::AuthReply reply;
+    reply.request_id = req->request_id;
+    reply.nonce = req->nonce;
+    reply.client = host_;
+    ++stats_.auth_requests_answered;
+    send_frame(
+        encode_inband(core::inband::make_auth_reply(address_, reply, key_)));
+    return false;
+  }
+
+  if (*tag == core::inband::Tag::Notify) {
+    const auto opened = core::inband::open_notify(packet, box_, *rvaas_key_);
+    if (!opened) {
+      ++stats_.bad_notifications;
+      return false;
+    }
+    const core::Notification& n = opened->notification;
+    const auto it = subscriptions_.find(n.subscription_id);
+    if (it == subscriptions_.end()) return false;
+    Subscription& sub = it->second;
+    if (!opened->signature_ok || n.sequence <= sub.last_sequence ||
+        n.property_fingerprint != sub.property.fingerprint()) {
+      ++stats_.bad_notifications;  // forged, replayed, or wrong property
+      return false;
+    }
+    sub.last_sequence = n.sequence;
+    ++stats_.notifications_received;
+    Event event;
+    event.subscription_id = n.subscription_id;
+    event.kind = n.kind;
+    event.sequence = n.sequence;
+    event.epoch = n.epoch;
+    event.reply = n.reply;
+    event.verdict = core::evaluate_reply(n.reply, sub.property.expect);
+    *out_event = std::move(event);
+    return true;
+  }
+
+  return false;  // Reply frames are matched by the query() loop directly
+}
+
+WireClient::Outcome WireClient::query(const core::Query& query,
+                                      int timeout_ms) {
+  Outcome outcome;
+  if (!connected()) {
+    outcome.timed_out = true;
+    return outcome;
+  }
+  core::QueryRequest request;
+  request.request_id = next_request_id_++;
+  request.client = host_;
+  request.query = query;
+  ++stats_.queries_sent;
+  if (!send_frame(encode_inband(core::inband::make_request_packet(
+          address_, request, *rvaas_box_pub_, rng_)))) {
+    outcome.timed_out = true;
+    return outcome;
+  }
+
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const auto frame = read_frame(remaining_ms(deadline));
+    if (!frame) {
+      ++stats_.timeouts;
+      outcome.timed_out = true;
+      return outcome;
+    }
+    const auto packet = decode_inband(*frame);
+    if (!packet) continue;
+    if (core::inband::classify(*packet) == core::inband::Tag::Reply) {
+      const auto opened = core::inband::open_reply(*packet, box_, *rvaas_key_);
+      if (!opened) {
+        ++stats_.bad_replies;
+        continue;
+      }
+      if (opened->reply.request_id != request.request_id) continue;
+      ++stats_.replies_received;
+      if (!opened->signature_ok) ++stats_.bad_replies;
+      outcome.signature_ok = opened->signature_ok;
+      outcome.reply = opened->reply;
+      return outcome;
+    }
+    Event event;
+    if (consume(*packet, &event)) event_queue_.push_back(std::move(event));
+  }
+}
+
+std::uint64_t WireClient::subscribe(const core::Property& property,
+                                    core::NotifyPolicy policy) {
+  core::SubscribeRequest request;
+  request.subscription_id = next_request_id_++;
+  request.client = host_;
+  request.policy = policy;
+  request.property = property;
+  // As in ClientAgent: the id counter doubles as the freshness clock.
+  request.freshness = next_request_id_++;
+  ++stats_.subscribes_sent;
+  send_frame(encode_inband(core::inband::make_subscribe_packet(
+      address_, request, key_, *rvaas_box_pub_, rng_)));
+  subscriptions_[request.subscription_id] = Subscription{property, 0};
+  return request.subscription_id;
+}
+
+void WireClient::unsubscribe(std::uint64_t subscription_id) {
+  if (subscriptions_.erase(subscription_id) == 0) return;
+  core::SubscribeRequest request;
+  request.subscription_id = subscription_id;
+  request.client = host_;
+  request.unsubscribe = true;
+  request.freshness = next_request_id_++;
+  ++stats_.unsubscribes_sent;
+  send_frame(encode_inband(core::inband::make_subscribe_packet(
+      address_, request, key_, *rvaas_box_pub_, rng_)));
+}
+
+std::optional<WireClient::Event> WireClient::wait_notification(
+    int timeout_ms) {
+  if (!event_queue_.empty()) {
+    Event event = std::move(event_queue_.front());
+    event_queue_.pop_front();
+    return event;
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const auto frame = read_frame(remaining_ms(deadline));
+    if (!frame) return std::nullopt;
+    const auto packet = decode_inband(*frame);
+    if (!packet) continue;
+    Event event;
+    if (consume(*packet, &event)) return event;
+  }
+}
+
+}  // namespace rvaas::net

@@ -1,0 +1,104 @@
+#include "net/service.hpp"
+
+#include <chrono>
+
+#include "util/ensure.hpp"
+
+namespace rvaas::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           since)
+          .count());
+}
+
+}  // namespace
+
+WireService::~WireService() { stop(); }
+
+void WireService::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::ensure(!running_, "WireService already started");
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void WireService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_one();
+  thread_.join();
+  std::deque<std::function<void()>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    leftovers.swap(queue_);
+  }
+  // Post-stop drain: closures may pin sessions or evictions that the
+  // front-end still expects to happen; they run with frozen sim time.
+  for (auto& fn : leftovers) fn();
+}
+
+bool WireService::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void WireService::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      queue_.push_back(std::move(fn));
+      cv_.notify_one();
+      return;
+    }
+  }
+  fn();  // stopped: execute inline (frozen time) rather than drop
+}
+
+void WireService::run() {
+  const Clock::time_point base_real = Clock::now();
+  const sim::Time base_sim = loop_->now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Injections first: a posted request should enter the controller before
+    // the loop burns wall-clock catching up on timers.
+    while (!queue_.empty()) {
+      auto fn = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+    if (stop_requested_) return;
+
+    lock.unlock();
+    // Catch the simulation up to the wall clock (1 ns sim = 1 ns real).
+    const sim::Time target = base_sim + elapsed_ns(base_real);
+    loop_->run_until(target);
+
+    // Sleep exactly until the next due event — or a post()/stop() wake.
+    const auto next = loop_->next_event_time();
+    lock.lock();
+    if (!queue_.empty() || stop_requested_) continue;
+    if (!next) {
+      cv_.wait(lock, [this] { return !queue_.empty() || stop_requested_; });
+      continue;
+    }
+    const sim::Time due = *next > target ? *next - target : 0;
+    cv_.wait_for(lock, std::chrono::nanoseconds(due),
+                 [this] { return !queue_.empty() || stop_requested_; });
+  }
+}
+
+}  // namespace rvaas::net

@@ -1,0 +1,79 @@
+#pragma once
+// WireService: drives a sim::EventLoop on a dedicated thread with 1:1
+// real-time pacing, turning the discrete-event world (controller timers,
+// pollers, auth timeouts) into a live service the TCP front-end can feed.
+//
+// Threading contract: the event loop, the network, the controller and every
+// closure passed to post()/call() execute ONLY on the service thread. The
+// front-end's I/O threads talk to the controller exclusively through
+// post()ed closures; the controller talks back through WireTransport hooks
+// that enqueue into the I/O threads' mailboxes — neither side ever crosses
+// the boundary synchronously.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "sim/event_loop.hpp"
+
+namespace rvaas::net {
+
+class WireService {
+ public:
+  explicit WireService(sim::EventLoop& loop) : loop_(&loop) {}
+  /// Calls stop().
+  ~WireService();
+
+  WireService(const WireService&) = delete;
+  WireService& operator=(const WireService&) = delete;
+
+  /// Starts the pacing thread. Simulated time advances in lockstep with the
+  /// wall clock from here on (1 sim ns = 1 real ns), so every configured
+  /// controller cadence (poll period, auth timeout) keeps its meaning.
+  void start();
+
+  /// Stops and joins the pacing thread. Queued closures that have not run
+  /// are executed inline before returning (they may hold resources), with
+  /// the loop no longer advancing.
+  void stop();
+
+  bool running() const;
+
+  /// Enqueues `fn` for execution on the service thread (FIFO relative to
+  /// other post() calls — the front-end relies on this to order a session's
+  /// register_client before its first request). Thread-safe. After stop(),
+  /// runs `fn` inline.
+  void post(std::function<void()> fn);
+
+  /// Runs `fn` on the service thread and waits for its result. Inline when
+  /// called from the service thread itself or while stopped.
+  template <typename Fn>
+  auto call(Fn&& fn) -> decltype(fn()) {
+    using Result = decltype(fn());
+    if (!running() || on_service_thread()) return fn();
+    std::packaged_task<Result()> task(std::forward<Fn>(fn));
+    std::future<Result> result = task.get_future();
+    post([&task] { task(); });
+    return result.get();
+  }
+
+  bool on_service_thread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+ private:
+  void run();
+
+  sim::EventLoop* loop_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace rvaas::net

@@ -392,19 +392,37 @@ void RvaasController::handle_request(const sdn::PacketIn& msg) {
   ++stats_.queries_received;
   ++stats_.crypto_ops;  // unseal
   const auto request = inband::open_request(msg.packet, enclave_);
-  if (!request || pending_.contains(request->request_id)) {
+  if (!request) {
     ++stats_.bad_requests;
     return;
   }
-  const auto client_it = clients_.find(request->client);
+  admit_request(*request, PortRef{msg.sw, msg.in_port});
+}
+
+void RvaasController::wire_request(const QueryRequest& request,
+                                   sdn::PortRef request_point) {
+  // The sealed envelope was already opened on a front-end I/O thread; from
+  // here the path is byte-for-byte the in-band one.
+  ++stats_.queries_received;
+  ++stats_.crypto_ops;  // unseal, done on the I/O thread
+  admit_request(request, request_point);
+}
+
+void RvaasController::admit_request(const QueryRequest& request,
+                                    sdn::PortRef request_point) {
+  if (pending_.contains(request.request_id)) {
+    ++stats_.bad_requests;
+    return;
+  }
+  const auto client_it = clients_.find(request.client);
   if (client_it == clients_.end()) {
     ++stats_.bad_requests;
     return;
   }
 
   PendingQuery pending;
-  pending.request = *request;
-  pending.request_point = PortRef{msg.sw, msg.in_port};
+  pending.request = request;
+  pending.request_point = request_point;
 
   // Logical verification on the current snapshot, through the single
   // per-kind dispatch (QueryEngine::evaluate) shared with the batch,
@@ -416,9 +434,9 @@ void RvaasController::handle_request(const sdn::PacketIn& msg) {
   ctx.geo = geo_.get();
   ctx.addressing = addressing_;
   QueryEngine::Evaluation evaluation = engine_.evaluate(
-      model, snapshot_, Property::from_query(request->query), ctx);
+      model, snapshot_, Property::from_query(request.query), ctx);
   pending.reply = std::move(evaluation.reply);
-  pending.reply.request_id = request->request_id;
+  pending.reply.request_id = request.request_id;
   pending.footprint = std::move(evaluation.footprint);
 
   track_pending(std::move(pending), evaluation.to_authenticate);
@@ -431,9 +449,8 @@ void RvaasController::handle_subscribe(const sdn::PacketIn& msg) {
     ++stats_.bad_requests;
     return;
   }
-  const auto& [request_value, signature] = *opened;
-  const SubscribeRequest* request = &request_value;
-  const auto client_it = clients_.find(request->client);
+  const auto& [request, signature] = *opened;
+  const auto client_it = clients_.find(request.client);
   if (client_it == clients_.end()) {
     ++stats_.bad_requests;
     return;
@@ -443,20 +460,38 @@ void RvaasController::handle_subscribe(const sdn::PacketIn& msg) {
   // a replayed Subscribe would reset the notification sequence, silencing
   // the client's replay guard against future alerts.
   ++stats_.crypto_ops;  // signature verification
-  if (!client_it->second.key.verify(request->signing_payload(), signature)) {
+  if (!client_it->second.key.verify(request.signing_payload(), signature)) {
     ++stats_.bad_requests;
     return;
   }
-  auto& last_freshness = subscribe_freshness_[request->client];
-  if (request->freshness <= last_freshness) {
+  admit_subscribe(request, PortRef{msg.sw, msg.in_port});
+}
+
+void RvaasController::wire_subscribe(const SubscribeRequest& request,
+                                     sdn::PortRef request_point) {
+  // Opened and signature-verified on a front-end I/O thread against the
+  // enrolled key; the freshness replay guard still runs here, serialized on
+  // the controller thread, where the clock it mutates lives.
+  stats_.crypto_ops += 2;  // unseal + verify, done on the I/O thread
+  admit_subscribe(request, request_point);
+}
+
+void RvaasController::admit_subscribe(const SubscribeRequest& request,
+                                      sdn::PortRef request_point) {
+  if (!clients_.contains(request.client)) {
+    ++stats_.bad_requests;
+    return;
+  }
+  auto& last_freshness = subscribe_freshness_[request.client];
+  if (request.freshness <= last_freshness) {
     ++stats_.bad_requests;  // replayed or reordered
     return;
   }
-  last_freshness = request->freshness;
+  last_freshness = request.freshness;
 
-  if (request->unsubscribe) {
+  if (request.unsubscribe) {
     ++stats_.unsubscribes_received;
-    const PropertyMonitor::Key key{request->client, request->subscription_id};
+    const PropertyMonitor::Key key{request.client, request.subscription_id};
     if (!monitor_.unsubscribe(key.first, key.second)) {
       ++stats_.bad_requests;
       return;
@@ -475,15 +510,15 @@ void RvaasController::handle_subscribe(const sdn::PacketIn& msg) {
   // A subscription the engine cannot evaluate must be rejected up front: a
   // stored Geo property without a geo provider would throw inside every
   // subsequent sweep (a persistent crash, not a one-shot bad request).
-  if (request->property.kind == QueryKind::Geo && geo_ == nullptr) {
+  if (request.property.kind == QueryKind::Geo && geo_ == nullptr) {
     ++stats_.bad_requests;
     return;
   }
   // Per-client cap: active_for() is an O(1) count lookup, so the subscribe
   // path stays flat as the registry grows toward millions of entries.
   const bool replacing =
-      monitor_.find(request->client, request->subscription_id) != nullptr;
-  if (!replacing && monitor_.active_for(request->client) >=
+      monitor_.find(request.client, request.subscription_id) != nullptr;
+  if (!replacing && monitor_.active_for(request.client) >=
                         config_.max_subscriptions_per_client) {
     ++stats_.bad_requests;
     return;
@@ -491,11 +526,11 @@ void RvaasController::handle_subscribe(const sdn::PacketIn& msg) {
   ++stats_.subscribes_received;
 
   PropertyMonitor::Subscription sub;
-  sub.id = request->subscription_id;
-  sub.client = request->client;
-  sub.request_point = PortRef{msg.sw, msg.in_port};
-  sub.property = request->property;
-  sub.policy = request->policy;
+  sub.id = request.subscription_id;
+  sub.client = request.client;
+  sub.request_point = request_point;
+  sub.property = request.property;
+  sub.policy = request.policy;
   monitor_.subscribe(std::move(sub));
 
   // The next sweep evaluates the newcomer and pushes its baseline
@@ -544,6 +579,9 @@ void RvaasController::dispatch_auth_requests(
 
     ++stats_.auth_requests_sent;
     ++stats_.crypto_ops;  // signature
+    // A wire session owning this access point answers over its socket; the
+    // transport signs the request with the enclave key on an I/O thread.
+    if (wire_ && wire_->deliver_auth_request(ap, req)) continue;
     sdn::PacketOut out;
     out.sw = ap.sw;
     out.actions = {sdn::output(ap.port)};
@@ -558,7 +596,21 @@ void RvaasController::handle_auth_reply(const sdn::PacketIn& msg) {
   const auto parsed = inband::parse_auth_reply(msg.packet);
   if (!parsed) return;
   const auto& [reply, signature] = *parsed;
+  admit_auth_reply(reply, &signature, PortRef{msg.sw, msg.in_port});
+}
 
+void RvaasController::wire_auth_reply(const inband::AuthReply& reply,
+                                      sdn::PortRef from) {
+  // Signature already verified on an I/O thread against reply.client's
+  // enrolled key; `from` is the session's pinned access point, so the
+  // location check below still binds the reply to the probed port.
+  ++stats_.crypto_ops;  // signature verification, done on the I/O thread
+  admit_auth_reply(reply, nullptr, from);
+}
+
+void RvaasController::admit_auth_reply(const inband::AuthReply& reply,
+                                       const crypto::Signature* signature,
+                                       PortRef from) {
   const auto pending_it = pending_.find(reply.request_id);
   if (pending_it == pending_.end()) return;
   PendingQuery& pending = pending_it->second;
@@ -568,12 +620,17 @@ void RvaasController::handle_auth_reply(const sdn::PacketIn& msg) {
   const auto nonce_it = pending.nonces.find(reply.nonce);
   if (nonce_it == pending.nonces.end()) return;
   const PortRef expected_ap = nonce_it->second;
-  if (PortRef{msg.sw, msg.in_port} != expected_ap) return;
+  if (from != expected_ap) return;
 
   const auto client_it = clients_.find(reply.client);
-  ++stats_.crypto_ops;  // signature verification
-  if (client_it == clients_.end() ||
-      !client_it->second.key.verify(reply.signing_payload(), signature)) {
+  if (signature != nullptr) {
+    ++stats_.crypto_ops;  // signature verification
+    if (client_it == clients_.end() ||
+        !client_it->second.key.verify(reply.signing_payload(), *signature)) {
+      ++stats_.auth_replies_bad;
+      return;
+    }
+  } else if (client_it == clients_.end()) {
     ++stats_.auth_replies_bad;
     return;
   }
@@ -644,8 +701,12 @@ void RvaasController::send_notification(
   notification.property_fingerprint = pending.property_fingerprint;
   notification.reply = pending.reply;
 
-  stats_.crypto_ops += 2;  // sign + seal
+  stats_.crypto_ops += 2;  // sign + seal (by the transport if wire-attached)
   ++stats_.notifications_sent;
+  if (wire_ &&
+      wire_->deliver_notification(pending.request.client, notification)) {
+    return;
+  }
   sdn::PacketOut out;
   out.sw = pending.request_point.sw;
   out.actions = {sdn::output(pending.request_point.port)};
@@ -675,9 +736,12 @@ void RvaasController::send_degraded_notification(
     notification.reply.freshness = freshness_for(sub->footprint);
   }
 
-  stats_.crypto_ops += 2;  // sign + seal
+  stats_.crypto_ops += 2;  // sign + seal (by the transport if wire-attached)
   ++stats_.degraded_notifications;
   ++stats_.notifications_sent;
+  if (wire_ && wire_->deliver_notification(push.key.first, notification)) {
+    return;
+  }
   sdn::PacketOut out;
   out.sw = push.request_point.sw;
   out.actions = {sdn::output(push.request_point.port)};
@@ -740,12 +804,49 @@ void RvaasController::run_monitor_sweep(bool force_all) {
   }
 }
 
+std::size_t RvaasController::evict_client(sdn::HostId client) {
+  std::size_t dropped = 0;
+  for (const std::uint64_t sub_id : monitor_.ids_of(client)) {
+    if (!monitor_.unsubscribe(client, sub_id)) continue;
+    ++dropped;
+    const PropertyMonitor::Key key{client, sub_id};
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      if (const auto pit = pending_.find(it->second); pit != pending_.end()) {
+        net_->loop().cancel(pit->second.timeout);
+        pending_.erase(pit);
+      }
+      inflight_.erase(it);
+    }
+  }
+  // One-shot queries still waiting on authentication: the reply would go to
+  // a socket that no longer exists, so drop them rather than finalize into
+  // the fallback packet path.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (!it->second.subscription && it->second.request.client == client) {
+      net_->loop().cancel(it->second.timeout);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Reset the replay clock: a reconnecting session restarts its freshness
+  // counter, and holding the old high-water mark would lock it out. The
+  // tradeoff (a captured Subscribe from the previous session becomes
+  // replayable) is void because eviction also dropped every subscription
+  // that replay could affect.
+  subscribe_freshness_.erase(client);
+  return dropped;
+}
+
 void RvaasController::send_reply(const PendingQuery& pending) {
   const auto client_it = clients_.find(pending.request.client);
   if (client_it == clients_.end()) return;
 
-  stats_.crypto_ops += 2;  // sign + seal
+  stats_.crypto_ops += 2;  // sign + seal (by the transport if wire-attached)
   ++stats_.replies_sent;
+  if (wire_ && wire_->deliver_reply(pending.request.client, pending.reply)) {
+    return;
+  }
   sdn::PacketOut out;
   out.sw = pending.request_point.sw;
   out.actions = {sdn::output(pending.request_point.port)};

@@ -138,6 +138,55 @@ class RvaasController : public sdn::Controller {
   FreshnessInfo freshness_for(
       const std::vector<sdn::SwitchId>& footprint) const;
 
+  // --- wire front-end integration (src/net) ---
+  //
+  // The TCP front-end runs this controller behind real sockets. Inbound
+  // envelopes are opened/verified on the front-end's I/O threads (the
+  // enclave's open/verify/sign are const, pure bignum math — thread-safe)
+  // and enter here through the wire_* entry points on the controller's own
+  // (event-loop) thread; outbound replies/notifications/auth-requests are
+  // offered to the WireTransport as plain structs so the transport can
+  // sign/seal them off-thread with the same enclave key — byte-identical
+  // semantic content, with the per-query asymmetric crypto moved off the
+  // single event-loop thread. A declined delivery (false) falls back to the
+  // normal in-band packet path, so simulated clients are unaffected.
+
+  /// Transport seam the TCP front-end implements. All calls arrive on the
+  /// controller's event-loop thread; implementations must not call back
+  /// into the controller synchronously.
+  class WireTransport {
+   public:
+    virtual ~WireTransport() = default;
+    /// True if `client` is wire-attached and the reply was taken.
+    virtual bool deliver_reply(sdn::HostId client, const QueryReply& reply) = 0;
+    /// True if `client` is wire-attached and the notification was taken.
+    virtual bool deliver_notification(sdn::HostId client,
+                                      const Notification& notification) = 0;
+    /// True if the access point `target` belongs to a wire session and the
+    /// (unsigned) auth request was taken — the transport signs it with the
+    /// enclave key off-thread and ships it down that session's socket.
+    virtual bool deliver_auth_request(sdn::PortRef target,
+                                      const inband::AuthRequest& req) = 0;
+  };
+  /// Attaches/detaches the wire transport (nullptr = in-band only). The
+  /// transport must outlive the controller or be detached first.
+  void set_wire_transport(WireTransport* transport) { wire_ = transport; }
+
+  /// Wire-path entry points: the envelope was already opened (and, for
+  /// subscribe/auth, signature-verified against the enrolled key) on an
+  /// I/O thread. Semantics are identical to the in-band packet path from
+  /// this point on — pinned by tests/test_net.cpp byte-identity.
+  void wire_request(const QueryRequest& request, sdn::PortRef request_point);
+  void wire_subscribe(const SubscribeRequest& request,
+                      sdn::PortRef request_point);
+  void wire_auth_reply(const inband::AuthReply& reply, sdn::PortRef from);
+
+  /// Wire session death: drops every subscription of `client` (cancelling
+  /// in-flight evaluations) so a dead socket never wedges a sweep, and
+  /// resets its subscribe replay clock so a reconnecting session with a
+  /// fresh counter is not locked out. Returns subscriptions dropped.
+  std::size_t evict_client(sdn::HostId client);
+
   /// Cancels every timer this controller owns (poll/probe/reverify
   /// re-arms, per-switch deadline and retry timers, auth timeouts, the
   /// coalesced sweep event) and drops pending state. After stop() the
@@ -254,6 +303,15 @@ class RvaasController : public sdn::Controller {
   void handle_request(const sdn::PacketIn& msg);
   void handle_subscribe(const sdn::PacketIn& msg);
   void handle_auth_reply(const sdn::PacketIn& msg);
+  /// Shared cores of the in-band and wire request paths (post-open /
+  /// post-verify): exactly one implementation of admission, evaluation and
+  /// auth bookkeeping, so the socket layer cannot drift semantically.
+  void admit_request(const QueryRequest& request, sdn::PortRef request_point);
+  void admit_subscribe(const SubscribeRequest& request,
+                       sdn::PortRef request_point);
+  void admit_auth_reply(const inband::AuthReply& reply,
+                        const crypto::Signature* signature,
+                        sdn::PortRef from);
   /// Begins the auth round-trip for an evaluation already inserted into
   /// pending_ under `request_id`; `targets` fixes the (deterministic)
   /// dispatch order.
@@ -294,6 +352,7 @@ class RvaasController : public sdn::Controller {
     crypto::BigUInt box_public;
   };
   std::map<sdn::HostId, ClientRecord> clients_;
+  WireTransport* wire_ = nullptr;
   std::map<std::uint64_t, PendingQuery> pending_;
   std::vector<WiringAlarm> wiring_alarms_;
   Stats stats_;

@@ -130,6 +130,16 @@ const PropertyMonitor::Subscription* PropertyMonitor::find(
   return it == subs_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::uint64_t> PropertyMonitor::ids_of(sdn::HostId client) const {
+  std::vector<std::uint64_t> out;
+  // subs_ is ordered by (client, id): one lower_bound, then a contiguous run.
+  for (auto it = subs_.lower_bound(Key{client, 0});
+       it != subs_.end() && it->first.first == client; ++it) {
+    out.push_back(it->first.second);
+  }
+  return out;
+}
+
 std::size_t PropertyMonitor::active_for(sdn::HostId client) const {
   const auto it = per_client_.find(client);
   return it == per_client_.end() ? 0 : it->second;

@@ -88,6 +88,9 @@ class PropertyMonitor {
   bool unsubscribe(sdn::HostId client, std::uint64_t id);
 
   const Subscription* find(sdn::HostId client, std::uint64_t id) const;
+  /// All subscription ids held by `client`, ascending. O(log subs + k);
+  /// the wire front-end uses it to tear down a disconnected session.
+  std::vector<std::uint64_t> ids_of(sdn::HostId client) const;
   std::size_t active() const { return subs_.size(); }
   /// O(1): served from a per-client count maintained on (un)subscribe (the
   /// controller consults it on every subscribe, so it must not scan).

@@ -14,6 +14,14 @@ bool EventLoop::cancel(EventId id) {
   return handlers_.erase(id) > 0;  // queue entry is skipped lazily
 }
 
+std::optional<Time> EventLoop::next_event_time() {
+  while (!queue_.empty() && !handlers_.contains(queue_.top().id)) {
+    queue_.pop();  // cancelled
+  }
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().time;
+}
+
 bool EventLoop::dispatch_next(Time deadline) {
   while (!queue_.empty()) {
     const QueueEntry entry = queue_.top();

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 
@@ -40,6 +41,11 @@ class EventLoop {
 
   Time now() const { return now_; }
   std::size_t pending() const { return handlers_.size(); }
+
+  /// Earliest pending event time, nullopt when the queue is drained. Lazily
+  /// discards cancelled entries. Lets a real-time driver (src/net's wire
+  /// service) sleep exactly until the next due event instead of polling.
+  std::optional<Time> next_event_time();
 
   /// Runs until the queue is empty (or stop() is called).
   void run();

@@ -206,9 +206,16 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (arg == "--subs" && i + 1 < argc &&
                parse_subs_ladder(argv[i + 1], &args.subs)) {
       ++i;
+    } else if (arg == "--connections" && i + 1 < argc &&
+               parse_subs_ladder(argv[i + 1], &args.connections)) {
+      ++i;
+    } else if (arg == "--io-threads" && i + 1 < argc &&
+               parse_subs_ladder(argv[i + 1], &args.io_threads)) {
+      ++i;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--json FILE] [--subs N,M,...|N..M]\n",
+                   "usage: %s [--smoke] [--json FILE] [--subs N,M,...|N..M] "
+                   "[--connections N,M,...|N..M] [--io-threads N,M,...|N..M]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -66,8 +66,15 @@ struct BenchArgs {
   /// --subs ladder for scaling modes (bench_monitor): subscription counts
   /// to run, ascending. Empty = the bench's built-in default ladder.
   std::vector<std::size_t> subs;
+  /// --connections ladder (bench_wire): concurrent wire connections per
+  /// run, ascending. Empty = the bench's built-in default ladder.
+  std::vector<std::size_t> connections;
+  /// --io-threads ladder (bench_wire): front-end I/O thread counts to run,
+  /// ascending. Empty = the bench's built-in default ladder.
+  std::vector<std::size_t> io_threads;
 
-  /// Parses [--smoke] [--json FILE] [--subs N,M,... | N..M]; exits with
+  /// Parses [--smoke] [--json FILE] [--subs N,M,... | N..M]
+  /// [--connections N,M,...|N..M] [--io-threads N,M,...|N..M]; exits with
   /// usage on anything else. `N..M` expands to {N, ~3N, ~10N, ...} up to M
   /// inclusive — a log-spaced ladder like the default 100000..1000000.
   static BenchArgs parse(int argc, char** argv);

@@ -1,5 +1,7 @@
 #include "workload/scenario.hpp"
 
+#include <algorithm>
+
 #include "util/ensure.hpp"
 
 namespace rvaas::workload {
@@ -59,6 +61,13 @@ ScenarioRuntime::ScenarioRuntime(ScenarioConfig config)
 
   // Client agents + enrollment + attestation-based trust establishment.
   for (const sdn::HostId host : config_.generated.hosts) {
+    if (std::find(config_.wire_hosts.begin(), config_.wire_hosts.end(),
+                  host) != config_.wire_hosts.end()) {
+      // Reserved for a wire session: no agent, but burn the fork it would
+      // have taken so every later agent keeps its key stream.
+      (void)rng_.fork();
+      continue;
+    }
     auto agent = std::make_unique<core::ClientAgent>(
         host, *net_, provider_->addressing().of(host), rng_.fork());
     rvaas_->register_client(host, agent->verify_key(), agent->box_public());

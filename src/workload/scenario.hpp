@@ -22,6 +22,12 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   /// Install a DisclosedGeo provider (truth) by default.
   bool with_geo = true;
+  /// Hosts reserved for wire (TCP) sessions: no in-process agent is created
+  /// or enrolled for them — the wire front-end (src/net) enrolls the
+  /// connecting client's keys instead. One rng fork is still burned per
+  /// reserved host, so every other agent draws exactly the keys it would in
+  /// an all-in-process run (the wire byte-identity tests rely on this).
+  std::vector<sdn::HostId> wire_hosts;
   /// Per-tenant meter configs (index into tenants list).
   std::map<std::size_t, sdn::MeterConfig> tenant_meters;
 };

@@ -128,6 +128,31 @@ GeneratedTopology linear(std::uint32_t n) {
   return out;
 }
 
+GeneratedTopology linear_fanout(std::uint32_t n,
+                                std::uint32_t hosts_per_switch) {
+  util::ensure(n >= 1, "linear_fanout needs >= 1 switch");
+  util::ensure(hosts_per_switch >= 1, "linear_fanout needs >= 1 host/switch");
+  GeneratedTopology out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::size_t region = n < 3 ? 0 : (i * 3) / n;  // thirds
+    out.topo.add_switch(SwitchId(1 + i), 2 + hosts_per_switch,
+                        geo_for(region, 0, static_cast<double>(i)));
+  }
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    out.topo.add_link({SwitchId(1 + i), PortNo(1)},
+                      {SwitchId(1 + i + 1), PortNo(0)});
+  }
+  std::uint32_t host_index = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t h = 0; h < hosts_per_switch; ++h) {
+      const HostId host = host_for(host_index++);
+      out.topo.attach_host(host, {SwitchId(1 + i), PortNo(2 + h)});
+      out.hosts.push_back(host);
+    }
+  }
+  return out;
+}
+
 GeneratedTopology ring(std::uint32_t n) {
   util::ensure(n >= 3, "ring topology needs >= 3 switches");
   GeneratedTopology out;

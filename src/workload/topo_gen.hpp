@@ -37,6 +37,12 @@ void append_linear_segment(sdn::Topology& topo, std::uint32_t base_switch,
                            std::uint32_t count, std::uint32_t base_host,
                            std::vector<sdn::HostId>* hosts = nullptr);
 
+/// n switches in a line with `hosts_per_switch` hosts on each — the
+/// host-dense shape the wire bench uses: hundreds of client sessions backed
+/// by a verification fabric small enough to keep per-query HSA work flat.
+GeneratedTopology linear_fanout(std::uint32_t n,
+                                std::uint32_t hosts_per_switch);
+
 /// n switches in a cycle, one host per switch.
 GeneratedTopology ring(std::uint32_t n);
 

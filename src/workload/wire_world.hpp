@@ -1,0 +1,28 @@
+#pragma once
+// Glue between a ScenarioRuntime and the TCP front-end (src/net): builds the
+// session-table slots for a scenario's reserved wire hosts, so tools, tests
+// and the wire bench all derive identities the same way (same addressing
+// plan, same access points as in-process agents would get).
+
+#include "net/session.hpp"
+#include "workload/scenario.hpp"
+
+namespace rvaas::workload {
+
+/// One WireSlot per host in `hosts`, resolved against the runtime's
+/// topology and addressing plan.
+inline std::vector<net::WireSlot> wire_slots(
+    ScenarioRuntime& runtime, const std::vector<sdn::HostId>& hosts) {
+  std::vector<net::WireSlot> slots;
+  slots.reserve(hosts.size());
+  for (const sdn::HostId host : hosts) {
+    net::WireSlot slot;
+    slot.host = host;
+    slot.address = runtime.addressing().of(host);
+    slot.access_point = runtime.network().topology().host_ports(host).front();
+    slots.push_back(slot);
+  }
+  return slots;
+}
+
+}  // namespace rvaas::workload

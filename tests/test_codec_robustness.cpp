@@ -8,9 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "enclave/enclave.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "rvaas/inband.hpp"
 #include "util/rng.hpp"
+#include "workload/wire_world.hpp"
 
 namespace rvaas::core {
 namespace {
@@ -367,6 +375,184 @@ TEST_F(CodecFixture, RandomGarbageNeverCrashesOrAuthenticates) {
     });
     EXPECT_FALSE(inband::open_request(p, enclave).has_value());
   }
+}
+
+// --- socket-level assault ---
+// The same contract one layer down: the TCP front-end (src/net) parses
+// attacker-controlled stream bytes before any envelope is opened, so
+// truncated frames, bit flips and seeded garbage fired into a live server
+// must never crash it and never produce a verified reply — and legitimate
+// sessions must keep working throughout.
+
+struct SocketAssault : ::testing::Test {
+  void SetUp() override {
+    workload::ScenarioConfig config;
+    config.generated = workload::linear_fanout(2, 2);
+    config.seed = 0xa55a;
+    const auto& hosts = config.generated.hosts;
+    wire_hosts.assign(hosts.end() - 2, hosts.end());
+    config.wire_hosts = wire_hosts;
+    runtime = std::make_unique<workload::ScenarioRuntime>(std::move(config));
+    runtime->settle(50 * sim::kMillisecond);
+    service = std::make_unique<net::WireService>(runtime->loop());
+    server = std::make_unique<net::WireServer>(
+        net::WireServerConfig{}, runtime->rvaas(), *service,
+        runtime->ias().root_key(), workload::wire_slots(*runtime, wire_hosts),
+        0xbad);
+    service->start();
+    server->start();
+  }
+
+  void TearDown() override {
+    server->stop();
+    service->stop();
+  }
+
+  /// Raw TCP connection to the server, bypassing WireClient entirely.
+  int raw_connect() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server->port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    return fd;
+  }
+
+  void raw_send(int fd, std::span<const std::uint8_t> bytes) {
+    (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  }
+
+  /// The liveness probe: a fresh legitimate session must still handshake,
+  /// attest and get a signed Geo reply.
+  void expect_server_alive(std::uint64_t seed) {
+    net::WireClientConfig config;
+    config.port = server->port();
+    config.requested_host = wire_hosts[0].value;
+    config.seed = seed;
+    net::WireClient client(config);
+    ASSERT_EQ(client.connect(), net::WelcomeStatus::Ok);
+    Query query;
+    query.kind = QueryKind::Geo;
+    const auto outcome = client.query(query, 30'000);
+    ASSERT_TRUE(outcome.reply.has_value());
+    EXPECT_TRUE(outcome.signature_ok);
+    client.close();
+  }
+
+  std::vector<HostId> wire_hosts;
+  std::unique_ptr<workload::ScenarioRuntime> runtime;
+  std::unique_ptr<net::WireService> service;
+  std::unique_ptr<net::WireServer> server;
+};
+
+TEST_F(SocketAssault, TruncatedAndBogusFramesNeverWedgeTheServer) {
+  {  // Oversized length claim straight after connect.
+    const int fd = raw_connect();
+    const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0xff};
+    raw_send(fd, huge);
+    ::close(fd);
+  }
+  {  // Zero-length claim.
+    const int fd = raw_connect();
+    const std::uint8_t zero[4] = {0, 0, 0, 0};
+    raw_send(fd, zero);
+    ::close(fd);
+  }
+  {  // Truncated frame: claim 64 KiB, deliver 10 bytes, vanish.
+    const int fd = raw_connect();
+    const std::uint8_t prefix[4] = {0x00, 0x01, 0x00, 0x00};
+    raw_send(fd, prefix);
+    const std::uint8_t stub[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    raw_send(fd, stub);
+    ::close(fd);
+  }
+  {  // Split length prefix, then abrupt close mid-prefix.
+    const int fd = raw_connect();
+    const std::uint8_t half[2] = {0x00, 0x00};
+    raw_send(fd, half);
+    ::close(fd);
+  }
+  expect_server_alive(0x11fe);
+}
+
+TEST_F(SocketAssault, SeededGarbageStreamsNeverCrashOrAuthenticate) {
+  util::Rng rng(20260808);
+  for (int i = 0; i < 40; ++i) {
+    const int fd = raw_connect();
+    util::Bytes stream;
+    if (i % 2 == 0) {
+      // Well-framed garbage: valid length prefixes over random payloads,
+      // a quarter of them leading with a real wire tag so the server
+      // parses deeper before rejecting.
+      util::Bytes payload(1 + rng.below(200));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+      if (i % 4 == 0 && payload.size() >= 4) {
+        payload[0] = 0x31;  // "1HVR" little-endian = WireTag::Hello
+        payload[1] = 0x48;
+        payload[2] = 0x56;
+        payload[3] = 0x52;
+      }
+      stream = net::encode_frame(payload);
+    } else {
+      // Raw noise, length prefix and all.
+      stream.resize(1 + rng.below(64));
+      for (auto& b : stream) b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    // Bit-flip a random position so even "valid" prefixes get corrupted
+    // half the time.
+    if (!stream.empty() && rng.below(2) == 0) {
+      stream[rng.below(stream.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    raw_send(fd, stream);
+    ::close(fd);
+  }
+  expect_server_alive(0x11ff);
+  const auto stats = server->stats();
+  EXPECT_GT(stats.bad_frames + stats.bad_hellos, 0u);
+}
+
+TEST_F(SocketAssault, PostHandshakeGarbageNeverYieldsVerifiedTraffic) {
+  net::WireClientConfig config;
+  config.port = server->port();
+  config.requested_host = wire_hosts[1].value;
+  config.seed = 0x5ab07a9e;
+  net::WireClient client(config);
+  ASSERT_EQ(client.connect(), net::WelcomeStatus::Ok);
+
+  // Fire well-framed garbage down the established session: random payloads,
+  // some tagged INBAND so the packet/envelope decoders run. The frames are
+  // length-valid, so the stream stays parseable and the session stays up.
+  util::Rng rng(0xf1a6);
+  for (int i = 0; i < 60; ++i) {
+    util::Bytes payload(4 + rng.below(120));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+    if (i % 2 == 0) {
+      payload[0] = 0x31;  // WireTag::Inband "RVF1"
+      payload[1] = 0x46;
+      payload[2] = 0x56;
+      payload[3] = 0x52;
+    }
+    ASSERT_TRUE(client.send_raw(net::encode_frame(payload)));
+  }
+
+  // Nothing the garbage provoked passes the client's signature checks.
+  EXPECT_FALSE(client.wait_notification(300).has_value());
+  EXPECT_EQ(client.stats().notifications_received, 0u);
+
+  // The same connection still serves legitimate queries afterwards.
+  Query query;
+  query.kind = QueryKind::TransferSummary;
+  const auto outcome = client.query(query, 30'000);
+  ASSERT_TRUE(outcome.reply.has_value());
+  EXPECT_TRUE(outcome.signature_ok);
+
+  const auto stats = server->stats();
+  EXPECT_GT(stats.bad_frames + stats.bad_envelopes, 0u);
+  client.close();
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// Stand-alone RVaaS wire server: stands up a simulated provider network with
+// an RVaaS controller, reserves host slots for TCP sessions, and serves the
+// in-band protocol over the epoll front-end (src/net). Pair with
+// rvaas_client.
+//
+//   rvaas_server                          serve on an ephemeral port
+//   rvaas_server --port P                 fixed port
+//   rvaas_server --io-threads N           front-end I/O threads (default 1)
+//   rvaas_server --switches N             fabric size (default 4)
+//   rvaas_server --hosts-per-switch H     hosts per switch (default 4)
+//   rvaas_server --wire-slots W           TCP-attachable hosts (default half)
+//   rvaas_server --seed S                 world seed
+//
+// Prints "listening on 127.0.0.1:<port>" once ready; stats every 10s and on
+// SIGINT/SIGTERM shutdown.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "net/server.hpp"
+#include "workload/wire_world.hpp"
+
+using namespace rvaas;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void print_stats(const net::WireServer& server) {
+  const net::WireServer::Stats s = server.stats();
+  std::printf(
+      "sessions=%zu/%zu conns=%llu/%llu frames=%llu/%llu "
+      "q=%llu sub=%llu auth=%llu bad=%llu evict=%llu\n",
+      server.sessions().active(), server.sessions().capacity(),
+      static_cast<unsigned long long>(s.connections_accepted),
+      static_cast<unsigned long long>(s.connections_closed),
+      static_cast<unsigned long long>(s.frames_in),
+      static_cast<unsigned long long>(s.frames_out),
+      static_cast<unsigned long long>(s.requests_in),
+      static_cast<unsigned long long>(s.subscribes_in),
+      static_cast<unsigned long long>(s.auth_replies_in),
+      static_cast<unsigned long long>(s.bad_frames + s.bad_hellos +
+                                      s.bad_envelopes),
+      static_cast<unsigned long long>(s.evictions));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::size_t io_threads = 1;
+  std::uint32_t switches = 4;
+  std::uint32_t hosts_per_switch = 4;
+  std::size_t wire_slots_count = 0;  // 0 = half the hosts
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "--io-threads" && i + 1 < argc) {
+      io_threads = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--switches" && i + 1 < argc) {
+      switches = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "--hosts-per-switch" && i + 1 < argc) {
+      hosts_per_switch =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "--wire-slots" && i + 1 < argc) {
+      wire_slots_count = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  workload::ScenarioConfig config;
+  config.generated = workload::linear_fanout(switches, hosts_per_switch);
+  config.tenant_count = 2;
+  config.seed = seed;
+  const std::vector<sdn::HostId>& hosts = config.generated.hosts;
+  if (wire_slots_count == 0) wire_slots_count = hosts.size() / 2;
+  if (wire_slots_count > hosts.size()) wire_slots_count = hosts.size();
+  const std::vector<sdn::HostId> wire_hosts(hosts.end() - wire_slots_count,
+                                            hosts.end());
+  config.wire_hosts = wire_hosts;
+
+  workload::ScenarioRuntime runtime(std::move(config));
+  runtime.settle(50 * sim::kMillisecond);  // routes + monitors in place
+
+  net::WireService service(runtime.loop());
+  net::WireServerConfig server_config;
+  server_config.port = port;
+  server_config.io_threads = io_threads;
+  net::WireServer server(server_config, runtime.rvaas(), service,
+                         runtime.ias().root_key(),
+                         workload::wire_slots(runtime, wire_hosts),
+                         seed ^ 0x3157);
+  service.start();
+  server.start();
+
+  std::printf("listening on 127.0.0.1:%u (%zu slots, %zu io threads)\n",
+              server.port(), server.sessions().capacity(), io_threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  int ticks = 0;
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (++ticks % 100 == 0) print_stats(server);
+  }
+
+  print_stats(server);
+  server.stop();
+  service.stop();
+  return 0;
+}

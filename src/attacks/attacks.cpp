@@ -17,6 +17,10 @@ using sdn::SwitchId;
 namespace {
 
 constexpr std::uint16_t kAttackPriority = 30;  // above provider routing
+// The multi-domain attacks must outrank the AS-world baseline inter-domain
+// routing (priorities 40-50, workload/as_world.cpp) the way kAttackPriority
+// outranks tenant routing.
+constexpr std::uint16_t kInterDomainAttackPriority = 60;
 
 /// Synthetic address for an attacker endpoint behind a rogue port.
 control::HostAddress rogue_address(PortRef port) {
@@ -403,6 +407,88 @@ std::optional<AttackRecord> QuerySuppressionAttack::launch(
 
   AttackRecord record;
   record.name = name();
+  return record;
+}
+
+std::optional<AttackRecord> RouteOriginHijackAttack::launch(
+    ProviderController& provider, sdn::Network& net) {
+  const auto sink_ports = net.topology().host_ports(sink_);
+  if (sink_ports.empty()) return std::nullopt;
+  const PortRef sink_ap = sink_ports.front();
+
+  const auto route = control::compute_route(net.topology(), ingress_, sink_ap);
+  if (!route) return std::nullopt;
+
+  // In-port-chained IpDst-exact rules along the path (untagged: inter-domain
+  // traffic does not ride tenant VLANs).
+  {
+    FlowMod mod;
+    mod.priority = kInterDomainAttackPriority;
+    mod.cookie = 0x041a;
+    mod.match = Match().in_port(ingress_.port).exact(Field::IpDst, foreign_ip_);
+    mod.actions = {sdn::DecTtlAction{},
+                   sdn::output(route->hops.empty()
+                                   ? sink_ap.port
+                                   : route->hops.front().out.port)};
+    inject(provider, ingress_.sw, mod);
+  }
+  for (std::size_t i = 0; i < route->hops.size(); ++i) {
+    FlowMod mod;
+    mod.priority = kInterDomainAttackPriority;
+    mod.cookie = 0x041a;
+    mod.match = Match()
+                    .in_port(route->hops[i].in.port)
+                    .exact(Field::IpDst, foreign_ip_);
+    mod.actions = {sdn::DecTtlAction{},
+                   sdn::output(i + 1 < route->hops.size()
+                                   ? route->hops[i + 1].out.port
+                                   : sink_ap.port)};
+    inject(provider, route->hops[i].in.sw, mod);
+  }
+
+  AttackRecord record;
+  record.name = name();
+  record.victim = sink_;
+  record.rogue_ports = {sink_ap};
+  record.detour = route->switches();
+  return record;
+}
+
+std::optional<AttackRecord> RouteLeakAttack::launch(
+    ProviderController& provider, sdn::Network& net) {
+  if (ingress_ == out_border_) return std::nullopt;
+  const auto route =
+      control::compute_route(net.topology(), ingress_, out_border_);
+  if (!route) return std::nullopt;
+
+  {
+    FlowMod mod;
+    mod.priority = kInterDomainAttackPriority;
+    mod.cookie = 0x1ea2;
+    mod.match = Match().in_port(ingress_.port).exact(Field::IpDst, dst_ip_);
+    mod.actions = {sdn::DecTtlAction{},
+                   sdn::output(route->hops.empty()
+                                   ? out_border_.port
+                                   : route->hops.front().out.port)};
+    inject(provider, ingress_.sw, mod);
+  }
+  for (std::size_t i = 0; i < route->hops.size(); ++i) {
+    FlowMod mod;
+    mod.priority = kInterDomainAttackPriority;
+    mod.cookie = 0x1ea2;
+    mod.match =
+        Match().in_port(route->hops[i].in.port).exact(Field::IpDst, dst_ip_);
+    mod.actions = {sdn::DecTtlAction{},
+                   sdn::output(i + 1 < route->hops.size()
+                                   ? route->hops[i + 1].out.port
+                                   : out_border_.port)};
+    inject(provider, route->hops[i].in.sw, mod);
+  }
+
+  AttackRecord record;
+  record.name = name();
+  record.rogue_ports = {out_border_};
+  record.detour = route->switches();
   return record;
 }
 

@@ -230,4 +230,50 @@ class QuerySuppressionAttack : public Attack {
   sdn::SwitchId at_;
 };
 
+/// Route-origin hijack (multi-domain, §IV.C.a extension): the compromised
+/// provider of one domain delivers traffic for a FOREIGN prefix (another
+/// domain's address space) to a local sink host — the data-plane analogue
+/// of originating someone else's prefix. A PolicyCompliance walk entering
+/// at `ingress` flags the delivery as unauthorized-origin.
+class RouteOriginHijackAttack : public Attack {
+ public:
+  /// `foreign_ip`: a destination outside the domain's authorized origin
+  /// space; `ingress`: the border (or access) port whose traffic is
+  /// hijacked; `sink`: the local host the traffic is delivered to.
+  RouteOriginHijackAttack(std::uint32_t foreign_ip, sdn::PortRef ingress,
+                          sdn::HostId sink)
+      : foreign_ip_(foreign_ip), ingress_(ingress), sink_(sink) {}
+
+  const char* name() const override { return "route-origin-hijack"; }
+
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net) override;
+
+ private:
+  std::uint32_t foreign_ip_;
+  sdn::PortRef ingress_;
+  sdn::HostId sink_;
+};
+
+/// Route leak (multi-domain): traffic learned at a provider/peer `ingress`
+/// is forwarded out another provider/peer border — a Gao-Rexford valley.
+/// A PolicyCompliance walk entering at `ingress` flags the crossing at
+/// `out_border` as a route-leak.
+class RouteLeakAttack : public Attack {
+ public:
+  RouteLeakAttack(sdn::PortRef ingress, sdn::PortRef out_border,
+                  std::uint32_t dst_ip)
+      : ingress_(ingress), out_border_(out_border), dst_ip_(dst_ip) {}
+
+  const char* name() const override { return "route-leak"; }
+
+  std::optional<AttackRecord> launch(control::ProviderController& provider,
+                                     sdn::Network& net) override;
+
+ private:
+  sdn::PortRef ingress_;
+  sdn::PortRef out_border_;
+  std::uint32_t dst_ip_;
+};
+
 }  // namespace rvaas::attacks

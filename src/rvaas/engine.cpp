@@ -555,6 +555,14 @@ QueryEngine::Evaluation QueryEngine::evaluate(const hsa::NetworkModel& model,
       out.reply.transfer_summary =
           transfer_summary(model, snap, ctx.from, hs, fp);
       break;
+    case QueryKind::PolicyCompliance:
+      // The cross-domain walk lives in the federation layer; the dependency
+      // footprint is left empty because the crossings depend on OTHER
+      // domains' snapshots, which this engine's change clock cannot see.
+      if (ctx.policy != nullptr) {
+        out.reply.policy_report = ctx.policy->walk(ctx.from, hs);
+      }
+      break;
   }
 
   if (has_endpoints) {

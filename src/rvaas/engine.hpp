@@ -320,6 +320,19 @@ class QueryEngine {
   static std::vector<std::string> render_paths(
       const std::vector<std::vector<sdn::SwitchId>>& paths);
 
+  /// Hook for PolicyCompliance evaluations, implemented by the federation
+  /// layer (rvaas/multiprovider.hpp): walks observed inter-domain crossings
+  /// for traffic entering at `from` and reports each against the declared
+  /// policies. The engine itself knows nothing about domains — a
+  /// PolicyCompliance evaluation without a walker yields an empty report (a
+  /// lone domain has no crossings to verify).
+  class PolicyWalker {
+   public:
+    virtual ~PolicyWalker() = default;
+    virtual std::vector<PolicyReportItem> walk(
+        sdn::PortRef from, const hsa::HeaderSpace& hs) const = 0;
+  };
+
   /// Per-evaluation context: where the request entered the network, the
   /// optional providers some query kinds need, and internal knobs used by
   /// the federation path.
@@ -327,6 +340,7 @@ class QueryEngine {
     sdn::PortRef from{};
     const GeoProvider* geo = nullptr;                     ///< Geo queries
     const control::HostAddressing* addressing = nullptr;  ///< PathLength
+    const PolicyWalker* policy = nullptr;  ///< PolicyCompliance queries
     /// Pre-built constraint space overriding the property's Match (federated
     /// crossing spaces are multi-cube and have no Match representation).
     const hsa::HeaderSpace* space_override = nullptr;

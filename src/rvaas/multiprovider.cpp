@@ -1,10 +1,24 @@
 #include "rvaas/multiprovider.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/ensure.hpp"
+#include "util/fnv.hpp"
 
 namespace rvaas::core {
+
+const char* to_string(NeighborClass cls) {
+  switch (cls) {
+    case NeighborClass::Customer:
+      return "customer";
+    case NeighborClass::Peer:
+      return "peer";
+    case NeighborClass::Provider:
+      return "provider";
+  }
+  return "unknown";
+}
 
 void Federation::add_domain(ProviderId id, RvaasController& rvaas) {
   util::ensure(!domains_.contains(id), "duplicate provider id");
@@ -18,12 +32,100 @@ void Federation::add_peering(ProviderId a, sdn::PortRef border, ProviderId b,
   peerings_[{a, border}] = Peering{b, ingress};
 }
 
+void Federation::declare_relation(ProviderId domain, ProviderId neighbor,
+                                  NeighborClass cls) {
+  util::ensure(domains_.contains(domain) && domains_.contains(neighbor),
+               "relation references unknown domain");
+  relations_[{domain, neighbor}] = cls;
+}
+
+void Federation::set_policy(ProviderId domain, RoutePolicy policy) {
+  util::ensure(domains_.contains(domain), "policy for unknown domain");
+  policies_[domain] = std::move(policy);
+}
+
+void Federation::authorize_origin(ProviderId domain,
+                                  const hsa::HeaderSpace& prefixes) {
+  util::ensure(domains_.contains(domain), "origin for unknown domain");
+  const auto [it, inserted] = origins_.try_emplace(domain, prefixes);
+  if (!inserted) it->second = it->second.union_with(prefixes);
+}
+
+std::optional<NeighborClass> Federation::relation(ProviderId domain,
+                                                  ProviderId neighbor) const {
+  const auto it = relations_.find({domain, neighbor});
+  if (it == relations_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Federation::policy_allows(const std::vector<RoutePolicyRule>& rules,
+                               NeighborClass cls,
+                               const hsa::HeaderSpace& space) {
+  for (const RoutePolicyRule& rule : rules) {
+    if (rule.neighbor != cls) continue;
+    if (space.intersect(rule.space).is_empty()) continue;
+    return rule.allow;
+  }
+  return true;
+}
+
+NeighborClass Federation::entry_class(ProviderId domain,
+                                      sdn::PortRef ingress) const {
+  for (const auto& [key, peering] : peerings_) {
+    if (peering.to == domain && peering.ingress == ingress) {
+      if (const auto rel = relation(domain, key.first)) return *rel;
+      return NeighborClass::Provider;  // undeclared feeder: worst case
+    }
+  }
+  return NeighborClass::Customer;  // domain-originated traffic
+}
+
 bool Federation::verify_subquery(ProviderId from, const util::Bytes& payload,
                                  const crypto::Signature& sig) const {
   const auto it = domains_.find(from);
   if (it == domains_.end()) return false;
   return it->second.rvaas->enclave().verify_key().verify(payload, sig);
 }
+
+util::Bytes Federation::subquery_payload(sdn::PortRef ingress,
+                                         const hsa::HeaderSpace& hs,
+                                         std::uint32_t depth_left) {
+  util::ByteWriter w;
+  w.put_string("rvaas-federated-subquery-v2");
+  w.put_u32(ingress.sw.value);
+  w.put_u32(ingress.port.value);
+  // Binding the crossing space (structural fingerprint) and the remaining
+  // budget keeps a recorded subquery from verifying for different traffic
+  // or at a different walk depth.
+  w.put_u64(hs.fingerprint());
+  w.put_u32(depth_left);
+  return w.take();
+}
+
+namespace {
+
+struct FederatedEndpointHash {
+  std::size_t operator()(const FederatedEndpoint& e) const {
+    std::uint64_t h = util::kFnvOffsetBasis;
+    const std::uint32_t words[] = {
+        e.provider.value,
+        e.info.access_point.sw.value,
+        e.info.access_point.port.value,
+        static_cast<std::uint32_t>(e.info.dark) |
+            (static_cast<std::uint32_t>(e.info.authenticated) << 1) |
+            (static_cast<std::uint32_t>(e.info.authenticated_as.has_value())
+             << 2),
+        e.info.authenticated_as ? e.info.authenticated_as->value : 0};
+    for (const std::uint32_t word : words) {
+      for (int shift = 0; shift < 32; shift += 8) {
+        h = util::fnv1a_mix(h, static_cast<std::uint8_t>(word >> shift));
+      }
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
 
 FederatedResult Federation::reachable(ProviderId start, sdn::PortRef ingress,
                                       const sdn::Match& constraint,
@@ -35,13 +137,13 @@ FederatedResult Federation::reachable(ProviderId start, sdn::PortRef ingress,
 
   // Dedupe: branches of the walk that re-enter a domain (or several raw
   // subspaces exiting at one access point) would otherwise repeat the same
-  // (provider, access point) answer. First occurrence order is kept.
+  // (provider, access point) answer. Hashed first-seen keeps first
+  // occurrence order in O(n), instead of the old O(n^2) linear rescans.
   std::vector<FederatedEndpoint> unique;
   unique.reserve(out.endpoints.size());
+  std::unordered_set<FederatedEndpoint, FederatedEndpointHash> seen;
   for (FederatedEndpoint& e : out.endpoints) {
-    if (std::find(unique.begin(), unique.end(), e) == unique.end()) {
-      unique.push_back(std::move(e));
-    }
+    if (seen.insert(e).second) unique.push_back(std::move(e));
   }
   out.endpoints = std::move(unique);
   return out;
@@ -52,12 +154,15 @@ void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
                                  std::uint32_t depth_left,
                                  std::vector<ProviderId>& visited,
                                  FederatedResult& out) const {
+  // The loop guard runs BEFORE the depth check: a branch pruned for
+  // re-entering a domain terminates regardless of budget, so it must not
+  // report depth_exceeded (a loop is not a depth problem).
+  if (std::find(visited.begin(), visited.end(), domain) != visited.end()) {
+    return;  // provider-level loop guard
+  }
   if (depth_left == 0) {
     out.depth_exceeded = true;
     return;
-  }
-  if (std::find(visited.begin(), visited.end(), domain) != visited.end()) {
-    return;  // provider-level loop guard
   }
   visited.push_back(domain);
   ++out.domains_visited;
@@ -101,12 +206,10 @@ void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
     if (peering_it == peerings_.end()) continue;
 
     const Peering& peering = peering_it->second;
-    util::ByteWriter w;
-    w.put_string("rvaas-federated-subquery-v1");
-    w.put_u32(peering.ingress.sw.value);
-    w.put_u32(peering.ingress.port.value);
-    const crypto::Signature sig = dom.rvaas->enclave().sign(w.data());
-    const bool accepted = verify_subquery(domain, w.data(), sig);
+    const util::Bytes payload =
+        subquery_payload(peering.ingress, endpoint.space, depth_left - 1);
+    const crypto::Signature sig = dom.rvaas->enclave().sign(payload);
+    const bool accepted = verify_subquery(domain, payload, sig);
     util::ensure(accepted, "federated subquery signature rejected");
     ++out.subqueries;
 
@@ -114,6 +217,164 @@ void Federation::reach_in_domain(ProviderId domain, sdn::PortRef ingress,
                     depth_left - 1, visited, out);
   }
   visited.pop_back();
+}
+
+void Federation::policy_in_domain(ProviderId domain, sdn::PortRef ingress,
+                                  NeighborClass entered_from,
+                                  const hsa::HeaderSpace& hs,
+                                  std::uint32_t depth_left,
+                                  std::vector<ProviderId>& visited,
+                                  std::vector<PolicyReportItem>& report,
+                                  WalkStats& stats) const {
+  // Same guard order as reach_in_domain (see the comment there).
+  if (std::find(visited.begin(), visited.end(), domain) != visited.end()) {
+    return;
+  }
+  if (depth_left == 0) {
+    stats.depth_exceeded = true;
+    return;
+  }
+  visited.push_back(domain);
+  ++stats.domains_visited;
+  stats.max_depth =
+      std::max(stats.max_depth, static_cast<std::uint32_t>(visited.size()));
+
+  const auto it = domains_.find(domain);
+  util::ensure(it != domains_.end(), "unknown domain in federation walk");
+  const Domain& dom = it->second;
+
+  const QueryEngine& engine = dom.rvaas->engine();
+  Property property;
+  property.kind = QueryKind::ReachableEndpoints;
+  QueryEngine::EvalContext ctx;
+  ctx.from = ingress;
+  ctx.space_override = &hs;
+  ctx.exclude_requester = false;
+  const QueryEngine::Evaluation eval =
+      engine.evaluate(dom.rvaas->snapshot(), property, ctx);
+
+  const auto origin = origins_.find(domain);
+  for (const auto& endpoint : eval.primary_reach->endpoints) {
+    const auto peering_it = peerings_.find({domain, endpoint.egress});
+    if (peering_it == peerings_.end()) {
+      // Terminal delivery. Dark-port egress is the exfiltration story of
+      // the endpoint query kinds; the origin question applies to actual
+      // host deliveries: traffic delivered locally outside the domain's
+      // authorized origin space is a hijack indicator.
+      if (origin == origins_.end()) continue;
+      if (!dom.topo->host_at(endpoint.egress).has_value()) continue;
+      hsa::HeaderSpace residual = endpoint.space;
+      for (const hsa::Wildcard& w : origin->second.resolve()) {
+        residual = residual.subtract(w);
+      }
+      if (!residual.is_empty()) {
+        report.push_back(PolicyReportItem{
+            PolicyVerdict::UnauthorizedOrigin, domain, domain,
+            endpoint.egress, endpoint.egress, endpoint.space.fingerprint()});
+      }
+      continue;
+    }
+
+    const Peering& peering = peering_it->second;
+    // Judge the crossing: declared relations both ways, then each side's
+    // rule store, then the valley-free condition (traffic learned from a
+    // non-customer may only be exported to a customer).
+    const auto rel_out = relation(domain, peering.to);
+    const auto rel_in = relation(peering.to, domain);
+    PolicyVerdict verdict = PolicyVerdict::Ok;
+    if (!rel_out || !rel_in) {
+      verdict = PolicyVerdict::UnexpectedCrossing;
+    } else {
+      const auto exp = policies_.find(domain);
+      const auto imp = policies_.find(peering.to);
+      const bool exported =
+          exp == policies_.end() ||
+          policy_allows(exp->second.export_rules, *rel_out, endpoint.space);
+      const bool imported =
+          imp == policies_.end() ||
+          policy_allows(imp->second.import_rules, *rel_in, endpoint.space);
+      if (!exported || !imported) {
+        verdict = PolicyVerdict::UnexpectedCrossing;
+      } else if (entered_from != NeighborClass::Customer &&
+                 *rel_out != NeighborClass::Customer) {
+        verdict = PolicyVerdict::RouteLeak;
+      }
+    }
+    report.push_back(PolicyReportItem{verdict, domain, peering.to,
+                                      endpoint.egress, peering.ingress,
+                                      endpoint.space.fingerprint()});
+
+    const util::Bytes payload =
+        subquery_payload(peering.ingress, endpoint.space, depth_left - 1);
+    const crypto::Signature sig = dom.rvaas->enclave().sign(payload);
+    util::ensure(verify_subquery(domain, payload, sig),
+                 "federated subquery signature rejected");
+    ++stats.subqueries;
+
+    // Continue past violations: downstream of a leak there may be more to
+    // surface. An undeclared inverse relation worst-cases to Provider so a
+    // later export can still be recognized as a leak.
+    policy_in_domain(peering.to, peering.ingress,
+                     rel_in.value_or(NeighborClass::Provider), endpoint.space,
+                     depth_left - 1, visited, report, stats);
+  }
+  visited.pop_back();
+}
+
+/// Adapter handed to QueryEngine::evaluate: the engine's PolicyCompliance
+/// dispatch calls back into the federation walk with the evaluated
+/// constraint space. Stats are mutable because walk() is const for the
+/// engine but is the one place the walk's cost is observable.
+class Federation::BoundWalker final : public QueryEngine::PolicyWalker {
+ public:
+  BoundWalker(const Federation& fed, ProviderId start,
+              std::uint32_t max_domains)
+      : fed_(fed), start_(start), max_domains_(max_domains) {}
+
+  std::vector<PolicyReportItem> walk(
+      sdn::PortRef from, const hsa::HeaderSpace& hs) const override {
+    std::vector<PolicyReportItem> report;
+    std::vector<ProviderId> visited;
+    fed_.policy_in_domain(start_, from, fed_.entry_class(start_, from), hs,
+                          max_domains_, visited, report, stats);
+    return report;
+  }
+
+  mutable WalkStats stats;
+
+ private:
+  const Federation& fed_;
+  ProviderId start_;
+  std::uint32_t max_domains_;
+};
+
+PolicyVerification Federation::verify_policy(ProviderId start,
+                                             sdn::PortRef ingress,
+                                             const sdn::Match& constraint,
+                                             std::uint32_t max_domains) const {
+  const auto it = domains_.find(start);
+  util::ensure(it != domains_.end(), "unknown start domain");
+  const Domain& dom = it->second;
+
+  const BoundWalker walker(*this, start, max_domains);
+  Property property;
+  property.kind = QueryKind::PolicyCompliance;
+  property.constraint = constraint;
+  QueryEngine::EvalContext ctx;
+  ctx.from = ingress;
+  ctx.policy = &walker;
+  ctx.exclude_requester = false;
+  QueryEngine::Evaluation eval =
+      dom.rvaas->engine().evaluate(dom.rvaas->snapshot(), property, ctx);
+
+  PolicyVerification out;
+  out.reply = std::move(eval.reply);
+  out.signature = dom.rvaas->enclave().sign(out.reply.signing_payload());
+  out.domains_visited = walker.stats.domains_visited;
+  out.subqueries = walker.stats.subqueries;
+  out.max_walk_depth = walker.stats.max_depth;
+  out.depth_exceeded = walker.stats.depth_exceeded;
+  return out;
 }
 
 }  // namespace rvaas::core

@@ -4,12 +4,20 @@
 // ingress ports of the next; when a reach computation exits at a border
 // port, a signed subquery continues in the peer domain. Trust extends to
 // all traversed RVaaS servers (exactly as the paper states).
+//
+// On top of the reachability walk, the federation keeps a per-domain policy
+// store — business relations (customer/peer/provider), import/export rules
+// over prefix spaces, and authorized origin prefixes — and verifies observed
+// crossings against it (QueryKind::PolicyCompliance): the route-origin /
+// route-leak validation problem of the RPKI literature, answered from the
+// data plane instead of from BGP announcements.
 
 #include "rvaas/controller.hpp"
 
 namespace rvaas::core {
 
-using ProviderId = util::StrongId<struct ProviderIdTag>;
+// ProviderId lives in rvaas/query.hpp (the PolicyReportItem wire vocabulary
+// needs it).
 
 struct FederatedEndpoint {
   ProviderId provider{};
@@ -27,6 +35,44 @@ struct FederatedResult {
   bool depth_exceeded = false;
 };
 
+/// Gao-Rexford neighbor classes, as seen from one domain: my Customer pays
+/// me, my Provider is paid by me, my Peer exchanges traffic settlement-free.
+enum class NeighborClass : std::uint8_t { Customer = 0, Peer, Provider };
+
+const char* to_string(NeighborClass cls);
+
+/// One prefix-space x neighbor-class allow/deny rule. The first rule whose
+/// neighbor class matches and whose space intersects the crossing traffic
+/// decides; no matching rule means allow (rule lists are deny-listing
+/// refinements on top of the structural valley-free check, which always
+/// applies).
+struct RoutePolicyRule {
+  NeighborClass neighbor = NeighborClass::Customer;
+  hsa::HeaderSpace space;
+  bool allow = true;
+};
+
+/// A domain's import/export policy store: export rules judge traffic this
+/// domain hands to a neighbor (classed by what the neighbor is to this
+/// domain), import rules judge traffic a domain accepts (classed by what the
+/// sender is to the accepting domain).
+struct RoutePolicy {
+  std::vector<RoutePolicyRule> import_rules;
+  std::vector<RoutePolicyRule> export_rules;
+};
+
+/// Outcome of a PolicyCompliance walk: the reply (one PolicyReportItem per
+/// observed crossing plus one per flagged terminal delivery) signed by the
+/// start domain's enclave, and the walk's cost counters for scoreboards.
+struct PolicyVerification {
+  QueryReply reply;
+  crypto::Signature signature;
+  std::uint32_t domains_visited = 0;
+  std::uint32_t subqueries = 0;
+  std::uint32_t max_walk_depth = 0;  ///< deepest provider chain observed
+  bool depth_exceeded = false;
+};
+
 class Federation {
  public:
   /// Registers a domain; its wiring plan is the controller's own topology
@@ -39,12 +85,45 @@ class Federation {
   void add_peering(ProviderId a, sdn::PortRef border, ProviderId b,
                    sdn::PortRef ingress);
 
+  /// Declares the business relation of `neighbor` as seen from `domain`.
+  /// Declare both directions (A sees B as Customer <=> B sees A as
+  /// Provider); crossings over undeclared relations are flagged
+  /// UnexpectedCrossing.
+  void declare_relation(ProviderId domain, ProviderId neighbor,
+                        NeighborClass cls);
+
+  /// Replaces `domain`'s import/export policy store.
+  void set_policy(ProviderId domain, RoutePolicy policy);
+
+  /// Adds `prefixes` (typically exact-IpDst cubes of the domain's own
+  /// hosts) to the origin space `domain` is authorized to deliver locally.
+  /// Once any origin space is declared, terminal deliveries outside it are
+  /// flagged UnauthorizedOrigin — the data-plane analogue of announcing a
+  /// foreign prefix.
+  void authorize_origin(ProviderId domain, const hsa::HeaderSpace& prefixes);
+
   /// Recursive reachability across domains, starting at `ingress` in
   /// `start`. Server-to-server subqueries are signed by the requesting
   /// enclave and verified against the federation's key registry.
   FederatedResult reachable(ProviderId start, sdn::PortRef ingress,
                             const sdn::Match& constraint,
                             std::uint32_t max_domains = 8) const;
+
+  /// Policy-compliance walk over the observed crossings of traffic entering
+  /// at `ingress` of `start`: evaluated through the start domain's
+  /// QueryEngine (the PolicyCompliance dispatch hands the walk back to this
+  /// federation) and signed by its enclave, like any other reply.
+  PolicyVerification verify_policy(ProviderId start, sdn::PortRef ingress,
+                                   const sdn::Match& constraint,
+                                   std::uint32_t max_domains = 8) const;
+
+  /// Canonical signed payload of a server-to-server subquery: binds the
+  /// crossing point, the crossing header space and the remaining walk
+  /// depth, so a recorded subquery never verifies for different traffic or
+  /// a different budget (tamper coverage in test_codec_robustness).
+  static util::Bytes subquery_payload(sdn::PortRef ingress,
+                                      const hsa::HeaderSpace& hs,
+                                      std::uint32_t depth_left);
 
  private:
   struct Domain {
@@ -55,6 +134,12 @@ class Federation {
     ProviderId to{};
     sdn::PortRef ingress;
   };
+  struct WalkStats {
+    std::uint32_t subqueries = 0;
+    std::uint32_t domains_visited = 0;
+    std::uint32_t max_depth = 0;
+    bool depth_exceeded = false;
+  };
 
   /// `visited` is the provider chain of the current walk branch, maintained
   /// by reference with push/pop backtracking (no per-recursion copies).
@@ -63,13 +148,42 @@ class Federation {
                        std::vector<ProviderId>& visited,
                        FederatedResult& out) const;
 
+  /// The PolicyCompliance twin of reach_in_domain: same traversal, but each
+  /// crossing is judged against relations + import/export rules and each
+  /// terminal delivery against the authorized origin space. `entered_from`
+  /// is the class of the neighbor the traffic entered this domain from
+  /// (Customer for domain-originated walks) — the valley-free state.
+  void policy_in_domain(ProviderId domain, sdn::PortRef ingress,
+                        NeighborClass entered_from,
+                        const hsa::HeaderSpace& hs, std::uint32_t depth_left,
+                        std::vector<ProviderId>& visited,
+                        std::vector<PolicyReportItem>& report,
+                        WalkStats& stats) const;
+
+  std::optional<NeighborClass> relation(ProviderId domain,
+                                        ProviderId neighbor) const;
+
+  /// First-match rule scan; no matching rule = allow.
+  static bool policy_allows(const std::vector<RoutePolicyRule>& rules,
+                            NeighborClass cls, const hsa::HeaderSpace& space);
+
+  /// The class of whoever feeds (domain, ingress): reverse peering lookup,
+  /// worst-cased to Provider for an undeclared feeder; Customer when
+  /// nothing feeds the port (the walk starts on domain-originated traffic).
+  NeighborClass entry_class(ProviderId domain, sdn::PortRef ingress) const;
+
   /// Simulated secure server-to-server call: the caller signs the subquery,
   /// the callee verifies against the registry before answering.
   bool verify_subquery(ProviderId from, const util::Bytes& payload,
                        const crypto::Signature& sig) const;
 
+  class BoundWalker;  ///< QueryEngine::PolicyWalker bound to one walk
+
   std::map<ProviderId, Domain> domains_;
   std::map<std::pair<ProviderId, sdn::PortRef>, Peering> peerings_;
+  std::map<std::pair<ProviderId, ProviderId>, NeighborClass> relations_;
+  std::map<ProviderId, RoutePolicy> policies_;
+  std::map<ProviderId, hsa::HeaderSpace> origins_;
 };
 
 }  // namespace rvaas::core

@@ -24,8 +24,52 @@ const char* to_string(QueryKind kind) {
       return "fairness";
     case QueryKind::TransferSummary:
       return "transfer-summary";
+    case QueryKind::PolicyCompliance:
+      return "policy-compliance";
   }
   return "unknown";
+}
+
+const char* to_string(PolicyVerdict verdict) {
+  switch (verdict) {
+    case PolicyVerdict::Ok:
+      return "ok";
+    case PolicyVerdict::UnauthorizedOrigin:
+      return "unauthorized-origin";
+    case PolicyVerdict::RouteLeak:
+      return "route-leak";
+    case PolicyVerdict::UnexpectedCrossing:
+      return "unexpected-crossing";
+  }
+  return "unknown";
+}
+
+void PolicyReportItem::serialize(util::ByteWriter& w) const {
+  w.put_u8(static_cast<std::uint8_t>(verdict));
+  w.put_u32(from.value);
+  w.put_u32(to.value);
+  w.put_u32(border.sw.value);
+  w.put_u32(border.port.value);
+  w.put_u32(ingress.sw.value);
+  w.put_u32(ingress.port.value);
+  w.put_u64(space_fingerprint);
+}
+
+PolicyReportItem PolicyReportItem::deserialize(util::ByteReader& r) {
+  PolicyReportItem item;
+  const auto verdict = r.get_u8();
+  if (verdict > static_cast<std::uint8_t>(PolicyVerdict::UnexpectedCrossing)) {
+    throw util::DecodeError("bad policy verdict");
+  }
+  item.verdict = static_cast<PolicyVerdict>(verdict);
+  item.from = ProviderId(r.get_u32());
+  item.to = ProviderId(r.get_u32());
+  item.border.sw = sdn::SwitchId(r.get_u32());
+  item.border.port = sdn::PortNo(r.get_u32());
+  item.ingress.sw = sdn::SwitchId(r.get_u32());
+  item.ingress.port = sdn::PortNo(r.get_u32());
+  item.space_fingerprint = r.get_u64();
+  return item;
 }
 
 void Query::serialize(util::ByteWriter& w) const {
@@ -38,7 +82,7 @@ void Query::serialize(util::ByteWriter& w) const {
 Query Query::deserialize(util::ByteReader& r) {
   Query q;
   const auto kind = r.get_u8();
-  if (kind > static_cast<std::uint8_t>(QueryKind::TransferSummary)) {
+  if (kind > static_cast<std::uint8_t>(QueryKind::PolicyCompliance)) {
     throw util::DecodeError("bad query kind");
   }
   q.kind = static_cast<QueryKind>(kind);
@@ -130,6 +174,9 @@ void QueryReply::serialize(util::ByteWriter& w) const {
   w.put_u32(static_cast<std::uint32_t>(disclosed_paths.size()));
   for (const std::string& p : disclosed_paths) w.put_string(p);
 
+  w.put_u32(static_cast<std::uint32_t>(policy_report.size()));
+  for (const PolicyReportItem& item : policy_report) item.serialize(w);
+
   freshness.serialize(w);
 }
 
@@ -137,7 +184,7 @@ QueryReply QueryReply::deserialize(util::ByteReader& r) {
   QueryReply reply;
   reply.request_id = r.get_u64();
   const auto kind = r.get_u8();
-  if (kind > static_cast<std::uint8_t>(QueryKind::TransferSummary)) {
+  if (kind > static_cast<std::uint8_t>(QueryKind::PolicyCompliance)) {
     throw util::DecodeError("bad reply kind");
   }
   reply.kind = static_cast<QueryKind>(kind);
@@ -178,6 +225,11 @@ QueryReply QueryReply::deserialize(util::ByteReader& r) {
   const auto np = r.get_u32();
   for (std::uint32_t i = 0; i < np; ++i) {
     reply.disclosed_paths.push_back(r.get_string());
+  }
+
+  const auto npol = r.get_u32();
+  for (std::uint32_t i = 0; i < npol; ++i) {
+    reply.policy_report.push_back(PolicyReportItem::deserialize(r));
   }
 
   reply.freshness = FreshnessInfo::deserialize(r);
@@ -371,6 +423,15 @@ Verdict evaluate_reply(const QueryReply& reply, const Expectation& expect) {
                 "ns exceeds the client bound " +
                 std::to_string(expect.max_staleness) + "ns");
     }
+  }
+
+  for (const PolicyReportItem& item : reply.policy_report) {
+    if (item.verdict == PolicyVerdict::Ok) continue;
+    std::ostringstream at;
+    at << item.border;
+    violation(std::string("policy violation (") + to_string(item.verdict) +
+              ") at domain " + std::to_string(item.from.value) + " -> " +
+              std::to_string(item.to.value) + " via " + at.str());
   }
 
   if (expect.require_optimal_path && reply.kind == QueryKind::PathLength) {

@@ -9,8 +9,12 @@
 
 #include "sdn/match.hpp"
 #include "sdn/types.hpp"
+#include "util/ids.hpp"
 
 namespace rvaas::core {
+
+/// Identity of one administrative domain (provider) in a federation.
+using ProviderId = util::StrongId<struct ProviderIdTag>;
 
 enum class QueryKind : std::uint8_t {
   ReachableEndpoints = 0,  ///< which endpoints can my traffic reach?
@@ -20,9 +24,46 @@ enum class QueryKind : std::uint8_t {
   PathLength,              ///< is my route to a peer length-optimal?
   Fairness,                ///< are my flows shaped worse than others'?
   TransferSummary,         ///< compact transfer function of my service
+  PolicyCompliance,        ///< do observed inter-domain routes obey the
+                           ///< declared import/export policies?
 };
 
 const char* to_string(QueryKind kind);
+
+/// Verdict of one observed inter-domain crossing (or terminal delivery)
+/// against the declared policies (multiprovider.hpp holds the policy store
+/// and the walk; this is just the wire-level report vocabulary).
+enum class PolicyVerdict : std::uint8_t {
+  Ok = 0,              ///< crossing allowed by both sides, valley-free
+  UnauthorizedOrigin,  ///< delivered traffic outside the domain's
+                       ///< authorized origin prefixes (hijack indicator)
+  RouteLeak,           ///< provider/peer-learned traffic exported to a
+                       ///< non-customer (Gao-Rexford violation)
+  UnexpectedCrossing,  ///< crossing with no declared relation, or one an
+                       ///< import/export rule explicitly denies
+};
+
+const char* to_string(PolicyVerdict verdict);
+
+/// One typed entry of a PolicyCompliance report: either an observed border
+/// crossing `from -> to` (border = egress in `from`, ingress = entry port in
+/// `to`) or a terminal delivery (`from == to`, border == ingress == the
+/// delivering access point). `space_fingerprint` identifies the header space
+/// observed at that point, so two reports over different traffic never
+/// compare equal.
+struct PolicyReportItem {
+  PolicyVerdict verdict = PolicyVerdict::Ok;
+  ProviderId from{};
+  ProviderId to{};
+  sdn::PortRef border;
+  sdn::PortRef ingress;
+  std::uint64_t space_fingerprint = 0;
+
+  bool operator==(const PolicyReportItem&) const = default;
+
+  void serialize(util::ByteWriter& w) const;
+  static PolicyReportItem deserialize(util::ByteReader& r);
+};
 
 struct Query {
   QueryKind kind = QueryKind::ReachableEndpoints;
@@ -130,6 +171,9 @@ struct QueryReply {
   /// Extra disclosures (only under the FullPaths confidentiality strawman;
   /// used by experiment E5 to quantify leakage).
   std::vector<std::string> disclosed_paths;
+
+  // PolicyCompliance: one item per observed crossing / flagged delivery.
+  std::vector<PolicyReportItem> policy_report;
 
   /// Freshness of the view this reply was computed from (fail-stale
   /// metadata; all-zero when the footprint was fully healthy).

@@ -38,9 +38,14 @@ class PortAllocator {
 
 HostId host_for(std::uint32_t index) { return HostId(1000 + index); }
 
+HostId host_for(std::uint32_t base, std::uint32_t index) {
+  return HostId(base + index);
+}
+
 }  // namespace
 
-GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge) {
+GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge,
+                           std::uint32_t host_base) {
   util::ensure(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2");
   util::ensure(hosts_per_edge >= 1 && hosts_per_edge <= k / 2,
                "hosts_per_edge must be in [1, k/2]");
@@ -93,7 +98,7 @@ GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge) {
   for (std::uint32_t pod = 0; pod < k; ++pod) {
     for (std::uint32_t e = 0; e < half; ++e) {
       for (std::uint32_t h = 0; h < hosts_per_edge; ++h) {
-        const HostId host = host_for(host_index++);
+        const HostId host = host_for(host_base, host_index++);
         out.topo.attach_host(host, ports.take(edge_id(pod, e)));
         out.hosts.push_back(host);
       }
@@ -210,7 +215,7 @@ GeneratedTopology grid(std::uint32_t w, std::uint32_t h) {
 }
 
 GeneratedTopology random_isp(std::uint32_t n, std::uint32_t extra_links,
-                             util::Rng& rng) {
+                             util::Rng& rng, std::uint32_t host_base) {
   util::ensure(n >= 2, "random topology needs >= 2 switches");
   GeneratedTopology out;
   // Generous port budget: tree degree + extras + host port.
@@ -220,9 +225,18 @@ GeneratedTopology random_isp(std::uint32_t n, std::uint32_t extra_links,
                         geo_for(rng.below(4), 0, static_cast<double>(i)));
   }
   PortAllocator ports;
-  // Random spanning tree.
+  // Random spanning tree. The drawn parent may already have spent its port
+  // budget on earlier tree children (the host port must stay reserved), so
+  // probe forward deterministically from the draw until a switch with
+  // capacity is found — total tree degree (2(n-1) endpoints) never exceeds
+  // the aggregate budget (n * (ports_per_switch - 1)), so the probe always
+  // terminates. Exactly one rng draw per node keeps the sequence identical
+  // to the pre-fix generator whenever no switch ever runs out of ports.
   for (std::uint32_t i = 1; i < n; ++i) {
-    const auto parent = static_cast<std::uint32_t>(rng.below(i));
+    auto parent = static_cast<std::uint32_t>(rng.below(i));
+    while (ports.used(SwitchId(1 + parent)) + 2 > ports_per_switch) {
+      parent = (parent + 1) % i;
+    }
     out.topo.add_link(ports.take(SwitchId(1 + parent)),
                       ports.take(SwitchId(1 + i)));
   }
@@ -239,9 +253,81 @@ GeneratedTopology random_isp(std::uint32_t n, std::uint32_t extra_links,
     out.topo.add_link(ports.take(sa), ports.take(sb));
   }
   for (std::uint32_t i = 0; i < n; ++i) {
-    const HostId host = host_for(i);
+    const HostId host = host_for(host_base, i);
     out.topo.attach_host(host, ports.take(SwitchId(1 + i)));
     out.hosts.push_back(host);
+  }
+  return out;
+}
+
+AsGraph as_graph(std::uint32_t n_domains, util::Rng& rng,
+                 bool tier0_fat_tree) {
+  util::ensure(n_domains >= 2, "as_graph needs >= 2 domains");
+  AsGraph out;
+  const std::uint32_t core = n_domains >= 4 ? 2 : 1;
+  for (std::uint32_t d = 0; d < n_domains; ++d) {
+    const std::uint32_t base = 1000 * (d + 1);
+    if (d < core && tier0_fat_tree) {
+      out.domains.push_back(fat_tree(4, 1, base));
+    } else {
+      out.domains.push_back(random_isp(4 + rng.below(4), 3, rng, base));
+    }
+    out.tier.push_back(0);
+  }
+
+  // Border-port pools: each domain's dark ports in deterministic
+  // (switch, port) order, consumed front to back so adjacency ports never
+  // collide.
+  std::vector<std::vector<PortRef>> pool(n_domains);
+  std::vector<std::size_t> next(n_domains, 0);
+  for (std::uint32_t d = 0; d < n_domains; ++d) {
+    for (const SwitchId sw : out.domains[d].topo.switches()) {
+      for (const PortRef p : out.domains[d].topo.dark_ports(sw)) {
+        pool[d].push_back(p);
+      }
+    }
+  }
+  auto link = [&](std::uint32_t up, std::uint32_t down, bool peer) {
+    if (next[up] >= pool[up].size() || next[down] >= pool[down].size()) {
+      return false;
+    }
+    out.adjacencies.push_back(AsAdjacency{up, down, peer,
+                                          pool[up][next[up]++],
+                                          pool[down][next[down]++]});
+    return true;
+  };
+
+  // Tier-0 transit mesh: settlement-free peering among the core domains.
+  for (std::uint32_t i = 0; i < core; ++i) {
+    for (std::uint32_t j = i + 1; j < core; ++j) link(i, j, true);
+  }
+  for (std::uint32_t d = core; d < n_domains; ++d) {
+    // Mandatory provider among the earlier domains; probe forward from the
+    // draw if the candidate has no border ports left.
+    auto provider = static_cast<std::uint32_t>(rng.below(d));
+    bool linked = false;
+    for (std::uint32_t tries = 0; tries < d && !linked; ++tries) {
+      linked = link(provider, d, false);
+      if (!linked) provider = (provider + 1) % d;
+    }
+    util::ensure(linked, "as_graph: no border ports left for provider edge");
+    out.tier[d] = out.tier[provider] + 1;
+    // Sometimes a second provider — only from a lower tier, so provider
+    // edges always point down the hierarchy (valley-free digraph).
+    if (rng.below(100) < 35) {
+      const auto p2 = static_cast<std::uint32_t>(rng.below(d));
+      if (p2 != provider && out.tier[p2] < out.tier[d]) link(p2, d, false);
+    }
+    // Sometimes a same-tier peer.
+    if (rng.below(100) < 30) {
+      std::vector<std::uint32_t> same_tier;
+      for (std::uint32_t e = core; e < d; ++e) {
+        if (out.tier[e] == out.tier[d]) same_tier.push_back(e);
+      }
+      if (!same_tier.empty()) {
+        link(same_tier[rng.below(same_tier.size())], d, true);
+      }
+    }
   }
   return out;
 }

@@ -22,7 +22,11 @@ const std::vector<std::string>& jurisdiction_palette();
 /// k-ary fat-tree (k even): k pods of k/2 edge + k/2 aggregation switches,
 /// (k/2)^2 core switches; `hosts_per_edge` hosts on each edge switch
 /// (default 1, max k/2). Pods rotate through the jurisdiction palette.
-GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge = 1);
+/// `host_base` offsets the generated host ids so multiple generated domains
+/// can coexist in one federation without colliding (host ids must stay below
+/// 2^16 for HostAddressing::derive to yield distinct IPs).
+GeneratedTopology fat_tree(std::uint32_t k, std::uint32_t hosts_per_edge = 1,
+                           std::uint32_t host_base = 1000);
 
 /// n switches in a line, one host per switch. Jurisdictions change in
 /// thirds (useful for geo experiments).
@@ -50,8 +54,41 @@ GeneratedTopology ring(std::uint32_t n);
 GeneratedTopology grid(std::uint32_t w, std::uint32_t h);
 
 /// Random connected graph: a random spanning tree plus `extra_links`
-/// additional random links; one host per switch.
+/// additional random links; one host per switch. See fat_tree for
+/// `host_base`.
 GeneratedTopology random_isp(std::uint32_t n, std::uint32_t extra_links,
-                             util::Rng& rng);
+                             util::Rng& rng, std::uint32_t host_base = 1000);
+
+/// One inter-domain adjacency of an AS graph. For a provider/customer edge,
+/// `up` is the provider and `down` the customer; for a settlement-free
+/// peering (`peer == true`) the orientation is arbitrary and the tiers are
+/// equal. The border ports are dark ports of the respective internal
+/// topologies — the physical wire `up_port <-> down_port` exists only in the
+/// federation's declared peerings, never inside either domain's topology.
+struct AsAdjacency {
+  std::uint32_t up = 0;
+  std::uint32_t down = 0;
+  bool peer = false;
+  sdn::PortRef up_port;
+  sdn::PortRef down_port;
+};
+
+struct AsGraph {
+  std::vector<GeneratedTopology> domains;
+  std::vector<std::uint32_t> tier;  ///< per-domain tier; 0 = transit core
+  std::vector<AsAdjacency> adjacencies;
+};
+
+/// Rocketfuel-ish provider/peer/customer digraph of `n_domains` internal
+/// topologies. The transit core (two domains when n >= 4, else one) sits at
+/// tier 0 in a settlement-free peer mesh; every other domain gets a mandatory
+/// provider among the earlier domains (tier = provider tier + 1), sometimes a
+/// second provider from a lower-or-equal tier, and sometimes a same-tier
+/// peer. Host ids are globally unique across domains (domain d uses
+/// host_base 1000*(d+1)). `tier0_fat_tree` selects fat_tree(4) cores;
+/// disabling it keeps every domain a small random_isp (cheaper worlds for
+/// fuzzing).
+AsGraph as_graph(std::uint32_t n_domains, util::Rng& rng,
+                 bool tier0_fat_tree = true);
 
 }  // namespace rvaas::workload

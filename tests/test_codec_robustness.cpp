@@ -14,7 +14,9 @@
 #include <unistd.h>
 
 #include "enclave/enclave.hpp"
+#include "hsa/transfer.hpp"
 #include "net/client.hpp"
+#include "rvaas/multiprovider.hpp"
 #include "net/server.hpp"
 #include "rvaas/inband.hpp"
 #include "util/rng.hpp"
@@ -84,6 +86,11 @@ struct CodecFixture : ::testing::Test {
     // of the reply, so the assault below also walks its bytes.
     reply.freshness.max_staleness = 123456789;
     reply.freshness.unreachable = {SwitchId(2), SwitchId(5)};
+    // A policy crossing, so the assaults walk PolicyReportItem bytes too.
+    reply.policy_report.push_back(PolicyReportItem{
+        PolicyVerdict::RouteLeak, ProviderId(1), ProviderId(2),
+        PortRef{SwitchId(3), PortNo(3)}, PortRef{SwitchId(1), PortNo(3)},
+        0x1234567890abcdefu});
     return reply;
   }
 
@@ -230,6 +237,47 @@ TEST_F(CodecFixture, ReplyPacketSurvivesTruncationAndBitFlips) {
   inflate(packet, [&](const Packet& p) {
     (void)inband::open_reply(p, client_box, enclave.verify_key());
   });
+}
+
+/// The policy_report section must round-trip exactly: a reordered or
+/// reworded crossing would change which violation a client attributes to
+/// which domain pair.
+TEST_F(CodecFixture, PolicyReportRoundTripsThroughReply) {
+  const Packet packet = inband::make_reply_packet(
+      sample_reply(), enclave, client_box.public_element(), rng);
+  const auto opened =
+      inband::open_reply(packet, client_box, enclave.verify_key());
+  ASSERT_TRUE(opened.has_value());
+  ASSERT_EQ(opened->reply.policy_report.size(), 1u);
+  EXPECT_EQ(opened->reply.policy_report, sample_reply().policy_report);
+}
+
+/// Federated subquery payloads (v2) bind the crossing point, the crossing
+/// header space fingerprint AND the remaining walk depth. A signature
+/// recorded for one crossing must not verify for a different space or a
+/// different budget — otherwise a compromised domain could replay an old
+/// authorization for traffic it was never asked about.
+TEST_F(CodecFixture, SubqueryPayloadBindsSpaceAndDepth) {
+  const PortRef ingress{SwitchId(4), PortNo(2)};
+  const hsa::HeaderSpace tcp(hsa::match_to_cube(
+      Match().exact(Field::IpProto, sdn::kIpProtoTcp)));
+  const hsa::HeaderSpace udp(hsa::match_to_cube(
+      Match().exact(Field::IpProto, sdn::kIpProtoUdp)));
+
+  const util::Bytes payload = Federation::subquery_payload(ingress, tcp, 5);
+  const crypto::Signature sig = enclave.sign(payload);
+  ASSERT_TRUE(enclave.verify_key().verify(payload, sig));
+
+  // Same crossing, different traffic: rejected.
+  EXPECT_FALSE(enclave.verify_key().verify(
+      Federation::subquery_payload(ingress, udp, 5), sig));
+  // Same traffic, different remaining depth: rejected.
+  EXPECT_FALSE(enclave.verify_key().verify(
+      Federation::subquery_payload(ingress, tcp, 4), sig));
+  // Different crossing point: rejected.
+  EXPECT_FALSE(enclave.verify_key().verify(
+      Federation::subquery_payload(PortRef{SwitchId(4), PortNo(3)}, tcp, 5),
+      sig));
 }
 
 TEST_F(CodecFixture, AuthPacketsSurviveTruncationAndBitFlips) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "hsa/transfer.hpp"
 #include "rvaas/multiprovider.hpp"
+#include "workload/as_world.hpp"
 #include "workload/scenario.hpp"
 
 namespace rvaas::core {
@@ -181,6 +185,227 @@ TEST(Federation, ConstraintPropagatesAcrossDomains) {
   bool remote2 = false;
   for (const auto& e : tcp2.endpoints) remote2 |= (e.provider == ProviderId(2));
   EXPECT_FALSE(remote2);
+}
+
+// Regression: the depth check used to run before the visited-loop guard, so
+// a branch that was about to be pruned for re-entering a domain reported
+// depth_exceeded when its budget happened to hit zero at the same hop. A
+// two-domain cycle at max_domains=2 reproduces exactly that coincidence.
+TEST(Federation, DepthNotExceededOnLoopPrune) {
+  FederationFixture f;
+  f.install_cross_domain_path();
+
+  // Close the cycle: B routes its ingress traffic back out of a second
+  // border port (S1,P0), wired to a dark port of A. Priority 41 shadows the
+  // fixture's host-delivery route in B.
+  f.fed.add_peering(ProviderId(2), {SwitchId(1), PortNo(0)}, ProviderId(1),
+                    {SwitchId(1), PortNo(0)});
+  sdn::FlowMod back;
+  back.priority = 41;
+  back.match = sdn::Match().in_port(PortNo(3));
+  back.actions = {sdn::output(PortNo(0))};
+  f.b->network().switch_sim(SwitchId(1)).apply_flow_mod(sdn::ControllerId(1),
+                                                        back);
+  f.b->settle();
+
+  const auto result = f.fed.reachable(ProviderId(1), {SwitchId(1), PortNo(2)},
+                                      sdn::Match(), /*max_domains=*/2);
+  // The walk A -> B -> (A again) ends on the loop guard, not the budget:
+  // both domains were visited and nothing was left unexplored.
+  EXPECT_FALSE(result.depth_exceeded);
+  EXPECT_EQ(result.domains_visited, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// PolicyCompliance walks (QueryKind::PolicyCompliance through the engine).
+
+namespace policy_fixture {
+
+/// Customer/provider relation for the fixture's single peering, plus B
+/// authorized to originate its switch-3 host.
+void declare_baseline(FederationFixture& f) {
+  f.fed.declare_relation(ProviderId(1), ProviderId(2), NeighborClass::Customer);
+  f.fed.declare_relation(ProviderId(2), ProviderId(1), NeighborClass::Provider);
+  const std::uint32_t b_host_ip =
+      control::HostAddressing::derive(f.b->hosts()[2]).ip;
+  f.fed.authorize_origin(
+      ProviderId(2), hsa::HeaderSpace(hsa::match_to_cube(sdn::Match().exact(
+                         sdn::Field::IpDst, b_host_ip))));
+}
+
+}  // namespace policy_fixture
+
+TEST(PolicyCompliance, CleanCrossingReportsOkAndVerifies) {
+  FederationFixture f;
+  f.install_cross_domain_path();
+  policy_fixture::declare_baseline(f);
+
+  const std::uint32_t b_host_ip =
+      control::HostAddressing::derive(f.b->hosts()[2]).ip;
+  const auto v = f.fed.verify_policy(
+      ProviderId(1), {SwitchId(1), PortNo(2)},
+      sdn::Match().exact(sdn::Field::IpDst, b_host_ip));
+
+  // One crossing (A -> B), judged Ok; the in-origin terminal delivery in B
+  // adds no item.
+  ASSERT_EQ(v.reply.policy_report.size(), 1u);
+  const PolicyReportItem& item = v.reply.policy_report.front();
+  EXPECT_EQ(item.verdict, PolicyVerdict::Ok);
+  EXPECT_EQ(item.from, ProviderId(1));
+  EXPECT_EQ(item.to, ProviderId(2));
+  EXPECT_EQ(item.border, FederationFixture::kBorderA);
+  EXPECT_EQ(item.ingress, FederationFixture::kIngressB);
+  EXPECT_EQ(v.domains_visited, 2u);
+  EXPECT_EQ(v.subqueries, 1u);
+  EXPECT_FALSE(v.depth_exceeded);
+
+  // The report is signed by the start domain's enclave like any reply.
+  EXPECT_TRUE(f.a->rvaas().enclave().verify_key().verify(
+      v.reply.signing_payload(), v.signature));
+
+  // A clean report raises no violations in reply evaluation.
+  EXPECT_TRUE(evaluate_reply(v.reply, Expectation{}).ok);
+}
+
+TEST(PolicyCompliance, ForeignDeliveryFlagsUnauthorizedOrigin) {
+  FederationFixture f;
+  f.install_cross_domain_path();
+  policy_fixture::declare_baseline(f);
+
+  // The fixture routes by in_port, so ANY destination entering A's host
+  // port is handed to B and delivered at B's host — including a prefix B
+  // never originated. No attack rule needed: the baseline config itself is
+  // the hijack.
+  const auto v = f.fed.verify_policy(
+      ProviderId(1), {SwitchId(1), PortNo(2)},
+      sdn::Match().exact(sdn::Field::IpDst, 0x0a0a0a0au));
+
+  bool hijack = false;
+  for (const PolicyReportItem& item : v.reply.policy_report) {
+    if (item.verdict != PolicyVerdict::UnauthorizedOrigin) continue;
+    hijack = true;
+    EXPECT_EQ(item.from, ProviderId(2));
+    EXPECT_EQ(item.to, ProviderId(2));
+    EXPECT_EQ(item.border, (PortRef{SwitchId(3), PortNo(2)}));
+  }
+  EXPECT_TRUE(hijack);
+
+  // The violation surfaces through reply evaluation.
+  EXPECT_FALSE(evaluate_reply(v.reply, Expectation{}).ok);
+}
+
+TEST(PolicyCompliance, ProviderToProviderCrossingFlagsRouteLeak) {
+  FederationFixture f;
+  f.install_cross_domain_path();
+  // B is A's PROVIDER here (the inverse of declare_baseline): traffic that
+  // enters A from B and exits A back toward B is a Gao-Rexford valley.
+  f.fed.declare_relation(ProviderId(1), ProviderId(2), NeighborClass::Provider);
+  f.fed.declare_relation(ProviderId(2), ProviderId(1), NeighborClass::Customer);
+  // Wire a provider-fed ingress into A: B's second border (S1,P0) feeds
+  // A's dark port (S1,P0)...
+  f.fed.add_peering(ProviderId(2), {SwitchId(1), PortNo(0)}, ProviderId(1),
+                    {SwitchId(1), PortNo(0)});
+  // ...and A forwards that ingress along the line and out of kBorderA.
+  sdn::FlowMod leak;
+  leak.priority = 41;
+  leak.match = sdn::Match().in_port(PortNo(0));
+  leak.actions = {sdn::output(PortNo(1))};
+  f.a->network().switch_sim(SwitchId(1)).apply_flow_mod(sdn::ControllerId(1),
+                                                        leak);
+  f.a->settle();
+
+  const auto v = f.fed.verify_policy(ProviderId(1), {SwitchId(1), PortNo(0)},
+                                     sdn::Match());
+  bool leaked = false;
+  for (const PolicyReportItem& item : v.reply.policy_report) {
+    if (item.verdict != PolicyVerdict::RouteLeak) continue;
+    leaked = true;
+    EXPECT_EQ(item.from, ProviderId(1));
+    EXPECT_EQ(item.to, ProviderId(2));
+    EXPECT_EQ(item.border, FederationFixture::kBorderA);
+  }
+  EXPECT_TRUE(leaked);
+}
+
+TEST(PolicyCompliance, UndeclaredRelationFlagsUnexpectedCrossing) {
+  FederationFixture f;
+  f.install_cross_domain_path();
+  // Peering wired, relations never declared.
+  const auto v = f.fed.verify_policy(ProviderId(1), {SwitchId(1), PortNo(2)},
+                                     sdn::Match());
+  bool unexpected = false;
+  for (const PolicyReportItem& item : v.reply.policy_report) {
+    unexpected |= item.verdict == PolicyVerdict::UnexpectedCrossing;
+  }
+  EXPECT_TRUE(unexpected);
+}
+
+TEST(PolicyCompliance, ExportDenyRuleFlagsCrossing) {
+  FederationFixture f;
+  f.install_cross_domain_path();
+  policy_fixture::declare_baseline(f);
+
+  const std::uint32_t b_host_ip =
+      control::HostAddressing::derive(f.b->hosts()[2]).ip;
+  const sdn::Match dst = sdn::Match().exact(sdn::Field::IpDst, b_host_ip);
+
+  // Clean under the structural rules alone...
+  const auto before = f.fed.verify_policy(ProviderId(1),
+                                          {SwitchId(1), PortNo(2)}, dst);
+  ASSERT_EQ(before.reply.policy_report.size(), 1u);
+  EXPECT_EQ(before.reply.policy_report.front().verdict, PolicyVerdict::Ok);
+
+  // ...until A's export store denies that prefix toward customers.
+  RoutePolicy policy;
+  policy.export_rules.push_back(RoutePolicyRule{
+      NeighborClass::Customer, hsa::HeaderSpace(hsa::match_to_cube(dst)),
+      /*allow=*/false});
+  f.fed.set_policy(ProviderId(1), std::move(policy));
+
+  const auto after = f.fed.verify_policy(ProviderId(1),
+                                         {SwitchId(1), PortNo(2)}, dst);
+  ASSERT_GE(after.reply.policy_report.size(), 1u);
+  EXPECT_EQ(after.reply.policy_report.front().verdict,
+            PolicyVerdict::UnexpectedCrossing);
+}
+
+TEST(PolicyCompliance, AsWorldBaselineIsClean) {
+  workload::AsWorldConfig config;
+  config.n_domains = 4;
+  config.seed = 9;
+  config.tier0_fat_tree = false;  // cheap worlds are enough here
+  workload::AsWorld world(config);
+  ASSERT_GE(world.transit_ingresses().size(), 2u);
+
+  // From every transit ingress, walk toward a same-domain host, a
+  // down-cone host, and a foreign host: the valley-free baseline must
+  // produce only Ok crossings (foreign destinations die at the ingress
+  // guard and report nothing at all).
+  for (const auto& in : world.transit_ingresses()) {
+    std::vector<std::uint32_t> dsts;
+    dsts.push_back(
+        control::HostAddressing::derive(world.domain_hosts(in.domain)[0]).ip);
+    dsts.push_back(world.cone_ips(in.domain).back());
+    for (std::size_t d = 0; d < world.domain_count(); ++d) {
+      const auto& cone = world.cone_ips(in.domain);
+      const std::uint32_t foreign =
+          control::HostAddressing::derive(world.domain_hosts(d)[0]).ip;
+      if (std::find(cone.begin(), cone.end(), foreign) == cone.end()) {
+        dsts.push_back(foreign);
+        break;
+      }
+    }
+    for (const std::uint32_t dst : dsts) {
+      const auto v = world.federation().verify_policy(
+          workload::AsWorld::provider_of(in.domain), in.port,
+          sdn::Match().exact(sdn::Field::IpDst, dst));
+      for (const PolicyReportItem& item : v.reply.policy_report) {
+        EXPECT_EQ(item.verdict, PolicyVerdict::Ok)
+            << to_string(item.verdict) << " from domain " << item.from.value
+            << " walking dst " << dst << " at ingress domain " << in.domain;
+      }
+    }
+  }
 }
 
 TEST(Federation, DuplicateDomainRejected) {

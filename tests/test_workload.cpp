@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <tuple>
+
 #include "workload/geoip.hpp"
 #include "workload/scenario.hpp"
 #include "workload/topo_gen.hpp"
@@ -72,6 +76,93 @@ TEST(TopoGen, RandomIspConnected) {
   for (std::uint32_t i = 2; i <= 20; ++i) {
     EXPECT_TRUE(control::shortest_switch_path(g.topo, SwitchId(1), SwitchId(i))
                     .has_value());
+  }
+}
+
+// Regression: the spanning-tree wiring drew a parent without checking its
+// remaining port budget, so large n (where a random recursive tree's max
+// degree exceeds the per-switch budget) crashed with an invalid-port
+// violation. The fix probes forward from the draw until a switch with
+// capacity is found.
+TEST(TopoGen, RandomIspLargeNPortBudgetRegression) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    util::Rng rng(seed);
+    const GeneratedTopology g = random_isp(300, 0, rng);
+    EXPECT_EQ(g.topo.switch_count(), 300u);
+    EXPECT_EQ(g.hosts.size(), 300u);
+    EXPECT_GE(g.topo.links().size(), 299u);  // spanning tree survived
+    for (std::uint32_t i = 50; i <= 300; i += 50) {
+      EXPECT_TRUE(
+          control::shortest_switch_path(g.topo, SwitchId(1), SwitchId(i))
+              .has_value());
+    }
+  }
+}
+
+// Every generator must stay within the declared per-switch port budgets:
+// counting link endpoints and host attachments per switch never exceeds
+// num_ports, and the remainder is exactly the dark-port set.
+TEST(TopoGen, FatTreePortBudgetInvariant) {
+  const GeneratedTopology g = fat_tree(4, 2);
+  std::map<SwitchId, std::uint32_t> used;
+  for (const auto& link : g.topo.links()) {
+    ++used[link.a.sw];
+    ++used[link.b.sw];
+  }
+  for (const auto h : g.hosts) {
+    for (const auto p : g.topo.host_ports(h)) ++used[p.sw];
+  }
+  for (const SwitchId sw : g.topo.switches()) {
+    EXPECT_LE(used[sw], g.topo.num_ports(sw));
+    EXPECT_EQ(g.topo.dark_ports(sw).size(), g.topo.num_ports(sw) - used[sw]);
+  }
+}
+
+TEST(TopoGen, AsGraphStructuralInvariants) {
+  for (const std::uint64_t seed : {3u, 17u, 42u}) {
+    util::Rng rng(seed);
+    const AsGraph g = as_graph(8, rng, /*tier0_fat_tree=*/false);
+    ASSERT_EQ(g.domains.size(), 8u);
+    ASSERT_EQ(g.tier.size(), 8u);
+    EXPECT_EQ(g.tier[0], 0u);
+    EXPECT_EQ(g.tier[1], 0u);
+
+    std::vector<bool> has_provider(8, false);
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> borders;
+    for (const AsAdjacency& adj : g.adjacencies) {
+      ASSERT_LT(adj.up, 8u);
+      ASSERT_LT(adj.down, 8u);
+      if (adj.peer) {
+        // Settlement-free peering only between equals.
+        EXPECT_EQ(g.tier[adj.up], g.tier[adj.down]);
+      } else {
+        // Provider edges point strictly down the hierarchy.
+        EXPECT_LT(g.tier[adj.up], g.tier[adj.down]);
+        has_provider[adj.down] = true;
+      }
+      // Border ports are dark inside their own domain (no host, no link)
+      // and never shared between adjacencies.
+      EXPECT_FALSE(
+          g.domains[adj.up].topo.host_at(adj.up_port).has_value());
+      EXPECT_FALSE(
+          g.domains[adj.down].topo.host_at(adj.down_port).has_value());
+      EXPECT_TRUE(borders
+                      .emplace(adj.up, adj.up_port.sw.value,
+                               adj.up_port.port.value)
+                      .second);
+      EXPECT_TRUE(borders
+                      .emplace(adj.down, adj.down_port.sw.value,
+                               adj.down_port.port.value)
+                      .second);
+    }
+    // Everyone below the core bought transit from somewhere.
+    for (std::uint32_t d = 2; d < 8; ++d) EXPECT_TRUE(has_provider[d]);
+    // Host ids are globally unique across domains (one federation-wide
+    // address plan).
+    std::set<sdn::HostId> all_hosts;
+    for (const auto& dom : g.domains) {
+      for (const auto h : dom.hosts) EXPECT_TRUE(all_hosts.insert(h).second);
+    }
   }
 }
 
